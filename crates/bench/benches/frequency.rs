@@ -1,0 +1,71 @@
+//! Update and point-query throughput for the frequency sketches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketches::core::{FrequencyEstimator, Update};
+use sketches::frequency::{CountMinSketch, CountSketch, MisraGries, SpaceSaving};
+use sketches_workloads::zipf::ZipfGenerator;
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = ZipfGenerator::new(100_000, 1.1, 1).unwrap().stream(100_000);
+    let mut group = c.benchmark_group("frequency_update_100k_zipf1.1");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function(BenchmarkId::new("count_min", "512x5"), |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::new(512, 5, 0).unwrap();
+            for x in &stream {
+                s.update(x);
+            }
+            std::hint::black_box(FrequencyEstimator::estimate(&s, &1u64))
+        });
+    });
+    group.bench_function(BenchmarkId::new("count_sketch", "512x5"), |b| {
+        b.iter(|| {
+            let mut s = CountSketch::new(512, 5, 0).unwrap();
+            for x in &stream {
+                s.update(x);
+            }
+            std::hint::black_box(s.estimate(&1u64))
+        });
+    });
+    group.bench_function(BenchmarkId::new("misra_gries", "k512"), |b| {
+        b.iter(|| {
+            let mut s = MisraGries::new(512).unwrap();
+            for x in &stream {
+                s.update(x);
+            }
+            std::hint::black_box(s.estimate(&1u64))
+        });
+    });
+    group.bench_function(BenchmarkId::new("space_saving", "k512"), |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::new(512).unwrap();
+            for x in &stream {
+                s.update(x);
+            }
+            std::hint::black_box(s.estimate(&1u64))
+        });
+    });
+    group.finish();
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let stream = ZipfGenerator::new(100_000, 1.1, 1).unwrap().stream(200_000);
+    let mut cm = CountMinSketch::new(2048, 5, 0).unwrap();
+    for x in &stream {
+        cm.update(x);
+    }
+    let mut group = c.benchmark_group("frequency_query");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("count_min_point", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(FrequencyEstimator::estimate(&cm, &i))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_point_queries);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The experiments driver: regenerates every experiment table (E1–E20).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p sketches-bench --release --bin experiments          # all
+//! cargo run -p sketches-bench --release --bin experiments -- e4 e7
+//! cargo run -p sketches-bench --release --bin experiments -- list
+//! ```
+
+use sketches_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "list") {
+        for (id, claim, _) in experiments::registry() {
+            println!("{id:>4}  {claim}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() {
+        experiments::registry()
+            .into_iter()
+            .map(|(id, _, _)| id.to_string())
+            .collect()
+    } else {
+        args
+    };
+    for id in ids {
+        if !experiments::run(&id) {
+            eprintln!("unknown experiment `{id}` — try `list`");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! E1, E2, E3, E8, E20 — cardinality estimation.
+
+use sketches::cardinality::{HyperLogLog, HyperLogLogPlusPlus, LogLog, MorrisCounter, Pcsa};
+use sketches::core::{CardinalityEstimator, SpaceUsage, Update};
+use sketches::prelude::KmvSketch;
+use sketches_workloads::ads::AdWorkload;
+use sketches_workloads::exact::ExactDistinct;
+use sketches_workloads::stats::mean;
+use sketches_workloads::streams::distinct_ids;
+
+use crate::{fmt_bytes, header, timed, trow};
+
+/// E1: relative standard error of the distinct-count lineage vs theory.
+pub fn e1() {
+    header(
+        "E1",
+        "HLL error ~ 1.04/sqrt(m); LogLog ~ 1.30/sqrt(m); FM/PCSA ~ 0.78/sqrt(m)",
+    );
+    let n = 1_000_000usize;
+    let trials = 12u64;
+    trow!("sketch (m=4096)", "mean |rel err|", "RSE (measured)", "RSE (theory)");
+    // Per-sketch: measure relative error across trials at n distinct items.
+    let mut errs_hll = Vec::new();
+    let mut errs_ll = Vec::new();
+    let mut errs_fm = Vec::new();
+    let mut errs_kmv = Vec::new();
+    for t in 0..trials {
+        let ids = distinct_ids(n, 1000 + t);
+        let mut hll = HyperLogLog::new(12, t).unwrap();
+        let mut ll = LogLog::new(12, t).unwrap();
+        let mut fm = Pcsa::new(12, t).unwrap();
+        let mut kmv = KmvSketch::new(4096, t).unwrap();
+        for id in &ids {
+            hll.update(id);
+            ll.update(id);
+            fm.update(id);
+            kmv.update(id);
+        }
+        let nf = n as f64;
+        errs_hll.push((hll.estimate() - nf) / nf);
+        errs_ll.push((ll.estimate() - nf) / nf);
+        errs_fm.push((fm.estimate() - nf) / nf);
+        errs_kmv.push((kmv.estimate() - nf) / nf);
+    }
+    let rse = |errs: &[f64]| (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+    let m_abs = |errs: &[f64]| mean(&errs.iter().map(|e| e.abs()).collect::<Vec<_>>());
+    trow!("HyperLogLog", format!("{:.4}", m_abs(&errs_hll)), format!("{:.4}", rse(&errs_hll)), format!("{:.4}", 1.04 / 64.0));
+    trow!("LogLog", format!("{:.4}", m_abs(&errs_ll)), format!("{:.4}", rse(&errs_ll)), format!("{:.4}", 1.30 / 64.0));
+    trow!("FM / PCSA", format!("{:.4}", m_abs(&errs_fm)), format!("{:.4}", rse(&errs_fm)), format!("{:.4}", 0.78 / 64.0));
+    trow!("KMV (k=4096)", format!("{:.4}", m_abs(&errs_kmv)), format!("{:.4}", rse(&errs_kmv)), format!("{:.4}", 1.0 / (4094f64).sqrt()));
+
+    println!("\nHLL error scaling with precision (n = 10^6, one trial each):");
+    trow!("precision p", "registers m", "space", "rel err", "1.04/sqrt(m)");
+    for p in [8u32, 10, 12, 14] {
+        let mut hll = HyperLogLog::new(p, 99).unwrap();
+        for id in distinct_ids(n, 555) {
+            hll.update(&id);
+        }
+        let rel = (hll.estimate() - n as f64).abs() / n as f64;
+        let m = 1usize << p;
+        trow!(
+            p,
+            m,
+            fmt_bytes(hll.space_bytes()),
+            format!("{rel:.4}"),
+            format!("{:.4}", 1.04 / (m as f64).sqrt())
+        );
+    }
+}
+
+/// E2: bias near the small/mid-range transition, raw HLL vs HLL++.
+pub fn e2() {
+    header("E2", "HLL++ (sparse + improved estimator) removes raw-HLL bias");
+    let trials = 24u64;
+    trow!("n", "raw-HLL mean bias", "HLL raw est. bias", "HLL++ mean bias");
+    // m = 4096 (p=12): the classic bias hump is around n = 2.5m ~ 10k.
+    for n in [500usize, 2_000, 5_000, 10_000, 15_000, 40_000] {
+        let mut bias_corrected = Vec::new(); // plain HLL with its linear-counting fallback
+        let mut bias_raw = Vec::new(); // raw harmonic-mean estimate, no correction
+        let mut bias_pp = Vec::new();
+        for t in 0..trials {
+            let ids = distinct_ids(n, 7_000 + t * 31);
+            let mut hll = HyperLogLog::new(12, t).unwrap();
+            let mut pp = HyperLogLogPlusPlus::new(12, t).unwrap();
+            for id in &ids {
+                hll.update(id);
+                pp.update(id);
+            }
+            let nf = n as f64;
+            bias_corrected.push((hll.estimate() - nf) / nf);
+            bias_raw.push((hll.raw_estimate() - nf) / nf);
+            bias_pp.push((pp.estimate() - nf) / nf);
+        }
+        trow!(
+            n,
+            format!("{:+.4}", mean(&bias_corrected)),
+            format!("{:+.4}", mean(&bias_raw)),
+            format!("{:+.4}", mean(&bias_pp))
+        );
+    }
+    println!("(\"raw est.\" = harmonic mean only; raw-HLL = with linear-counting fallback)");
+}
+
+/// E3: Morris counter space.
+pub fn e3() {
+    header("E3", "Morris counts n events in O(log log n) bits");
+    trow!("events n", "exact bits", "register", "register bits", "estimate", "rel err");
+    for exp in [3u32, 4, 5, 6, 7] {
+        let n = 10u64.pow(exp);
+        let mut c = MorrisCounter::new(64.0, 11).unwrap();
+        c.observe_many(n);
+        let rel = (c.estimate() - n as f64).abs() / n as f64;
+        trow!(
+            n,
+            64 - n.leading_zeros(),
+            c.register(),
+            c.register_bits(),
+            format!("{:.3e}", c.estimate()),
+            format!("{rel:.3}")
+        );
+    }
+}
+
+/// E8: ad reach — sketch vs exact warehouse, including the crossover.
+pub fn e8() {
+    header("E8", "Reach slice-and-dice with HLL; exact hash sets as the warehouse");
+    let users = 400_000u64;
+    let mut w = AdWorkload::new(users, 4, 2026);
+    let imps = w.stream(1_500_000);
+
+    // Per-campaign reach: sketch vs exact, with space and build time.
+    trow!("campaign", "exact reach", "HLL estimate", "rel err", "build s/e", "HLL/exact bytes");
+    for c in 0..4u32 {
+        let (hll, hll_secs) = timed(|| {
+            let mut h = HyperLogLog::new(13, 5).unwrap();
+            for i in imps.iter().filter(|i| i.campaign_id == c) {
+                h.update(&i.user_id);
+            }
+            h
+        });
+        let (exact, exact_secs) = timed(|| {
+            let mut e = ExactDistinct::new();
+            for i in imps.iter().filter(|i| i.campaign_id == c) {
+                e.update(&i.user_id);
+            }
+            e
+        });
+        let est = hll.estimate();
+        let truth = exact.count() as f64;
+        trow!(
+            c,
+            truth,
+            format!("{est:.0}"),
+            format!("{:.4}", (est - truth).abs() / truth),
+            format!("{:.0}/{:.0}ms", hll_secs * 1e3, exact_secs * 1e3),
+            format!("{}/{}", fmt_bytes(hll.space_bytes()), fmt_bytes(exact.space_bytes()))
+        );
+    }
+
+    // The crossover story: total memory, sketch vs exact, as slices multiply.
+    println!("\nSpace for per-(campaign x age x region) reach, 64 slices:");
+    let mut sketch_total = 0usize;
+    let mut exact_total = 0usize;
+    let mut slices: std::collections::HashMap<(u32, u8, u8), (HyperLogLog, ExactDistinct<u64>)> =
+        std::collections::HashMap::new();
+    for imp in &imps {
+        let key = (imp.campaign_id, imp.age_group, imp.region);
+        let entry = slices.entry(key).or_insert_with(|| {
+            (HyperLogLog::new(13, 5).unwrap(), ExactDistinct::new())
+        });
+        entry.0.update(&imp.user_id);
+        entry.1.update(&imp.user_id);
+    }
+    for (h, e) in slices.values() {
+        sketch_total += h.space_bytes();
+        exact_total += e.space_bytes();
+    }
+    trow!("", "slices", "sketch total", "exact total");
+    trow!("", slices.len(), fmt_bytes(sketch_total), fmt_bytes(exact_total));
+    println!(
+        "\nThe survey's caveat holds too: at {} users the exact warehouse is only {}x\n\
+         larger — 'computer systems eventually scaled faster than advertising clicks'.",
+        users,
+        exact_total / sketch_total.max(1)
+    );
+}
+
+/// E20: the Morris accuracy/space frontier.
+pub fn e20() {
+    header("E20", "Approximate counting frontier: error vs register bits (base sweep)");
+    let n = 1_000_000u64;
+    let trials = 24u64;
+    trow!("base a", "theory RSE", "measured RSE", "mean register bits");
+    for a in [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0] {
+        let mut errs = Vec::new();
+        let mut bits = Vec::new();
+        for t in 0..trials {
+            let mut c = MorrisCounter::new(a, 500 + t).unwrap();
+            c.observe_many(n);
+            errs.push((c.estimate() - n as f64) / n as f64);
+            bits.push(f64::from(c.register_bits()));
+        }
+        let rse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        trow!(
+            a,
+            format!("{:.4}", 1.0 / (2.0 * a).sqrt()),
+            format!("{rse:.4}"),
+            format!("{:.1}", mean(&bits))
+        );
+    }
+}
+

@@ -1,0 +1,82 @@
+//! E14 — concurrent sketch throughput.
+
+use std::time::Instant;
+
+use sketches::concurrent::{AtomicCountMin, BufferedConcurrent, MutexSketch};
+use sketches::prelude::*;
+
+use crate::{header, trow};
+
+fn throughput(updates: u64, secs: f64) -> String {
+    format!("{:.1}M/s", updates as f64 / secs / 1e6)
+}
+
+/// E14: update throughput scaling with writer threads for the three
+/// concurrency designs.
+pub fn e14() {
+    header("E14", "Concurrent sketch throughput vs threads (HLL p=12 / CM 2048x5)");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("host parallelism: {cores} core(s) — aggregate scaling requires > 1");
+    let per_thread = 2_000_000u64;
+    trow!("threads", "mutex HLL", "buffered HLL", "atomic CM");
+    for threads in [1u64, 2, 4, 8] {
+        let total = threads * per_thread;
+
+        // Mutex-guarded HLL.
+        let mutex = MutexSketch::new(HyperLogLog::new(12, 1).unwrap());
+        let start = Instant::now();
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let h = mutex.clone();
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        h.update(&(t * per_thread + i));
+                    }
+                });
+            }
+        })
+        .expect("join");
+        let mutex_secs = start.elapsed().as_secs_f64();
+
+        // Buffered concurrent HLL.
+        let buffered = BufferedConcurrent::new(HyperLogLog::new(12, 1).unwrap(), 4096);
+        let start = Instant::now();
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let mut w = buffered.writer();
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        w.update(&(t * per_thread + i));
+                    }
+                });
+            }
+        })
+        .expect("join");
+        let buffered_secs = start.elapsed().as_secs_f64();
+
+        // Atomic Count-Min.
+        let atomic = AtomicCountMin::new(2048, 5, 1).unwrap();
+        let start = Instant::now();
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let a = &atomic;
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        a.update(&((t * per_thread + i) % 10_000), 1);
+                    }
+                });
+            }
+        })
+        .expect("join");
+        let atomic_secs = start.elapsed().as_secs_f64();
+
+        trow!(
+            threads,
+            throughput(total, mutex_secs),
+            throughput(total, buffered_secs),
+            throughput(total, atomic_secs)
+        );
+    }
+    println!("(buffered = thread-local sketch + epoch merge, the DataSketches design;");
+    println!(" on a single-core host the visible effect is lock overhead, not scaling)");
+}

@@ -1,0 +1,119 @@
+//! E4, E5 — frequency estimation and heavy hitters.
+
+use sketches::core::{FrequencyEstimator, Update};
+use sketches::frequency::{CountMinSketch, CountSketch, MisraGries, SpaceSaving};
+use sketches_workloads::exact::ExactFrequency;
+use sketches_workloads::zipf::ZipfGenerator;
+
+use crate::{header, trow};
+
+/// E4: Count-Min's L1 guarantee vs Count-Sketch's L2 guarantee as skew
+/// varies — the crossover the survey describes.
+pub fn e4() {
+    header(
+        "E4",
+        "Count-Min (L1) vs Count-Sketch (L2), equal space, skew sweep",
+    );
+    let n = 400_000usize;
+    let universe = 100_000u64;
+    // Equal space: CM 512x5 u64 vs CS 512x5 i64.
+    trow!("zipf s", "CM err", "CM-CU err", "CS err", "winner");
+    for s in [0.4, 0.8, 1.0, 1.2, 1.6] {
+        let mut gen = ZipfGenerator::new(universe, s, 42).unwrap();
+        let stream = gen.stream(n);
+        let mut cm = CountMinSketch::new(512, 5, 1).unwrap();
+        let mut cm_cu = CountMinSketch::new(512, 5, 1).unwrap();
+        let mut cs = CountSketch::new(512, 5, 1).unwrap();
+        let mut exact = ExactFrequency::new();
+        for x in &stream {
+            cm.update(x);
+            cm_cu.update_conservative(x, 1);
+            cs.update(x);
+            exact.update(x);
+        }
+        let mut top: Vec<(u64, u64)> = exact.iter().map(|(&k, c)| (k, c)).collect();
+        top.sort_by_key(|e| std::cmp::Reverse(e.1));
+        let top100 = &top[..100.min(top.len())];
+        let cm_err: f64 = top100
+            .iter()
+            .map(|&(k, c)| {
+                (FrequencyEstimator::estimate(&cm, &k) as f64 - c as f64).abs()
+            })
+            .sum::<f64>()
+            / top100.len() as f64;
+        let cu_err: f64 = top100
+            .iter()
+            .map(|&(k, c)| {
+                (FrequencyEstimator::estimate(&cm_cu, &k) as f64 - c as f64).abs()
+            })
+            .sum::<f64>()
+            / top100.len() as f64;
+        let cs_err: f64 = top100
+            .iter()
+            .map(|&(k, c)| (cs.estimate(&k) as f64 - c as f64).abs())
+            .sum::<f64>()
+            / top100.len() as f64;
+        let winner = if cu_err <= cs_err.min(cm_err) {
+            "CM-conservative"
+        } else if cm_err < cs_err {
+            "Count-Min"
+        } else {
+            "Count-Sketch"
+        };
+        trow!(
+            s,
+            format!("{cm_err:.1}"),
+            format!("{cu_err:.1}"),
+            format!("{cs_err:.1}"),
+            winner
+        );
+    }
+    println!("(mean absolute count error over the 100 true-heaviest items)");
+}
+
+/// E5: deterministic heavy hitters — precision/recall vs phi.
+pub fn e5() {
+    header("E5", "Misra-Gries & SpaceSaving heavy hitters, recall/precision vs phi");
+    let n = 500_000usize;
+    let mut gen = ZipfGenerator::new(50_000, 1.1, 7).unwrap();
+    let stream = gen.stream(n);
+    let mut exact = ExactFrequency::new();
+    for x in &stream {
+        exact.update(x);
+    }
+    trow!("phi", "k", "MG recall", "MG precision", "SS recall", "SS precision");
+    for phi in [0.001, 0.002, 0.005, 0.01, 0.02] {
+        let k = (2.0 / phi) as usize; // counters sized at 2/phi
+        let mut mg = MisraGries::new(k).unwrap();
+        let mut ss = SpaceSaving::new(k).unwrap();
+        for x in &stream {
+            mg.update(x);
+            ss.update(x);
+        }
+        let truth: std::collections::HashSet<u64> = exact
+            .heavy_hitters(phi)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let eval = |reported: Vec<(u64, u64)>| -> (f64, f64) {
+            let rep: std::collections::HashSet<u64> =
+                reported.into_iter().map(|(k, _)| k).collect();
+            if truth.is_empty() || rep.is_empty() {
+                return (1.0, 1.0);
+            }
+            let hit = truth.intersection(&rep).count() as f64;
+            (hit / truth.len() as f64, hit / rep.len() as f64)
+        };
+        let (mg_r, mg_p) = eval(mg.heavy_hitters(phi));
+        let (ss_r, ss_p) = eval(ss.heavy_hitters(phi));
+        trow!(
+            phi,
+            k,
+            format!("{mg_r:.3}"),
+            format!("{mg_p:.3}"),
+            format!("{ss_r:.3}"),
+            format!("{ss_p:.3}")
+        );
+    }
+    println!("(recall must be 1.0: the deterministic guarantee; precision <1 means near-threshold extras)");
+}

@@ -1,0 +1,62 @@
+//! E9 — norm and distance preservation.
+
+use sketches::hash::rng::{Rng64, Xoshiro256PlusPlus};
+use sketches::linalg::jl::max_pairwise_distortion;
+use sketches::linalg::{AmsSketch, DenseJl, JlKind, SparseJl};
+
+use crate::{header, trow};
+
+/// E9: JL distortion vs target dimension; AMS F2 error vs width.
+pub fn e9() {
+    header("E9", "JL distance preservation and AMS norm estimation");
+    let d = 2_000;
+    let n_points = 40;
+    let mut rng = Xoshiro256PlusPlus::new(5);
+    let points: Vec<Vec<f64>> = (0..n_points)
+        .map(|_| (0..d).map(|_| rng.gauss()).collect())
+        .collect();
+
+    trow!("transform", "target dim k", "max pairwise distortion");
+    for k in [16usize, 64, 256, 1024] {
+        let gauss = DenseJl::new(d, k, JlKind::Gaussian, 7).unwrap();
+        let rade = DenseJl::new(d, k, JlKind::Rademacher, 8).unwrap();
+        let sparse = SparseJl::new(d, k, 4, 9).unwrap();
+        trow!(
+            "dense Gaussian",
+            k,
+            format!("{:.4}", max_pairwise_distortion(&points, |p| gauss.project(p).unwrap()))
+        );
+        trow!(
+            "dense Rademacher",
+            k,
+            format!("{:.4}", max_pairwise_distortion(&points, |p| rade.project(p).unwrap()))
+        );
+        trow!(
+            "sparse JL (s=4)",
+            k,
+            format!("{:.4}", max_pairwise_distortion(&points, |p| sparse.project(p).unwrap()))
+        );
+    }
+
+    println!("\nAMS tug-of-war F2 estimation (stream of 10k weighted items):");
+    trow!("width", "depth", "measured RSE", "theory ~sqrt(2/width)");
+    let true_f2: f64 = (0..10_000u32).map(|i| f64::from(i % 100 + 1).powi(2)).sum();
+    for width in [16usize, 64, 256, 1024] {
+        let trials = 16u64;
+        let mut errs = Vec::new();
+        for t in 0..trials {
+            let mut ams = AmsSketch::new(width, 1, 100 + t).unwrap();
+            for i in 0..10_000u32 {
+                ams.update_weighted(&i, i64::from(i % 100 + 1));
+            }
+            errs.push((ams.f2_estimate() - true_f2) / true_f2);
+        }
+        let rse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        trow!(
+            width,
+            1,
+            format!("{rse:.4}"),
+            format!("{:.4}", (2.0 / width as f64).sqrt())
+        );
+    }
+}

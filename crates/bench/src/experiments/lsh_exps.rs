@@ -1,0 +1,47 @@
+//! E10 — LSH candidate generation.
+
+use sketches::lsh::MinHashIndex;
+
+use crate::{header, trow};
+
+/// E10: empirical banding candidate rate vs the theoretical S-curve.
+pub fn e10() {
+    header("E10", "MinHash banding S-curve: Pr[candidate] = 1-(1-j^r)^b");
+    let bands = 16;
+    let rows = 4;
+    let trials = 300u64;
+    trow!("jaccard j", "S-curve theory", "empirical", "|diff|");
+    for j_target in [0.1, 0.3, 0.5, 0.6, 0.7, 0.9] {
+        // Build set pairs with the target Jaccard: |A∩B| = j·u of union u.
+        let union = 400u64;
+        let inter = (j_target * union as f64).round() as u64;
+        let solo = (union - inter) / 2;
+        let mut hits = 0u32;
+        for t in 0..trials {
+            let mut idx = MinHashIndex::new(bands, rows, 9_000 + t).unwrap();
+            let offset = t * 100_000;
+            let a: Vec<u64> = (0..inter).chain(union..union + solo).map(|x| x + offset).collect();
+            let b: Vec<u64> = (0..inter)
+                .chain(union + solo..union + 2 * solo)
+                .map(|x| x + offset)
+                .collect();
+            let sa = idx.signature_of(a);
+            let sb = idx.signature_of(b);
+            idx.insert(1, &sa).unwrap();
+            if idx.candidates(&sb).unwrap().contains(&1) {
+                hits += 1;
+            }
+        }
+        let emp = f64::from(hits) / trials as f64;
+        let theory = MinHashIndex::new(bands, rows, 0)
+            .unwrap()
+            .candidate_probability(j_target);
+        trow!(
+            j_target,
+            format!("{theory:.3}"),
+            format!("{emp:.3}"),
+            format!("{:.3}", (emp - theory).abs())
+        );
+    }
+    println!("(b=16 bands x r=4 rows; threshold ~ (1/b)^(1/r) = 0.5)");
+}

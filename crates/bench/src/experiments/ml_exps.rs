@@ -1,0 +1,53 @@
+//! E15 — sketched federated learning.
+
+use sketches::ml::{
+    FedSgdTrainer, FetchSgdConfig, FetchSgdTrainer, LogisticModel, SyntheticTask,
+};
+
+use crate::{fmt_bytes, header, trow};
+
+/// E15: accuracy vs uplink bytes, FedSGD vs FetchSGD at several sketch
+/// sizes.
+pub fn e15() {
+    header("E15", "FetchSGD: communication vs accuracy (logistic regression, d=16384)");
+    let d = 16_384;
+    let task = SyntheticTask::generate_with_sparsity(1_200, d, 96, 0.02, 3).unwrap();
+    let shards = task.shard(8);
+    let rounds = 40;
+
+    trow!("method", "uplink bytes/round/client", "compression", "accuracy", "log-loss");
+
+    let mut dense_model = LogisticModel::new(d);
+    let dense = FedSgdTrainer { lr: 1.0 }
+        .train(&mut dense_model, &shards, rounds)
+        .unwrap();
+    let dense_per_client = d * 8;
+    trow!(
+        "FedSGD (dense)",
+        fmt_bytes(dense_per_client),
+        "1.0x",
+        format!("{:.3}", dense.final_accuracy),
+        format!("{:.4}", dense.final_loss)
+    );
+
+    for (cols, top_k) in [(1536usize, 384usize), (768, 192), (384, 96)] {
+        let mut model = LogisticModel::new(d);
+        let cfg = FetchSgdConfig {
+            cols,
+            top_k,
+            ..FetchSgdConfig::default()
+        };
+        let report = FetchSgdTrainer { config: cfg }
+            .train(&mut model, &shards, rounds)
+            .unwrap();
+        let per_client = cfg.rows * cols * 8;
+        trow!(
+            format!("FetchSGD cols={cols}"),
+            fmt_bytes(per_client),
+            format!("{:.1}x", dense_per_client as f64 / per_client as f64),
+            format!("{:.3}", report.final_accuracy),
+            format!("{:.4}", report.final_loss)
+        );
+    }
+    println!("(rows=5, momentum=0.9, error feedback with decay 0.7, {rounds} rounds)");
+}

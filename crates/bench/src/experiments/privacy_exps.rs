@@ -1,0 +1,89 @@
+//! E12 — privacy-preserving sketches.
+
+use sketches::core::SpaceUsage;
+use sketches::hash::rng::Xoshiro256PlusPlus;
+use sketches::privacy::{
+    DpCountMin, DpHistogram, PrivateCmsClient, PrivateCmsServer, RapporAggregator, RapporClient,
+};
+use sketches_workloads::zipf::ZipfGenerator;
+
+use crate::{fmt_bytes, header, trow};
+
+/// E12: error vs epsilon for the LDP systems, and the central-DP
+/// sketch-vs-histogram space story.
+pub fn e12() {
+    header("E12", "Privacy with sketches: error vs epsilon, space vs domain");
+    let population = 100_000usize;
+    let mut zipf = ZipfGenerator::new(64, 1.2, 3).unwrap();
+    let values: Vec<u64> = (0..population).map(|_| zipf.sample() - 1).collect();
+    let mut truth = vec![0u64; 64];
+    for &v in &values {
+        truth[v as usize] += 1;
+    }
+
+    println!("Local DP, {population} users, 64-value domain, top-8 mean relative error:");
+    trow!("epsilon", "RAPPOR err", "private-CMS err");
+    let mut rng = Xoshiro256PlusPlus::new(9);
+    for eps in [1.0f64, 2.0, 4.0, 8.0] {
+        // RAPPOR's f from eps: eps = 2h ln((1-f/2)/(f/2)) with h=2.
+        let x = (eps / 4.0).exp();
+        let f = 2.0 / (1.0 + x);
+        let rappor_client = RapporClient::new(256, 2, f.clamp(0.01, 0.99), 50).unwrap();
+        let mut rappor = RapporAggregator::new(256, 2, f.clamp(0.01, 0.99), 50).unwrap();
+        let cms_client = PrivateCmsClient::new(16, 1024, eps, 51).unwrap();
+        let mut cms = PrivateCmsServer::new(16, 1024, eps, 51).unwrap();
+        for &v in &values {
+            let label = format!("value-{v}");
+            rappor.collect(&rappor_client.report(&label, &mut rng)).unwrap();
+            cms.collect(&cms_client.report(&label, &mut rng)).unwrap();
+        }
+        let mut rappor_err = 0.0;
+        let mut cms_err = 0.0;
+        for v in 0..8u64 {
+            let label = format!("value-{v}");
+            let t = truth[v as usize] as f64;
+            rappor_err += (rappor.estimate(&label) - t).abs() / t;
+            cms_err += (cms.estimate(&label) - t).abs() / t;
+        }
+        trow!(
+            eps,
+            format!("{:.4}", rappor_err / 8.0),
+            format!("{:.4}", cms_err / 8.0)
+        );
+    }
+
+    println!("\nCentral DP at eps = 1: noisy Count-Min vs noisy full histogram");
+    trow!("domain", "DP-CMS err", "DP-CMS space", "DP-hist err", "DP-hist space");
+    for domain in [10_000usize, 1_000_000] {
+        let mut zipf = ZipfGenerator::new(domain as u64, 1.3, 5).unwrap();
+        let stream: Vec<u64> = (0..200_000).map(|_| zipf.sample() - 1).collect();
+        let mut exact = vec![0u64; domain];
+        let mut cms = DpCountMin::new(2048, 5, 1.0, 7).unwrap();
+        let mut hist = DpHistogram::new(domain, 1.0, 7).unwrap();
+        for &v in &stream {
+            exact[v as usize] += 1;
+            cms.update(&v).unwrap();
+            hist.update(v as usize).unwrap();
+        }
+        cms.finalize();
+        hist.finalize();
+        let mut cms_err = 0.0;
+        let mut hist_err = 0.0;
+        for v in 0..8u64 {
+            let t = exact[v as usize] as f64;
+            cms_err += (cms.estimate(&v).unwrap() - t).abs() / t;
+            hist_err += (hist.estimate(v as usize).unwrap() - t).abs() / t;
+        }
+        trow!(
+            domain,
+            format!("{:.4}", cms_err / 8.0),
+            fmt_bytes(cms.space_bytes()),
+            format!("{:.4}", hist_err / 8.0),
+            fmt_bytes(hist.space_bytes())
+        );
+    }
+    println!(
+        "(the histogram's per-query noise is lower, but its state grows with the\n\
+         domain while the sketch's does not — the 'concentration' advantage)"
+    );
+}

@@ -1,0 +1,211 @@
+//! E6, E18, E19 — the quantile lineage.
+
+use sketches::core::{MergeSketch, QuantileSketch, SpaceUsage, Update};
+use sketches::quantiles::{GreenwaldKhanna, KllSketch, MrlSketch, QDigest, TDigest};
+use sketches_workloads::streams::{exponential_values, uniform_values};
+
+use crate::{fmt_bytes, header, trow};
+
+fn max_rank_error<Q: QuantileSketch>(q: &Q, sorted: &[f64]) -> f64 {
+    let n = sorted.len() as f64;
+    let mut worst: f64 = 0.0;
+    for qi in 1..40 {
+        let target = f64::from(qi) / 40.0;
+        let est = q.quantile(target).expect("non-empty");
+        let est_rank = sorted.partition_point(|&x| x <= est) as f64 / n;
+        worst = worst.max((est_rank - target).abs());
+    }
+    worst
+}
+
+/// E6: 64-way merge vs single-stream accuracy for the mergeable summaries.
+pub fn e6() {
+    header("E6", "Mergeable summaries: 64-way merged vs single-stream rank error");
+    let n = 640_000usize;
+    let values = uniform_values(n, 1e6, 3);
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+
+    // KLL.
+    let kll_single = {
+        let mut s = KllSketch::new(200, 1).unwrap();
+        for v in &values {
+            s.update(v);
+        }
+        s
+    };
+    let kll_merged = {
+        let mut parts: Vec<KllSketch> =
+            (0..64).map(|i| KllSketch::new(200, 100 + i).unwrap()).collect();
+        for (i, v) in values.iter().enumerate() {
+            parts[i % 64].update(v);
+        }
+        let mut acc = parts.remove(0);
+        for p in &parts {
+            acc.merge(p).unwrap();
+        }
+        acc
+    };
+    // t-digest.
+    let td_single = {
+        let mut s = TDigest::new(200.0).unwrap();
+        for v in &values {
+            s.update(v);
+        }
+        s
+    };
+    let td_merged = {
+        let mut parts: Vec<TDigest> = (0..64).map(|_| TDigest::new(200.0).unwrap()).collect();
+        for (i, v) in values.iter().enumerate() {
+            parts[i % 64].update(v);
+        }
+        let mut acc = parts.remove(0);
+        for p in &parts {
+            acc.merge(p).unwrap();
+        }
+        acc
+    };
+    // MRL.
+    let mrl_single = {
+        let mut s = MrlSketch::new(256).unwrap();
+        for v in &values {
+            s.update(v);
+        }
+        s
+    };
+    let mrl_merged = {
+        let mut parts: Vec<MrlSketch> = (0..64).map(|_| MrlSketch::new(256).unwrap()).collect();
+        for (i, v) in values.iter().enumerate() {
+            parts[i % 64].update(v);
+        }
+        let mut acc = parts.remove(0);
+        for p in &parts {
+            acc.merge(p).unwrap();
+        }
+        acc
+    };
+    // q-digest over the bucketized domain.
+    let qd_err = {
+        let to_bucket = |v: f64| -> u64 { (v / 1e6 * 65_535.0) as u64 };
+        let mut single = QDigest::new(16, 512).unwrap();
+        let mut parts: Vec<QDigest> = (0..64).map(|_| QDigest::new(16, 512).unwrap()).collect();
+        for (i, v) in values.iter().enumerate() {
+            single.update(to_bucket(*v), 1).unwrap();
+            parts[i % 64].update(to_bucket(*v), 1).unwrap();
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).unwrap();
+        }
+        let rank_err = |qd: &QDigest| -> f64 {
+            let mut worst: f64 = 0.0;
+            let sorted_b: Vec<u64> = {
+                let mut b: Vec<u64> = values.iter().map(|&v| to_bucket(v)).collect();
+                b.sort_unstable();
+                b
+            };
+            for qi in 1..40 {
+                let target = f64::from(qi) / 40.0;
+                let est = qd.quantile(target).unwrap();
+                let est_rank =
+                    sorted_b.partition_point(|&x| x <= est) as f64 / sorted_b.len() as f64;
+                worst = worst.max((est_rank - target).abs());
+            }
+            worst
+        };
+        (rank_err(&single), rank_err(&merged))
+    };
+
+    trow!("summary", "single-stream err", "64-way merged err", "merged space");
+    trow!("KLL (k=200)", format!("{:.4}", max_rank_error(&kll_single, &sorted)), format!("{:.4}", max_rank_error(&kll_merged, &sorted)), fmt_bytes(kll_merged.space_bytes()));
+    trow!("t-digest (d=200)", format!("{:.4}", max_rank_error(&td_single, &sorted)), format!("{:.4}", max_rank_error(&td_merged, &sorted)), fmt_bytes(td_merged.space_bytes()));
+    trow!("MRL (b=256)", format!("{:.4}", max_rank_error(&mrl_single, &sorted)), format!("{:.4}", max_rank_error(&mrl_merged, &sorted)), fmt_bytes(mrl_merged.space_bytes()));
+    trow!("q-digest (k=512)", format!("{:.4}", qd_err.0), format!("{:.4}", qd_err.1), "-");
+    println!("(GK omitted: it has no merge rule — the gap mergeable summaries filled)");
+}
+
+/// E18: rank error vs space across the lineage at fixed stream size.
+pub fn e18() {
+    header("E18", "Quantile error vs retained space, n = 500k uniform values");
+    let n = 500_000usize;
+    let values = uniform_values(n, 1e6, 9);
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+
+    trow!("summary", "space", "max rank err");
+    for eps in [0.05, 0.01, 0.005] {
+        let mut gk = GreenwaldKhanna::new(eps).unwrap();
+        for v in &values {
+            gk.update(v);
+        }
+        trow!(
+            format!("GK eps={eps}"),
+            fmt_bytes(gk.space_bytes()),
+            format!("{:.4}", max_rank_error(&gk, &sorted))
+        );
+    }
+    for k in [64usize, 200, 800] {
+        let mut kll = KllSketch::new(k, 5).unwrap();
+        for v in &values {
+            kll.update(v);
+        }
+        trow!(
+            format!("KLL k={k}"),
+            fmt_bytes(kll.space_bytes()),
+            format!("{:.4}", max_rank_error(&kll, &sorted))
+        );
+    }
+    for b in [64usize, 256] {
+        let mut mrl = MrlSketch::new(b).unwrap();
+        for v in &values {
+            mrl.update(v);
+        }
+        trow!(
+            format!("MRL b={b}"),
+            fmt_bytes(mrl.space_bytes()),
+            format!("{:.4}", max_rank_error(&mrl, &sorted))
+        );
+    }
+    for d in [100.0, 400.0] {
+        let mut td = TDigest::new(d).unwrap();
+        for v in &values {
+            td.update(v);
+        }
+        trow!(
+            format!("t-digest d={d}"),
+            fmt_bytes(td.space_bytes()),
+            format!("{:.4}", max_rank_error(&td, &sorted))
+        );
+    }
+}
+
+/// E19: tail quantiles on heavy-tailed data — the relative-error story.
+pub fn e19() {
+    header("E19", "Extreme quantiles of exponential data: value-relative error");
+    let n = 1_000_000usize;
+    let values = exponential_values(n, 1.0, 13);
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mut kll = KllSketch::new(200, 3).unwrap();
+    let mut td = TDigest::new(200.0).unwrap();
+    for v in &values {
+        kll.update(v);
+        td.update(v);
+    }
+    trow!("quantile", "exact", "KLL est", "KLL rel err", "t-digest est", "t-digest rel err");
+    for q in [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999] {
+        let idx = ((q * n as f64).ceil() as usize).min(n) - 1;
+        let truth = sorted[idx];
+        let k_est = kll.quantile(q).unwrap();
+        let t_est = td.quantile(q).unwrap();
+        trow!(
+            q,
+            format!("{truth:.3}"),
+            format!("{k_est:.3}"),
+            format!("{:.4}", (k_est - truth).abs() / truth),
+            format!("{t_est:.3}"),
+            format!("{:.4}", (t_est - truth).abs() / truth)
+        );
+    }
+    println!("(uniform rank error lets KLL drift at q -> 1; t-digest's tail-shrinking clusters hold)");
+}

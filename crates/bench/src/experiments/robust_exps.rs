@@ -1,0 +1,41 @@
+//! E13 — adversarial robustness.
+
+use sketches::linalg::AmsSketch;
+use sketches::robust::{flip_number, AdaptiveF2Attack, RobustF2};
+
+use crate::{header, trow};
+
+/// E13: the adaptive attack against vanilla AMS vs the sketch-switching
+/// defense, across seeds.
+pub fn e13() {
+    header("E13", "Adaptive adversary vs AMS; sketch-switching defense (PODS'20)");
+    let attack = AdaptiveF2Attack::default();
+    trow!("seed", "vanilla truth", "vanilla estimate", "ratio", "robust ratio");
+    let mut vanilla_mean = 0.0;
+    let mut robust_mean = 0.0;
+    let trials = 6u64;
+    for seed in 0..trials {
+        let mut vanilla = AmsSketch::new(64, 5, 7_000 + seed).unwrap();
+        let v = attack.run_against_vanilla(&mut vanilla);
+        let mut robust = RobustF2::new(1e6, 0.2, 64, 5, 7_000 + seed).unwrap();
+        let r = attack.run_against_robust(&mut robust);
+        vanilla_mean += v.survival_ratio();
+        robust_mean += r.survival_ratio();
+        trow!(
+            seed,
+            v.true_f2,
+            format!("{:.0}", v.final_estimate),
+            format!("{:.3}", v.survival_ratio()),
+            format!("{:.3}", r.survival_ratio())
+        );
+    }
+    println!(
+        "\nmean survival ratio: vanilla {:.3} vs robust {:.3} (1.0 = unharmed)",
+        vanilla_mean / trials as f64,
+        robust_mean / trials as f64
+    );
+    println!(
+        "sketch-switching cost: lambda = {} copies for F2 <= 1e6 at eps = 0.2",
+        flip_number(1e6, 0.2)
+    );
+}

@@ -1,0 +1,59 @@
+//! E17 — Lp sampling distributions.
+
+use std::collections::HashMap;
+
+use sketches::sampling::{L0Sampler, LpSampler};
+
+use crate::{header, trow};
+
+/// E17: empirical sampling distribution vs the f_i^p target, p in {0,1,2}.
+pub fn e17() {
+    header("E17", "Lp samplers: Pr[i] ~ f_i^p / F_p (PODS'11 test of time)");
+    // Small support so the empirical distribution is measurable:
+    // item i in 0..8 has frequency (i+1)^2 to spread the Lp masses.
+    let freqs: Vec<(u64, f64)> = (0..8u64).map(|i| (i * 31 + 3, ((i + 1) * (i + 1)) as f64)).collect();
+    let trials = 600u64;
+
+    for p in [0.0, 1.0, 2.0] {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut failures = 0u32;
+        for t in 0..trials {
+            if p == 0.0 {
+                let mut s = L0Sampler::new(8, 4, 10_000 + t).unwrap();
+                for &(i, f) in &freqs {
+                    s.update(i, f as i64);
+                }
+                match s.sample() {
+                    Some((i, _)) => *counts.entry(i).or_insert(0) += 1,
+                    None => failures += 1,
+                }
+            } else {
+                let mut s = LpSampler::new(p, 10, 256, 5, 20_000 + t).unwrap();
+                for &(i, f) in &freqs {
+                    s.update(i, f);
+                }
+                match s.sample() {
+                    Some((i, _)) => *counts.entry(i).or_insert(0) += 1,
+                    None => failures += 1,
+                }
+            }
+        }
+        let ok: u32 = counts.values().sum();
+        let fp: f64 = freqs.iter().map(|&(_, f)| f.powf(p)).sum();
+        println!("\np = {p}  ({ok} samples, {failures} failures)");
+        trow!("item (freq)", "target prob", "empirical", "|diff|");
+        let mut tv = 0.0;
+        for &(i, f) in &freqs {
+            let target = f.powf(p) / fp;
+            let emp = f64::from(counts.get(&i).copied().unwrap_or(0)) / f64::from(ok.max(1));
+            tv += (emp - target).abs();
+            trow!(
+                format!("{i} (f={f})"),
+                format!("{target:.3}"),
+                format!("{emp:.3}"),
+                format!("{:.3}", (emp - target).abs())
+            );
+        }
+        println!("total variation distance: {:.3}", tv / 2.0);
+    }
+}

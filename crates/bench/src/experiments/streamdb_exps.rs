@@ -1,0 +1,62 @@
+//! E16 — GROUP BY at Gigascope scale.
+
+use std::time::Instant;
+
+use sketches::streamdb::{Aggregate, ExactEngine, QuerySpec, SketchEngine, Value};
+use sketches_workloads::flows::FlowWorkload;
+
+use crate::{fmt_bytes, header, trow};
+
+/// E16: per-group sketch state vs exact state as group counts grow.
+pub fn e16() {
+    header("E16", "GROUP BY src_ip with per-group sketches vs exact state");
+    let spec = QuerySpec::new(
+        vec![0],
+        vec![
+            Aggregate::Count,
+            Aggregate::CountDistinct { field: 1 },
+            Aggregate::Quantiles { field: 2 },
+        ],
+    )
+    .unwrap();
+
+    trow!("rows", "groups", "sketch state", "exact state", "sketch Mrow/s", "exact Mrow/s");
+    for rows in [100_000usize, 500_000, 2_000_000] {
+        let mut workload = FlowWorkload::new(20_000, 7);
+        let flows = workload.stream(rows);
+        let to_row = |f: &sketches_workloads::flows::FlowRecord| {
+            vec![
+                Value::U64(u64::from(f.src_ip)),
+                Value::U64(u64::from(f.dst_ip)),
+                Value::F64(f.bytes as f64),
+            ]
+        };
+
+        let mut sketch_engine = SketchEngine::new(spec.clone()).unwrap();
+        let start = Instant::now();
+        for f in &flows {
+            sketch_engine.process(&to_row(f)).unwrap();
+        }
+        let sketch_secs = start.elapsed().as_secs_f64();
+
+        let mut exact_engine = ExactEngine::new(spec.clone());
+        let start = Instant::now();
+        for f in &flows {
+            exact_engine.process(&to_row(f)).unwrap();
+        }
+        let exact_secs = start.elapsed().as_secs_f64();
+
+        trow!(
+            rows,
+            sketch_engine.num_groups(),
+            fmt_bytes(sketch_engine.state_bytes()),
+            fmt_bytes(exact_engine.state_bytes()),
+            format!("{:.2}", rows as f64 / sketch_secs / 1e6),
+            format!("{:.2}", rows as f64 / exact_secs / 1e6)
+        );
+    }
+    println!(
+        "(sketch state is bounded per group; exact state grows with every\n\
+         distinct destination and every retained byte value)"
+    );
+}

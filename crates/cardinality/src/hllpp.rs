@@ -1,0 +1,483 @@
+//! HyperLogLog++ (Heule, Nunkesser & Hall, EDBT 2013), the
+//! "HyperLogLog in practice" engineering of HLL that Google deployed and
+//! the survey highlights as the practical state of the art.
+//!
+//! Three changes over classic HLL are reproduced here:
+//!
+//! 1. **64-bit hashing** — removes the large-range correction (shared with
+//!    [`crate::hll`]).
+//! 2. **Sparse representation** — below a size threshold the sketch stores
+//!    `(index, rho)` pairs at the higher *sparse precision* `p' = 25`,
+//!    giving near-exact linear-counting estimates at small cardinalities
+//!    for a fraction of the dense memory. The encoding follows the paper:
+//!    a 32-bit word holds either `idx25 ‖ 0` or `idx25 ‖ rho ‖ 1` depending
+//!    on whether the bits between precisions determine rho.
+//! 3. **Bias correction** — *substitution*: instead of Google's empirical
+//!    bias-interpolation tables (hundreds of measured constants per
+//!    precision), the dense estimator uses Ertl's closed-form improved
+//!    estimator (Ertl, "New cardinality estimation algorithms for
+//!    HyperLogLog sketches", 2017), which the literature shows matches or
+//!    beats the table-based correction across the whole range without any
+//!    empirical constants. Experiment E2 verifies the small/mid-range bias
+//!    is removed relative to raw HLL.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use sketches_core::{
+    CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+};
+use sketches_hash::hash_item;
+use sketches_hash::mix::mix64_seeded;
+
+use crate::hll::HyperLogLog;
+
+/// Sparse-mode precision `p'` from the HLL++ paper.
+const SPARSE_PRECISION: u32 = 25;
+
+/// Hash seed domain-separating HLL++ from plain HLL.
+const HLLPP_SEED: u64 = 0x477C_0DE5_EED0_0001;
+
+/// Internal representation: sparse `(idx25 → rho_w)` map or dense registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// Maps the 25-bit sparse index to the stored `rho_w` (0 when the flag-0
+    /// encoding applies, i.e. rho is derivable from the index bits).
+    Sparse(BTreeMap<u32, u8>),
+    Dense(HyperLogLog),
+}
+
+/// A HyperLogLog++ sketch: sparse below threshold, dense above, with a
+/// closed-form bias-free estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLogPlusPlus {
+    repr: Repr,
+    precision: u32,
+    seed: u64,
+    /// Sparse entries allowed before upgrading to dense (m/8 by default:
+    /// at ~10 bytes per sparse entry that is when sparse memory passes
+    /// the m-byte dense array).
+    sparse_limit: usize,
+}
+
+impl HyperLogLogPlusPlus {
+    /// Creates an HLL++ sketch with dense precision `p` in `4..=18`.
+    ///
+    /// # Errors
+    /// Returns an error for precision outside `4..=18`.
+    pub fn new(precision: u32, seed: u64) -> SketchResult<Self> {
+        sketches_core::check_range("precision", precision, 4, 18)?;
+        Ok(Self {
+            repr: Repr::Sparse(BTreeMap::new()),
+            precision,
+            seed,
+            sparse_limit: ((1usize << precision) / 8).max(16),
+        })
+    }
+
+    /// Precision `p`.
+    #[must_use]
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Whether the sketch is still in sparse mode.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Absorbs a pre-hashed item.
+    pub fn update_hash(&mut self, hash: u64) {
+        let h = mix64_seeded(hash, self.seed ^ HLLPP_SEED);
+        match &mut self.repr {
+            Repr::Sparse(map) => {
+                let idx25 = (h >> (64 - SPARSE_PRECISION)) as u32;
+                let w = h << SPARSE_PRECISION;
+                let rho_w = if w == 0 {
+                    (64 - SPARSE_PRECISION + 1) as u8
+                } else {
+                    (w.leading_zeros() + 1) as u8
+                };
+                let mask = (1u32 << (SPARSE_PRECISION - self.precision)) - 1;
+                if idx25 & mask == 0 {
+                    // Flag-1 encoding: rho_w must be stored.
+                    map.entry(idx25)
+                        .and_modify(|r| *r = (*r).max(rho_w))
+                        .or_insert(rho_w);
+                } else {
+                    // Flag-0: rho at dense precision is derivable from idx25.
+                    map.entry(idx25).or_insert(0);
+                }
+                if map.len() > self.sparse_limit {
+                    self.upgrade_to_dense();
+                }
+            }
+            Repr::Dense(hll) => hll.insert_mixed(h),
+        }
+    }
+
+    /// Converts a sparse entry to its dense `(index, rho)` pair.
+    fn decode(idx25: u32, rho_w: u8, precision: u32) -> (usize, u8) {
+        let gap = SPARSE_PRECISION - precision;
+        let idx_p = (idx25 >> gap) as usize;
+        let low = idx25 & ((1u32 << gap) - 1);
+        let rho_p = if rho_w != 0 {
+            // Flag-1: the gap bits were all zero; rho continues into w.
+            rho_w + gap as u8
+        } else {
+            // Flag-0: rho is the leading-zero count within the gap bits.
+            ((low << (32 - gap)).leading_zeros() + 1) as u8
+        };
+        (idx_p, rho_p)
+    }
+
+    /// Folds a sparse map into dense registers (shared by upgrade and by
+    /// mixed-representation merge, so the decode path cannot drift).
+    fn fold_sparse_into(dense: &mut HyperLogLog, map: &BTreeMap<u32, u8>, precision: u32) {
+        for (&idx25, &rho_w) in map {
+            let (idx, rho) = Self::decode(idx25, rho_w, precision);
+            dense.offer_register(idx, rho);
+        }
+    }
+
+    fn upgrade_to_dense(&mut self) {
+        let Repr::Sparse(map) = &self.repr else {
+            return;
+        };
+        let mut dense = HyperLogLog::with_seed_raw(self.precision, self.seed ^ HLLPP_SEED);
+        Self::fold_sparse_into(&mut dense, map, self.precision);
+        self.repr = Repr::Dense(dense);
+    }
+
+    /// Forces the dense representation (used by merge and tests).
+    pub fn to_dense(&mut self) {
+        if self.is_sparse() {
+            self.upgrade_to_dense();
+        }
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for HyperLogLogPlusPlus {
+    fn update(&mut self, item: &T) {
+        self.update_hash(hash_item(item, 0x5EED_BA5E));
+    }
+}
+
+impl CardinalityEstimator for HyperLogLogPlusPlus {
+    fn estimate(&self) -> f64 {
+        match &self.repr {
+            Repr::Sparse(map) => {
+                // Linear counting at sparse precision 2^25: near-exact for
+                // the cardinalities sparse mode can hold.
+                let m = f64::from(1u32 << SPARSE_PRECISION);
+                let v = m - map.len() as f64;
+                m * (m / v).ln()
+            }
+            Repr::Dense(hll) => ertl_estimate(hll.registers(), self.precision),
+        }
+    }
+}
+
+impl Clear for HyperLogLogPlusPlus {
+    fn clear(&mut self) {
+        self.repr = Repr::Sparse(BTreeMap::new());
+    }
+}
+
+impl SpaceUsage for HyperLogLogPlusPlus {
+    fn space_bytes(&self) -> usize {
+        match &self.repr {
+            // 4-byte encoded word + 1-byte value is the stored payload; the
+            // BTreeMap has per-node overhead we charge at 2x.
+            Repr::Sparse(map) => map.len() * 10,
+            Repr::Dense(hll) => hll.space_bytes(),
+        }
+    }
+}
+
+impl MergeSketch for HyperLogLogPlusPlus {
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.precision != other.precision {
+            return Err(SketchError::incompatible("precisions differ"));
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                for (&idx, &rho) in b {
+                    a.entry(idx)
+                        .and_modify(|r| *r = (*r).max(rho))
+                        .or_insert(rho);
+                }
+                if a.len() > self.sparse_limit {
+                    self.upgrade_to_dense();
+                }
+                Ok(())
+            }
+            (Repr::Dense(a), Repr::Dense(b)) => a.merge(b),
+            _ => {
+                // Mixed: promote self to dense, fold the sparse side in.
+                self.to_dense();
+                let Repr::Dense(a) = &mut self.repr else {
+                    unreachable!("just densified");
+                };
+                match &other.repr {
+                    Repr::Dense(b) => a.merge(b),
+                    Repr::Sparse(map) => {
+                        Self::fold_sparse_into(a, map, self.precision);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// σ(x) = x + Σ_{k≥1} x^{2^k}·2^{k−1} (Ertl 2017). `σ(1) = ∞`.
+fn sigma(mut x: f64) -> f64 {
+    if x == 1.0 {
+        return f64::INFINITY;
+    }
+    let mut y = 1.0;
+    let mut z = x;
+    loop {
+        x = x * x;
+        let z_prev = z;
+        z += x * y;
+        y += y;
+        if z == z_prev {
+            return z;
+        }
+    }
+}
+
+/// τ(x) = (1/3)(1 − x − Σ_{k≥1}(1 − x^{2^{−k}})²·2^{−k}) (Ertl 2017).
+fn tau(mut x: f64) -> f64 {
+    if x == 0.0 || x == 1.0 {
+        return 0.0;
+    }
+    let mut y = 1.0;
+    let mut z = 1.0 - x;
+    loop {
+        x = x.sqrt();
+        let z_prev = z;
+        y *= 0.5;
+        let d = 1.0 - x;
+        z -= d * d * y;
+        if z == z_prev {
+            return z / 3.0;
+        }
+    }
+}
+
+/// Ertl's improved (bias-free, table-free) estimator over dense registers.
+#[must_use]
+pub fn ertl_estimate(registers: &[u8], precision: u32) -> f64 {
+    let m = registers.len() as f64;
+    let q = (64 - precision) as usize;
+    let mut counts = vec![0u32; q + 2];
+    for &r in registers {
+        counts[(r as usize).min(q + 1)] += 1;
+    }
+    let mut z = m * tau((m - f64::from(counts[q + 1])) / m);
+    for k in (1..=q).rev() {
+        z = 0.5 * (z + f64::from(counts[k]));
+    }
+    z += m * sigma(f64::from(counts[0]) / m);
+    if z.is_infinite() {
+        return 0.0;
+    }
+    let alpha_inf = 1.0 / (2.0 * std::f64::consts::LN_2);
+    alpha_inf * m * m / z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_precision() {
+        assert!(HyperLogLogPlusPlus::new(3, 0).is_err());
+        assert!(HyperLogLogPlusPlus::new(19, 0).is_err());
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLogPlusPlus::new(14, 0).unwrap();
+        assert_eq!(h.estimate(), 0.0);
+        assert!(h.is_sparse());
+    }
+
+    #[test]
+    fn sigma_and_tau_sanity() {
+        assert_eq!(sigma(0.0), 0.0);
+        assert!(sigma(1.0).is_infinite());
+        assert!(sigma(0.5) > 0.5);
+        assert_eq!(tau(0.0), 0.0);
+        assert_eq!(tau(1.0), 0.0);
+        assert!(tau(0.5) > 0.0);
+    }
+
+    #[test]
+    fn sparse_mode_is_nearly_exact_small_range() {
+        let mut h = HyperLogLogPlusPlus::new(14, 1).unwrap();
+        for i in 0..1000u64 {
+            h.update(&i);
+            h.update(&i);
+        }
+        assert!(h.is_sparse());
+        let rel = (h.estimate() - 1000.0).abs() / 1000.0;
+        assert!(rel < 0.01, "sparse estimate off by {rel:.4}");
+    }
+
+    #[test]
+    fn upgrades_to_dense_at_threshold() {
+        let mut h = HyperLogLogPlusPlus::new(10, 2).unwrap();
+        // limit = 1024/4 = 256 entries.
+        for i in 0..10_000u64 {
+            h.update(&i);
+        }
+        assert!(!h.is_sparse());
+        let rel = (h.estimate() - 10_000.0).abs() / 10_000.0;
+        // p=10 → stderr ≈ 3.25%; allow 4σ.
+        assert!(rel < 0.13, "dense estimate off by {rel:.4}");
+    }
+
+    #[test]
+    fn dense_estimate_accuracy_across_range() {
+        for (n, seed) in [(50_000u64, 3u64), (200_000, 4), (1_000_000, 5)] {
+            let mut h = HyperLogLogPlusPlus::new(12, seed).unwrap();
+            for i in 0..n {
+                h.update(&i);
+            }
+            let rel = (h.estimate() - n as f64).abs() / n as f64;
+            assert!(rel < 0.07, "n={n}: rel {rel:.4}");
+        }
+    }
+
+    #[test]
+    fn transition_region_no_bias_spike() {
+        // Classic HLL shows a bias hump around n ≈ 2.5m; HLL++'s estimator
+        // should stay within 4σ there. p=12 → m=4096, hump near 10k.
+        let m = 4096.0f64;
+        for n in [8_000u64, 10_000, 12_000, 16_000] {
+            let trials = 16;
+            let mut sum = 0.0;
+            for t in 0..trials {
+                let mut h = HyperLogLogPlusPlus::new(12, 100 + t).unwrap();
+                for i in 0..n {
+                    h.update(&i);
+                }
+                sum += h.estimate();
+            }
+            let mean = sum / trials as f64;
+            let rel = (mean - n as f64).abs() / n as f64;
+            let sigma_mean = 1.04 / m.sqrt() / (trials as f64).sqrt();
+            assert!(
+                rel < 5.0 * sigma_mean,
+                "n={n}: mean bias {rel:.4} exceeds 5σ ({sigma_mean:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_flag0_and_flag1() {
+        // p=10, gap=15. idx25 with nonzero low bits → flag-0.
+        let idx25 = (3u32 << 15) | 0b100; // low bits "000...100" (15 bits)
+        let (idx, rho) = HyperLogLogPlusPlus::decode(idx25, 0, 10);
+        assert_eq!(idx, 3);
+        // low = 0b100 in 15 bits → 12 leading zeros → rho 13.
+        assert_eq!(rho, 13);
+        // Flag-1: low bits zero, rho_w carried through.
+        let (idx, rho) = HyperLogLogPlusPlus::decode(7u32 << 15, 9, 10);
+        assert_eq!(idx, 7);
+        assert_eq!(rho, 9 + 15);
+    }
+
+    #[test]
+    fn merge_sparse_sparse_matches_union_stream() {
+        let mut a = HyperLogLogPlusPlus::new(14, 7).unwrap();
+        let mut b = HyperLogLogPlusPlus::new(14, 7).unwrap();
+        let mut u = HyperLogLogPlusPlus::new(14, 7).unwrap();
+        for i in 0..300u64 {
+            a.update(&i);
+            u.update(&i);
+        }
+        for i in 200..500u64 {
+            b.update(&i);
+            u.update(&i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn merge_mixed_modes() {
+        let mut sparse = HyperLogLogPlusPlus::new(10, 9).unwrap();
+        let mut dense = HyperLogLogPlusPlus::new(10, 9).unwrap();
+        for i in 0..100u64 {
+            sparse.update(&i);
+        }
+        for i in 0..50_000u64 {
+            dense.update(&i);
+        }
+        assert!(sparse.is_sparse());
+        assert!(!dense.is_sparse());
+        let mut merged = dense.clone();
+        merged.merge(&sparse).unwrap();
+        // Sparse items are a subset of dense items here, so the merged
+        // estimate should be very close to the dense estimate.
+        let rel = (merged.estimate() - dense.estimate()).abs() / dense.estimate();
+        assert!(rel < 0.02, "{rel}");
+
+        // And the other direction: sparse absorbing dense densifies.
+        let mut merged2 = sparse.clone();
+        merged2.merge(&dense).unwrap();
+        assert!(!merged2.is_sparse());
+        let rel2 = (merged2.estimate() - dense.estimate()).abs() / dense.estimate();
+        assert!(rel2 < 0.02, "{rel2}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLogPlusPlus::new(10, 0).unwrap();
+        assert!(a.merge(&HyperLogLogPlusPlus::new(11, 0).unwrap()).is_err());
+        assert!(a.merge(&HyperLogLogPlusPlus::new(10, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sparse_space_grows_then_dense_space_fixed() {
+        let mut h = HyperLogLogPlusPlus::new(12, 3).unwrap();
+        let s0 = h.space_bytes();
+        for i in 0..100u64 {
+            h.update(&i);
+        }
+        let s1 = h.space_bytes();
+        assert!(s1 > s0);
+        assert!(s1 < 4096, "sparse should be far below dense size");
+        for i in 0..100_000u64 {
+            h.update(&i);
+        }
+        assert_eq!(h.space_bytes(), 4096);
+    }
+
+    #[test]
+    fn clear_returns_to_sparse() {
+        let mut h = HyperLogLogPlusPlus::new(10, 4).unwrap();
+        for i in 0..50_000u64 {
+            h.update(&i);
+        }
+        assert!(!h.is_sparse());
+        h.clear();
+        assert!(h.is_sparse());
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn ertl_estimator_on_empty_registers() {
+        let regs = vec![0u8; 1024];
+        assert_eq!(ertl_estimate(&regs, 10), 0.0);
+    }
+}

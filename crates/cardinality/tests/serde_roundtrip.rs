@@ -1,0 +1,55 @@
+//! Serde round-trips (enabled with `--features serde`): a sketch shipped
+//! across the wire must deserialize into an equivalent sketch — same
+//! estimates, still updatable, still mergeable with its peers.
+
+#![cfg(feature = "serde")]
+
+use sketches_cardinality::{HyperLogLog, LinearCounter, LogLog, MorrisCounter, Pcsa};
+use sketches_core::{CardinalityEstimator, MergeSketch, Update};
+
+#[test]
+fn hll_roundtrip_preserves_state_and_mergeability() {
+    let mut h = HyperLogLog::new(10, 7).unwrap();
+    for i in 0..10_000u64 {
+        h.update(&i);
+    }
+    let json = serde_json::to_string(&h).unwrap();
+    let mut back: HyperLogLog = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, h);
+    assert_eq!(back.estimate(), h.estimate());
+    // Still updatable and mergeable after the trip.
+    back.update(&99_999_999u64);
+    let mut other = HyperLogLog::new(10, 7).unwrap();
+    other.update(&1u64);
+    back.merge(&other).unwrap();
+}
+
+#[test]
+fn loglog_and_pcsa_roundtrip() {
+    let mut ll = LogLog::new(8, 3).unwrap();
+    let mut fm = Pcsa::new(6, 3).unwrap();
+    for i in 0..5_000u64 {
+        ll.update(&i);
+        fm.update(&i);
+    }
+    let ll2: LogLog = serde_json::from_str(&serde_json::to_string(&ll).unwrap()).unwrap();
+    let fm2: Pcsa = serde_json::from_str(&serde_json::to_string(&fm).unwrap()).unwrap();
+    assert_eq!(ll2.estimate(), ll.estimate());
+    assert_eq!(fm2.estimate(), fm.estimate());
+}
+
+#[test]
+fn morris_and_linear_counter_roundtrip() {
+    let mut m = MorrisCounter::new(64.0, 5).unwrap();
+    m.observe_many(10_000);
+    let m2: MorrisCounter = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(m2.estimate(), m.estimate());
+    assert_eq!(m2.register(), m.register());
+
+    let mut lc = LinearCounter::new(1024, 5).unwrap();
+    for i in 0..300u64 {
+        lc.update(&i);
+    }
+    let lc2: LinearCounter = serde_json::from_str(&serde_json::to_string(&lc).unwrap()).unwrap();
+    assert_eq!(lc2.estimate(), lc.estimate());
+}

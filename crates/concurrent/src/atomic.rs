@@ -1,0 +1,166 @@
+//! A lock-free Count-Min sketch over atomic counters.
+//!
+//! Counter increments commute, so `fetch_add` with relaxed ordering gives
+//! a linearizable-enough sketch (point queries may run concurrently with
+//! updates; the min over rows of atomically-read counters is a valid
+//! Count-Min upper bound for every prefix of the stream that has fully
+//! landed).
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::hash_item;
+use sketches_hash::mix::{fastrange64, mix64_seeded};
+
+/// A Count-Min sketch whose counters are `AtomicU64`s; `&self` updates
+/// allow any number of writer threads with no locking.
+#[derive(Debug)]
+pub struct AtomicCountMin {
+    counters: Vec<AtomicU64>,
+    width: usize,
+    depth: usize,
+    seed: u64,
+    total: AtomicU64,
+}
+
+impl AtomicCountMin {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> SketchResult<Self> {
+        if width < 2 {
+            return Err(SketchError::invalid("width", "need width >= 2"));
+        }
+        sketches_core::check_range("depth", depth, 1, 32)?;
+        Ok(Self {
+            counters: (0..width * depth).map(|_| AtomicU64::new(0)).collect(),
+            width,
+            depth,
+            seed,
+            total: AtomicU64::new(0),
+        })
+    }
+
+    #[inline]
+    fn cell(&self, hash: u64, row: usize) -> usize {
+        let row_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(row as u64 + 1);
+        row * self.width + fastrange64(mix64_seeded(hash, row_seed), self.width as u64) as usize
+    }
+
+    /// Adds `weight` occurrences of `item` — callable from any thread with
+    /// only `&self`.
+    pub fn update<T: Hash + ?Sized>(&self, item: &T, weight: u64) {
+        let hash = hash_item(item, 0xA70_C033);
+        for row in 0..self.depth {
+            self.counters[self.cell(hash, row)].fetch_add(weight, Ordering::Relaxed);
+        }
+        self.total.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// Point estimate: min over rows.
+    #[must_use]
+    pub fn estimate<T: Hash + ?Sized>(&self, item: &T) -> u64 {
+        let hash = hash_item(item, 0xA70_C033);
+        (0..self.depth)
+            .map(|row| self.counters[self.cell(hash, row)].load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total weight absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Width of each row.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl SpaceUsage for AtomicCountMin {
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(AtomicCountMin::new(1, 4, 0).is_err());
+        assert!(AtomicCountMin::new(16, 0, 0).is_err());
+    }
+
+    #[test]
+    fn sequential_never_underestimates() {
+        let cm = AtomicCountMin::new(256, 4, 1).unwrap();
+        for i in 0..5_000u32 {
+            cm.update(&(i % 100), 1);
+        }
+        for item in 0..100u32 {
+            assert!(cm.estimate(&item) >= 50);
+        }
+        assert_eq!(cm.total(), 5_000);
+    }
+
+    #[test]
+    fn concurrent_updates_all_land() {
+        let cm = AtomicCountMin::new(4096, 5, 2).unwrap();
+        let threads = 8u64;
+        let per_thread = 51_200u64; // divisible by 64
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                let cm_ref = &cm;
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        cm_ref.update(&(i % 64), 1);
+                    }
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(cm.total(), threads * per_thread);
+        let expected = threads * per_thread / 64;
+        for item in 0..64u64 {
+            let est = cm.estimate(&item);
+            assert!(
+                est >= expected,
+                "item {item}: {est} < expected {expected} — lost updates!"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_during_writes_are_bounded() {
+        let cm = AtomicCountMin::new(1024, 4, 3).unwrap();
+        crossbeam::scope(|scope| {
+            let writer = &cm;
+            scope.spawn(move |_| {
+                for i in 0..100_000u32 {
+                    writer.update(&(i % 10), 1);
+                }
+            });
+            let reader = &cm;
+            scope.spawn(move |_| {
+                for _ in 0..1000 {
+                    // Any concurrent read must be ≤ the final total.
+                    assert!(reader.estimate(&3u32) <= 100_000);
+                }
+            });
+        })
+        .expect("join");
+    }
+}

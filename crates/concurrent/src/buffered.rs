@@ -1,0 +1,228 @@
+//! The buffered (thread-local + epoch-merge) concurrent sketch wrapper.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sketches_core::{Clear, MergeSketch, SketchResult, Update};
+
+/// A concurrent wrapper around any mergeable sketch `S`.
+///
+/// Writers call [`BufferedConcurrent::writer`] to obtain a
+/// [`WriterHandle`] holding a private local sketch; every `buffer_size`
+/// updates (and on drop) the local sketch is merged into the shared
+/// global under a short write lock. Readers call
+/// [`BufferedConcurrent::snapshot`] for a relaxed-consistency copy.
+#[derive(Debug)]
+pub struct BufferedConcurrent<S> {
+    global: Arc<RwLock<S>>,
+    /// A pristine clone used to mint fresh local sketches (same seeds, so
+    /// locals merge into the global without error).
+    template: S,
+    buffer_size: usize,
+}
+
+impl<S: MergeSketch + Clear + Clone> BufferedConcurrent<S> {
+    /// Wraps an empty sketch; locals flush every `buffer_size` updates.
+    #[must_use]
+    pub fn new(sketch: S, buffer_size: usize) -> Self {
+        Self {
+            template: sketch.clone(),
+            global: Arc::new(RwLock::new(sketch)),
+            buffer_size: buffer_size.max(1),
+        }
+    }
+
+    /// Mints a writer handle with its own local sketch.
+    #[must_use]
+    pub fn writer(&self) -> WriterHandle<S> {
+        let mut local = self.template.clone();
+        local.clear();
+        WriterHandle {
+            global: Arc::clone(&self.global),
+            local,
+            pending: 0,
+            buffer_size: self.buffer_size,
+        }
+    }
+
+    /// A relaxed-consistency snapshot of the global sketch (updates still
+    /// sitting in writer buffers are not included).
+    #[must_use]
+    pub fn snapshot(&self) -> S {
+        self.global.read().clone()
+    }
+
+    /// Applies `f` to the global sketch under the read lock (cheaper than
+    /// a snapshot for one-off queries).
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.global.read())
+    }
+}
+
+/// A per-thread writer for a [`BufferedConcurrent`].
+#[derive(Debug)]
+pub struct WriterHandle<S: MergeSketch + Clear> {
+    global: Arc<RwLock<S>>,
+    local: S,
+    pending: usize,
+    buffer_size: usize,
+}
+
+impl<S: MergeSketch + Clear> WriterHandle<S> {
+    /// Absorbs one item into the local sketch, flushing when the buffer
+    /// epoch ends.
+    pub fn update<T: ?Sized>(&mut self, item: &T)
+    where
+        S: Update<T>,
+    {
+        self.local.update(item);
+        self.pending += 1;
+        if self.pending >= self.buffer_size {
+            self.flush().expect("template-derived locals always merge");
+        }
+    }
+
+    /// Merges the local buffer into the global sketch.
+    ///
+    /// # Errors
+    /// Propagates merge incompatibility (impossible for handles minted by
+    /// [`BufferedConcurrent::writer`]).
+    pub fn flush(&mut self) -> SketchResult<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.global.write().merge(&self.local)?;
+        self.local.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Updates not yet visible to readers.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+impl<S: MergeSketch + Clear> Drop for WriterHandle<S> {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_cardinality::HyperLogLog;
+    use sketches_core::CardinalityEstimator;
+    use sketches_frequency::CountMinSketch;
+    use sketches_core::FrequencyEstimator;
+
+    #[test]
+    fn single_writer_roundtrip() {
+        let hll = HyperLogLog::new(12, 1).unwrap();
+        let conc = BufferedConcurrent::new(hll, 64);
+        let mut w = conc.writer();
+        for i in 0..10_000u64 {
+            w.update(&i);
+        }
+        w.flush().unwrap();
+        let est = conc.snapshot().estimate();
+        let rel = (est - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn snapshot_lags_by_at_most_buffer() {
+        let hll = HyperLogLog::new(10, 2).unwrap();
+        let conc = BufferedConcurrent::new(hll, 100);
+        let mut w = conc.writer();
+        for i in 0..50u64 {
+            w.update(&i);
+        }
+        // Not yet flushed: snapshot sees nothing.
+        assert_eq!(conc.snapshot().estimate(), 0.0);
+        assert_eq!(w.pending(), 50);
+        for i in 50..100u64 {
+            w.update(&i);
+        }
+        // Buffer hit 100 → auto-flush.
+        assert_eq!(w.pending(), 0);
+        assert!(conc.snapshot().estimate() > 50.0);
+    }
+
+    #[test]
+    fn multi_threaded_writers_converge() {
+        let cm = CountMinSketch::new(2048, 5, 3).unwrap();
+        let conc = BufferedConcurrent::new(cm, 256);
+        let threads = 8u64;
+        let per_thread = 20_000u32;
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let mut w = conc.writer();
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        // Every thread hits item (i % 100): total count per
+                        // item = threads * per_thread / 100.
+                        w.update(&(i % 100));
+                        let _ = t;
+                    }
+                    // Drop flushes the tail.
+                });
+            }
+        })
+        .expect("threads join");
+        let snap = conc.snapshot();
+        let expected = threads * u64::from(per_thread) / 100;
+        for item in 0..100u32 {
+            let est = FrequencyEstimator::estimate(&snap, &item);
+            assert!(
+                est >= expected && est <= expected + expected / 5,
+                "item {item}: {est} vs expected {expected}"
+            );
+        }
+        assert_eq!(snap.total(), threads * u64::from(per_thread));
+    }
+
+    #[test]
+    fn drop_flushes_pending() {
+        let hll = HyperLogLog::new(10, 4).unwrap();
+        let conc = BufferedConcurrent::new(hll, 1_000_000);
+        {
+            let mut w = conc.writer();
+            for i in 0..500u64 {
+                w.update(&i);
+            }
+            assert_eq!(conc.snapshot().estimate(), 0.0);
+        } // drop here
+        assert!(conc.snapshot().estimate() > 400.0);
+    }
+
+    #[test]
+    fn hll_concurrent_matches_sequential_exactly() {
+        // Register-max merging is order-independent, so the concurrent
+        // result must equal the sequential sketch bit for bit.
+        let seq = {
+            let mut h = HyperLogLog::new(11, 5).unwrap();
+            for i in 0..30_000u64 {
+                sketches_core::Update::update(&mut h, &i);
+            }
+            h
+        };
+        let conc = BufferedConcurrent::new(HyperLogLog::new(11, 5).unwrap(), 128);
+        crossbeam::scope(|scope| {
+            for t in 0..6u64 {
+                let mut w = conc.writer();
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < 30_000 {
+                        w.update(&i);
+                        i += 6;
+                    }
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(conc.snapshot(), seq);
+    }
+}

@@ -1,0 +1,114 @@
+//! The coarse-grained baseline: one mutex around a sequential sketch.
+//!
+//! This is what experiment E14 measures the buffered design against; it
+//! is correct, simple, and serializes every update through a single lock.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sketches_core::Update;
+
+/// A mutex-guarded sequential sketch shareable across threads.
+#[derive(Debug)]
+pub struct MutexSketch<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for MutexSketch<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> MutexSketch<S> {
+    /// Wraps a sketch.
+    #[must_use]
+    pub fn new(sketch: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sketch)),
+        }
+    }
+
+    /// Updates under the lock.
+    pub fn update<T: ?Sized>(&self, item: &T)
+    where
+        S: Update<T>,
+    {
+        self.inner.lock().update(item);
+    }
+
+    /// Runs a query under the lock.
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.lock())
+    }
+
+    /// Clones the inner sketch out (a consistent snapshot).
+    #[must_use]
+    pub fn snapshot(&self) -> S
+    where
+        S: Clone,
+    {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_cardinality::HyperLogLog;
+    use sketches_core::CardinalityEstimator;
+
+    #[test]
+    fn concurrent_updates_are_serialized() {
+        let m = MutexSketch::new(HyperLogLog::new(12, 1).unwrap());
+        crossbeam::scope(|scope| {
+            for t in 0..8u64 {
+                let handle = m.clone();
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < 80_000 {
+                        handle.update(&i);
+                        i += 8;
+                    }
+                });
+            }
+        })
+        .expect("join");
+        let est = m.snapshot().estimate();
+        let rel = (est - 80_000.0).abs() / 80_000.0;
+        assert!(rel < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let mut seq = HyperLogLog::new(10, 2).unwrap();
+        for i in 0..5_000u64 {
+            sketches_core::Update::update(&mut seq, &i);
+        }
+        let m = MutexSketch::new(HyperLogLog::new(10, 2).unwrap());
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let handle = m.clone();
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < 5_000 {
+                        handle.update(&i);
+                        i += 4;
+                    }
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(m.snapshot(), seq);
+    }
+
+    #[test]
+    fn read_under_lock() {
+        let m = MutexSketch::new(HyperLogLog::new(8, 3).unwrap());
+        m.update(&42u64);
+        let est = m.read(CardinalityEstimator::estimate);
+        assert!(est > 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced when constructing, merging, or querying sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// A constructor parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Two sketches could not be merged (different shapes, seeds, or
+    /// scale parameters).
+    Incompatible {
+        /// Human-readable explanation of the mismatch.
+        reason: String,
+    },
+    /// A query was made that the sketch cannot answer in its current state
+    /// (e.g. quantile of an empty stream).
+    EmptySketch,
+    /// A capacity-bounded structure (e.g. a Cuckoo filter) could not accept
+    /// another item.
+    CapacityExceeded {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::Incompatible { reason } => write!(f, "incompatible sketches: {reason}"),
+            Self::EmptySketch => write!(f, "sketch is empty: no estimate available"),
+            Self::CapacityExceeded { reason } => write!(f, "capacity exceeded: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Convenience alias used throughout the workspace.
+pub type SketchResult<T> = Result<T, SketchError>;
+
+impl SketchError {
+    /// Builds an [`SketchError::Incompatible`] from a formatted reason.
+    #[must_use]
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        Self::Incompatible {
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds an [`SketchError::InvalidParameter`].
+    #[must_use]
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = SketchError::invalid("width", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `width`: must be positive");
+        let e = SketchError::incompatible("seed mismatch");
+        assert!(e.to_string().contains("seed mismatch"));
+        assert!(SketchError::EmptySketch.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SketchError::EmptySketch);
+    }
+}

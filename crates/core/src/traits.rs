@@ -1,0 +1,166 @@
+//! The trait vocabulary implemented by every sketch in the workspace.
+
+use crate::error::SketchResult;
+
+/// A structure that can absorb one stream item at a time.
+///
+/// `T: ?Sized` so that sketches over strings can be updated with `&str`
+/// directly.
+pub trait Update<T: ?Sized> {
+    /// Absorbs a single occurrence of `item`.
+    fn update(&mut self, item: &T);
+
+    /// Absorbs an iterator of items. Sketches with cheaper batched paths may
+    /// override this.
+    fn extend_from<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = &'a T>,
+        T: 'a,
+    {
+        for item in items {
+            self.update(item);
+        }
+    }
+}
+
+/// A mergeable summary: two sketches built over disjoint substreams can be
+/// combined into a sketch of the concatenated stream.
+///
+/// This is the "mergeable summaries" contract of Agarwal et al. (PODS 2012):
+/// merging must commute with stream splitting, so sketches can be combined
+/// in any tree shape across a distributed system.
+pub trait MergeSketch: Sized {
+    /// Merges `other` into `self`.
+    ///
+    /// # Errors
+    /// Returns [`crate::SketchError::Incompatible`] when the two sketches
+    /// have different shapes, seeds, or scale parameters.
+    fn merge(&mut self, other: &Self) -> SketchResult<()>;
+
+    /// Merges a collection of sketches into one.
+    ///
+    /// # Errors
+    /// Propagates the first incompatibility; returns `None`-like error only
+    /// through an empty iterator, which yields `None`.
+    fn merge_all<I: IntoIterator<Item = Self>>(iter: I) -> SketchResult<Option<Self>> {
+        let mut iter = iter.into_iter();
+        let Some(mut acc) = iter.next() else {
+            return Ok(None);
+        };
+        for s in iter {
+            acc.merge(&s)?;
+        }
+        Ok(Some(acc))
+    }
+}
+
+/// Reports heap space consumed, so experiments can trade accuracy against
+/// bytes.
+pub trait SpaceUsage {
+    /// Approximate heap bytes currently held (excluding `size_of::<Self>()`
+    /// unless noted by the implementation).
+    fn space_bytes(&self) -> usize;
+}
+
+/// Resets a sketch to its freshly-constructed (empty-stream) state while
+/// keeping its parameters and random seeds.
+pub trait Clear {
+    /// Clears all absorbed data.
+    fn clear(&mut self);
+}
+
+/// Query side of count-distinct sketches (`F0` estimation).
+pub trait CardinalityEstimator {
+    /// Estimated number of distinct items observed.
+    fn estimate(&self) -> f64;
+}
+
+/// Query side of frequency sketches (point queries on item counts).
+pub trait FrequencyEstimator<T: ?Sized> {
+    /// Estimated number of occurrences of `item`.
+    fn estimate(&self, item: &T) -> u64;
+}
+
+/// Query side of quantile summaries over `f64` values.
+pub trait QuantileSketch {
+    /// Value at rank fraction `q` in `[0, 1]`, or an error on an empty
+    /// sketch.
+    ///
+    /// # Errors
+    /// Returns [`crate::SketchError::EmptySketch`] when no items were
+    /// absorbed, or [`crate::SketchError::InvalidParameter`] for `q`
+    /// outside `[0, 1]`.
+    fn quantile(&self, q: f64) -> SketchResult<f64>;
+
+    /// Approximate fraction of absorbed items `<= value`.
+    fn rank(&self, value: f64) -> f64;
+
+    /// Number of items absorbed.
+    fn count(&self) -> u64;
+}
+
+/// Query side of approximate-membership structures.
+pub trait MembershipTester<T: ?Sized> {
+    /// Returns `true` if `item` *may* have been inserted; `false` means
+    /// definitely not inserted.
+    fn contains(&self, item: &T) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SketchError;
+
+    /// A toy exact counter to exercise the default trait methods.
+    #[derive(Default, Clone)]
+    struct ToyCounter {
+        n: u64,
+        tag: u8,
+    }
+
+    impl Update<u64> for ToyCounter {
+        fn update(&mut self, _item: &u64) {
+            self.n += 1;
+        }
+    }
+
+    impl MergeSketch for ToyCounter {
+        fn merge(&mut self, other: &Self) -> SketchResult<()> {
+            if self.tag != other.tag {
+                return Err(SketchError::incompatible("tag mismatch"));
+            }
+            self.n += other.n;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn extend_from_default_walks_all_items() {
+        let mut c = ToyCounter::default();
+        let items = [1u64, 2, 3, 4];
+        c.extend_from(items.iter());
+        assert_eq!(c.n, 4);
+    }
+
+    #[test]
+    fn merge_all_combines_in_order() {
+        let sketches = vec![
+            ToyCounter { n: 1, tag: 0 },
+            ToyCounter { n: 2, tag: 0 },
+            ToyCounter { n: 3, tag: 0 },
+        ];
+        let merged = ToyCounter::merge_all(sketches).unwrap().unwrap();
+        assert_eq!(merged.n, 6);
+    }
+
+    #[test]
+    fn merge_all_empty_is_none() {
+        assert!(ToyCounter::merge_all(Vec::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_all_propagates_incompatibility() {
+        let sketches = vec![ToyCounter { n: 1, tag: 0 }, ToyCounter { n: 2, tag: 1 }];
+        assert!(ToyCounter::merge_all(sketches).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! A heavy-hitters tracker combining a linear sketch with a candidate set.
+//!
+//! A Count-Min sketch alone estimates frequencies but cannot *enumerate*
+//! the frequent items. The standard fix — used by Twitter-style view
+//! counters and most production deployments — is to keep the sketch for
+//! counting plus a small heap of the current top candidates, refreshed on
+//! every update. This module implements that composition generically.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use sketches_core::{
+    Clear, FrequencyEstimator, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+};
+
+use crate::count_min::CountMinSketch;
+
+/// A Count-Min-backed tracker reporting items above a `φ·n` threshold.
+#[derive(Debug, Clone)]
+pub struct HeavyHittersTracker<T> {
+    sketch: CountMinSketch,
+    /// Current candidates with their sketch estimates.
+    candidates: HashMap<T, u64>,
+    /// Maximum number of candidates retained.
+    capacity: usize,
+    phi: f64,
+}
+
+impl<T: Hash + Eq + Clone> HeavyHittersTracker<T> {
+    /// Creates a tracker reporting items above `phi · n`, keeping at most
+    /// `capacity` candidates, over a `(width, depth)` Count-Min sketch.
+    ///
+    /// # Errors
+    /// Returns an error for `phi` outside `(0, 1)`, zero capacity, or bad
+    /// sketch dimensions.
+    pub fn new(
+        phi: f64,
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> SketchResult<Self> {
+        sketches_core::check_open_unit("phi", phi, 0.0, 1.0)?;
+        if capacity == 0 {
+            return Err(SketchError::invalid("capacity", "must be positive"));
+        }
+        Ok(Self {
+            sketch: CountMinSketch::new(width, depth, seed)?,
+            candidates: HashMap::with_capacity(capacity + 1),
+            capacity,
+            phi,
+        })
+    }
+
+    /// Absorbs `weight` occurrences of `item`, refreshing the candidates.
+    pub fn update_weighted(&mut self, item: &T, weight: u64) {
+        self.sketch.update_weighted(item, weight);
+        let est = FrequencyEstimator::estimate(&self.sketch, item);
+        let threshold = (self.phi * self.sketch.total() as f64).floor() as u64;
+        if est >= threshold.max(1) {
+            self.candidates.insert(item.clone(), est);
+            if self.candidates.len() > self.capacity {
+                self.evict_below_threshold();
+            }
+        }
+    }
+
+    /// Drops candidates that have fallen below the (growing) threshold; if
+    /// still over capacity, drops the smallest.
+    fn evict_below_threshold(&mut self) {
+        let threshold = (self.phi * self.sketch.total() as f64).floor().max(1.0) as u64;
+        self.candidates.retain(|_, &mut est| est >= threshold);
+        while self.candidates.len() > self.capacity {
+            let weakest = self
+                .candidates
+                .iter()
+                .min_by_key(|(_, &est)| est)
+                .map(|(t, _)| t.clone())
+                .expect("non-empty over capacity");
+            self.candidates.remove(&weakest);
+        }
+    }
+
+    /// All current heavy hitters `(item, estimate)`, sorted descending.
+    ///
+    /// Estimates are re-read from the sketch (they may have grown since the
+    /// candidate was recorded) and items below `φ·n` are filtered out.
+    #[must_use]
+    pub fn heavy_hitters(&self) -> Vec<(T, u64)> {
+        let threshold = ((self.phi * self.sketch.total() as f64).floor() as u64).max(1);
+        let mut out: Vec<(T, u64)> = self
+            .candidates
+            .keys()
+            .map(|t| (t.clone(), FrequencyEstimator::estimate(&self.sketch, t)))
+            .filter(|(_, est)| *est >= threshold)
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Point estimate for any item (from the backing sketch).
+    #[must_use]
+    pub fn estimate(&self, item: &T) -> u64 {
+        FrequencyEstimator::estimate(&self.sketch, item)
+    }
+
+    /// Total stream weight absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.sketch.total()
+    }
+
+    /// The reporting threshold fraction φ.
+    #[must_use]
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+}
+
+impl<T: Hash + Eq + Clone> Update<T> for HeavyHittersTracker<T> {
+    fn update(&mut self, item: &T) {
+        self.update_weighted(item, 1);
+    }
+}
+
+impl<T> Clear for HeavyHittersTracker<T> {
+    fn clear(&mut self) {
+        self.sketch.clear();
+        self.candidates.clear();
+    }
+}
+
+impl<T> SpaceUsage for HeavyHittersTracker<T> {
+    fn space_bytes(&self) -> usize {
+        self.sketch.space_bytes()
+            + self.capacity * (std::mem::size_of::<T>() + std::mem::size_of::<u64>())
+    }
+}
+
+impl<T: Hash + Eq + Clone> MergeSketch for HeavyHittersTracker<T> {
+    /// Merges the backing sketches, unions the candidate sets, and
+    /// re-filters against the combined threshold.
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if (self.phi - other.phi).abs() > f64::EPSILON || self.capacity != other.capacity {
+            return Err(SketchError::incompatible("phi or capacity differs"));
+        }
+        self.sketch.merge(&other.sketch)?;
+        for item in other.candidates.keys() {
+            let est = FrequencyEstimator::estimate(&self.sketch, item);
+            self.candidates.insert(item.clone(), est);
+        }
+        self.evict_below_threshold();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_like(n: usize, universe: u32) -> Vec<u32> {
+        // Deterministic: item i appears proportional to 1/(i+1).
+        let mut v = Vec::with_capacity(n);
+        let weights: Vec<f64> = (0..universe).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let total: f64 = weights.iter().sum();
+        for (i, w) in weights.iter().enumerate() {
+            let reps = ((w / total) * n as f64).round() as usize;
+            v.extend(std::iter::repeat_n(i as u32, reps));
+        }
+        v
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(HeavyHittersTracker::<u32>::new(0.0, 10, 64, 4, 0).is_err());
+        assert!(HeavyHittersTracker::<u32>::new(1.0, 10, 64, 4, 0).is_err());
+        assert!(HeavyHittersTracker::<u32>::new(0.1, 0, 64, 4, 0).is_err());
+    }
+
+    #[test]
+    fn finds_all_true_heavy_hitters() {
+        let stream = zipf_like(100_000, 1000);
+        let n = stream.len() as u64;
+        let phi = 0.02;
+        let mut hh = HeavyHittersTracker::new(phi, 100, 2048, 5, 1).unwrap();
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        for x in &stream {
+            hh.update(x);
+            *exact.entry(*x).or_insert(0) += 1;
+        }
+        let reported: Vec<u32> = hh.heavy_hitters().into_iter().map(|(t, _)| t).collect();
+        for (item, &truth) in &exact {
+            if truth as f64 >= phi * n as f64 {
+                assert!(reported.contains(item), "missed heavy hitter {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn few_false_positives_with_wide_sketch() {
+        let stream = zipf_like(50_000, 500);
+        let n = stream.len() as u64;
+        let phi = 0.02;
+        let mut hh = HeavyHittersTracker::new(phi, 64, 4096, 5, 2).unwrap();
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        for x in &stream {
+            hh.update(x);
+            *exact.entry(*x).or_insert(0) += 1;
+        }
+        // No reported item should be below (φ/2)·n in truth.
+        for (item, _) in hh.heavy_hitters() {
+            let truth = exact.get(&item).copied().unwrap_or(0);
+            assert!(
+                (truth as f64) >= 0.5 * phi * n as f64,
+                "false positive {item} with true count {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_set_stays_bounded() {
+        let mut hh = HeavyHittersTracker::new(0.001, 16, 256, 4, 3).unwrap();
+        for i in 0..50_000u32 {
+            hh.update(&(i % 2000));
+        }
+        assert!(hh.heavy_hitters().len() <= 16);
+    }
+
+    #[test]
+    fn merge_finds_cross_partition_hitters() {
+        let phi = 0.05;
+        let mut a = HeavyHittersTracker::new(phi, 32, 1024, 5, 4).unwrap();
+        let mut b = HeavyHittersTracker::new(phi, 32, 1024, 5, 4).unwrap();
+        // "split" is heavy only when both halves are combined.
+        for _ in 0..400 {
+            a.update(&"split");
+            b.update(&"split");
+        }
+        for i in 0..10_000u32 {
+            let s: &str = format!("noise-{i}").leak();
+            if i % 2 == 0 {
+                a.update(&s);
+            } else {
+                b.update(&s);
+            }
+        }
+        a.merge(&b).unwrap();
+        let reported: Vec<&str> = a.heavy_hitters().into_iter().map(|(t, _)| t).collect();
+        assert!(reported.contains(&"split"), "missed cross-partition hitter");
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = HeavyHittersTracker::<u32>::new(0.1, 8, 64, 3, 0).unwrap();
+        let b = HeavyHittersTracker::<u32>::new(0.2, 8, 64, 3, 0).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut hh = HeavyHittersTracker::new(0.01, 8, 64, 3, 0).unwrap();
+        for _ in 0..100 {
+            hh.update(&7u32);
+        }
+        assert!(!hh.heavy_hitters().is_empty());
+        hh.clear();
+        assert!(hh.heavy_hitters().is_empty());
+        assert_eq!(hh.total(), 0);
+    }
+}

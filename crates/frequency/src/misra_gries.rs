@@ -1,0 +1,334 @@
+//! The Misra–Gries frequent-items summary (1982).
+//!
+//! Generalizes Boyer–Moore to `k − 1` counters: every item with frequency
+//! above `n/k` is guaranteed to be present, and each reported count
+//! underestimates the true count by at most `n/k` (tracked exactly here as
+//! the *decrement total*). The merge rule — pointwise sum, then subtract
+//! the (k)-th largest counter — is the one analyzed in "Mergeable
+//! Summaries" (Agarwal et al., PODS 2012 test-of-time winner).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
+
+/// A Misra–Gries summary with at most `k − 1` counters.
+#[derive(Debug, Clone)]
+pub struct MisraGries<T> {
+    counters: HashMap<T, u64>,
+    k: usize,
+    items_seen: u64,
+    /// Total amount subtracted from every counter so far; the estimation
+    /// error of any item is at most this.
+    decrement_total: u64,
+}
+
+impl<T: Hash + Eq + Clone> MisraGries<T> {
+    /// Creates a summary with capacity `k − 1` counters (`k >= 2`).
+    ///
+    /// # Errors
+    /// Returns an error if `k < 2`.
+    pub fn new(k: usize) -> SketchResult<Self> {
+        if k < 2 {
+            return Err(SketchError::invalid("k", "need k >= 2"));
+        }
+        Ok(Self {
+            counters: HashMap::with_capacity(k),
+            k,
+            items_seen: 0,
+            decrement_total: 0,
+        })
+    }
+
+    /// Absorbs `weight` occurrences of `item` at once.
+    pub fn update_weighted(&mut self, item: &T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.items_seen += weight;
+        if let Some(c) = self.counters.get_mut(item) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.k - 1 {
+            self.counters.insert(item.clone(), weight);
+            return;
+        }
+        // Full: decrement everyone by the smallest amount that frees a slot
+        // (batch version of the classic decrement-all step).
+        let min = self.counters.values().copied().min().unwrap_or(0);
+        let delta = min.min(weight);
+        if delta > 0 {
+            self.decrement_total += delta;
+            self.counters.retain(|_, c| {
+                *c -= delta;
+                *c > 0
+            });
+        }
+        let remaining = weight - delta;
+        if remaining > 0 {
+            // remaining > 0 means delta == min, so at least the minimum
+            // counter reached zero and was retained out above — a slot is
+            // guaranteed to be free.
+            debug_assert!(self.counters.len() < self.k - 1);
+            self.counters.insert(item.clone(), remaining);
+        }
+    }
+
+    /// Lower-bound estimate of `item`'s frequency (0 if untracked).
+    /// The true count lies in `[estimate, estimate + error_bound()]`.
+    #[must_use]
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.counters.get(item).copied().unwrap_or(0)
+    }
+
+    /// Maximum underestimation of any reported count.
+    #[must_use]
+    pub fn error_bound(&self) -> u64 {
+        self.decrement_total
+    }
+
+    /// Number of items absorbed (with weights).
+    #[must_use]
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// All tracked `(item, lower-bound count)` pairs, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counters.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Items whose estimated frequency is at least `phi · n` — guaranteed to
+    /// include every true heavy hitter above `(phi + 1/k) · n`.
+    #[must_use]
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(T, u64)> {
+        let threshold = (phi * self.items_seen as f64).ceil() as u64;
+        let mut out: Vec<(T, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c + self.decrement_total >= threshold.max(1))
+            .map(|(t, &c)| (t.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// The capacity parameter `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl<T: Hash + Eq + Clone> Update<T> for MisraGries<T> {
+    fn update(&mut self, item: &T) {
+        self.update_weighted(item, 1);
+    }
+}
+
+impl<T> Clear for MisraGries<T> {
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.items_seen = 0;
+        self.decrement_total = 0;
+    }
+}
+
+impl<T> SpaceUsage for MisraGries<T> {
+    fn space_bytes(&self) -> usize {
+        self.counters.capacity() * (std::mem::size_of::<T>() + std::mem::size_of::<u64>())
+    }
+}
+
+impl<T: Hash + Eq + Clone> MergeSketch for MisraGries<T> {
+    /// The Agarwal et al. merge: sum counters pointwise, then subtract the
+    /// `k`-th largest value and drop non-positive counters. The combined
+    /// error stays at most `(n₁ + n₂)/k`.
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.k != other.k {
+            return Err(SketchError::incompatible(format!(
+                "k differs: {} vs {}",
+                self.k, other.k
+            )));
+        }
+        for (item, &c) in &other.counters {
+            *self.counters.entry(item.clone()).or_insert(0) += c;
+        }
+        self.items_seen += other.items_seen;
+        self.decrement_total += other.decrement_total;
+        if self.counters.len() > self.k - 1 {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            // Subtract the k-th largest (0-indexed k-1) so at most k-1 stay
+            // positive.
+            let delta = counts[self.k - 1];
+            self.decrement_total += delta;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(delta);
+                *c > 0
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipfish_stream() -> Vec<u32> {
+        // Item i appears 1000/(i+1) times, i in 0..50.
+        let mut v = Vec::new();
+        for i in 0..50u32 {
+            for _ in 0..(1000 / (i + 1)) {
+                v.push(i);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn rejects_k_below_two() {
+        assert!(MisraGries::<u32>::new(1).is_err());
+        assert!(MisraGries::<u32>::new(2).is_ok());
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(100).unwrap();
+        for i in 0..20u32 {
+            for _ in 0..=i {
+                mg.update(&i);
+            }
+        }
+        for i in 0..20u32 {
+            assert_eq!(mg.estimate(&i), u64::from(i) + 1);
+        }
+        assert_eq!(mg.error_bound(), 0);
+    }
+
+    #[test]
+    fn estimates_are_lower_bounds_within_n_over_k() {
+        let stream = zipfish_stream();
+        let n = stream.len() as u64;
+        let k = 20;
+        let mut mg = MisraGries::new(k).unwrap();
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        for x in &stream {
+            mg.update(x);
+            *exact.entry(*x).or_insert(0) += 1;
+        }
+        assert!(mg.error_bound() <= n / k as u64);
+        for (item, &true_count) in &exact {
+            let est = mg.estimate(item);
+            assert!(est <= true_count, "overestimate for {item}");
+            assert!(
+                true_count - est <= mg.error_bound(),
+                "item {item}: true {true_count}, est {est}, bound {}",
+                mg.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_include_all_frequent() {
+        let stream = zipfish_stream();
+        let n = stream.len() as u64;
+        let mut mg = MisraGries::new(40).unwrap();
+        for x in &stream {
+            mg.update(x);
+        }
+        let phi = 0.05;
+        let hh = mg.heavy_hitters(phi);
+        // Items 0 (1000) and 1 (500) are above 5% of n≈4500.
+        let reported: Vec<u32> = hh.iter().map(|(t, _)| *t).collect();
+        for heavy in [0u32, 1] {
+            let true_count = 1000 / (u64::from(heavy) + 1);
+            if true_count as f64 >= phi * n as f64 {
+                assert!(reported.contains(&heavy), "missing heavy hitter {heavy}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_updates_match_repeated() {
+        let mut a = MisraGries::new(10).unwrap();
+        let mut b = MisraGries::new(10).unwrap();
+        for x in [1u32, 2, 1, 3, 1] {
+            a.update(&x);
+        }
+        b.update_weighted(&1, 3);
+        b.update(&2);
+        b.update(&3);
+        assert_eq!(a.estimate(&1), b.estimate(&1));
+        assert_eq!(a.items_seen(), b.items_seen());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut mg = MisraGries::new(5).unwrap();
+        for i in 0..10_000u32 {
+            mg.update(&(i % 100));
+        }
+        assert!(mg.entries().count() <= 4);
+    }
+
+    #[test]
+    fn merge_preserves_error_bound() {
+        let stream = zipfish_stream();
+        let n = stream.len() as u64;
+        let k = 16;
+        let half = stream.len() / 2;
+        let mut left = MisraGries::new(k).unwrap();
+        let mut right = MisraGries::new(k).unwrap();
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        for x in &stream[..half] {
+            left.update(x);
+            *exact.entry(*x).or_insert(0) += 1;
+        }
+        for x in &stream[half..] {
+            right.update(x);
+            *exact.entry(*x).or_insert(0) += 1;
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.items_seen(), n);
+        assert!(
+            left.error_bound() <= n / k as u64,
+            "merged error {} exceeds n/k = {}",
+            left.error_bound(),
+            n / k as u64
+        );
+        for (item, &true_count) in &exact {
+            let est = left.estimate(item);
+            assert!(est <= true_count);
+            assert!(true_count - est <= left.error_bound());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_k_mismatch() {
+        let mut a = MisraGries::<u32>::new(8).unwrap();
+        let b = MisraGries::<u32>::new(9).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut mg = MisraGries::new(4).unwrap();
+        mg.update(&1u8);
+        mg.clear();
+        assert_eq!(mg.estimate(&1u8), 0);
+        assert_eq!(mg.items_seen(), 0);
+    }
+
+    #[test]
+    fn string_items() {
+        let mut mg: MisraGries<String> = MisraGries::new(8).unwrap();
+        for _ in 0..10 {
+            mg.update(&"hot".to_string());
+        }
+        mg.update(&"cold".to_string());
+        assert!(mg.estimate(&"hot".to_string()) >= 9);
+    }
+}

@@ -1,0 +1,49 @@
+//! Serde round-trips for the linear frequency sketches (`--features serde`).
+
+#![cfg(feature = "serde")]
+
+use sketches_core::{FrequencyEstimator, MergeSketch, Update};
+use sketches_frequency::{CmRangeSketch, CountMinSketch, CountSketch};
+
+#[test]
+fn count_min_roundtrip() {
+    let mut cm = CountMinSketch::new(128, 5, 9).unwrap();
+    for i in 0..5_000u32 {
+        cm.update(&(i % 100));
+    }
+    let back: CountMinSketch = serde_json::from_str(&serde_json::to_string(&cm).unwrap()).unwrap();
+    assert_eq!(back, cm);
+    for item in 0..100u32 {
+        assert_eq!(
+            FrequencyEstimator::estimate(&back, &item),
+            FrequencyEstimator::estimate(&cm, &item)
+        );
+    }
+    // Merge compatibility survives the trip.
+    let mut merged = back.clone();
+    merged.merge(&cm).unwrap();
+    assert_eq!(merged.total(), 2 * cm.total());
+}
+
+#[test]
+fn count_sketch_roundtrip() {
+    let mut cs = CountSketch::new(128, 5, 9).unwrap();
+    for i in 0..3_000u32 {
+        cs.update(&(i % 64));
+    }
+    let back: CountSketch = serde_json::from_str(&serde_json::to_string(&cs).unwrap()).unwrap();
+    for item in 0..64u32 {
+        assert_eq!(back.estimate(&item), cs.estimate(&item));
+    }
+}
+
+#[test]
+fn range_sketch_roundtrip() {
+    let mut rs = CmRangeSketch::new(10, 256, 4, 1).unwrap();
+    for x in 0..500u64 {
+        rs.update(x, 2).unwrap();
+    }
+    let back: CmRangeSketch = serde_json::from_str(&serde_json::to_string(&rs).unwrap()).unwrap();
+    assert_eq!(back.range_count(100, 200), rs.range_count(100, 200));
+    assert_eq!(back.quantile(0.5).unwrap(), rs.quantile(0.5).unwrap());
+}

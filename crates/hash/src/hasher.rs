@@ -1,0 +1,155 @@
+//! Seeded hashing of arbitrary `T: Hash` items.
+//!
+//! The standard library's default hasher is randomized per process and
+//! unspecified across releases, so sketches cannot use it: a sketch merged
+//! across machines (or a test rerun tomorrow) must hash identically. This
+//! module provides a deterministic, seeded [`std::hash::Hasher`] backed by
+//! the streaming XXH64 implementation, and the [`hash_item`] entry point the
+//! sketch crates use to reduce any hashable key to a `u64` fingerprint.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+use crate::xxhash::Xxh64;
+
+/// A deterministic, seeded [`Hasher`] backed by streaming XXH64.
+#[derive(Debug, Clone)]
+pub struct SeededHasher {
+    inner: Xxh64,
+}
+
+impl SeededHasher {
+    /// Creates a hasher with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Xxh64::new(seed),
+        }
+    }
+}
+
+impl Hasher for SeededHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.inner.digest()
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.inner.update(bytes);
+    }
+}
+
+/// A [`BuildHasher`] producing [`SeededHasher`]s with a fixed seed, suitable
+/// for deterministic `HashMap`s / `HashSet`s in tests and baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededBuildHasher {
+    seed: u64,
+}
+
+impl SeededBuildHasher {
+    /// Creates a build-hasher with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for SeededBuildHasher {
+    fn default() -> Self {
+        Self::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+impl BuildHasher for SeededBuildHasher {
+    type Hasher = SeededHasher;
+
+    fn build_hasher(&self) -> SeededHasher {
+        SeededHasher::new(self.seed)
+    }
+}
+
+/// Hashes any `T: Hash` to a 64-bit fingerprint under `seed`.
+///
+/// This is the single entry point the sketch crates use to turn keys into
+/// `u64`s; per-sketch structure (rows, registers, buckets) is then derived
+/// from the fingerprint with the cheap mixers in [`crate::mix`].
+///
+/// # Example
+/// ```
+/// use sketches_hash::hash_item;
+/// assert_eq!(hash_item(&42u64, 0), hash_item(&42u64, 0));
+/// assert_ne!(hash_item(&42u64, 0), hash_item(&43u64, 0));
+/// ```
+#[inline]
+#[must_use]
+pub fn hash_item<T: Hash + ?Sized>(item: &T, seed: u64) -> u64 {
+    let mut h = SeededHasher::new(seed);
+    item.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes a byte slice directly (bypassing the `Hash` trait's length
+/// prefixing), matching raw [`crate::xxhash::xxh64`].
+#[inline]
+#[must_use]
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    crate::xxhash::xxh64(bytes, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_item_deterministic_across_hasher_instances() {
+        let a = hash_item("hello", 1);
+        let b = hash_item("hello", 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_item_seed_sensitivity() {
+        assert_ne!(hash_item("hello", 1), hash_item("hello", 2));
+    }
+
+    #[test]
+    fn hash_item_works_for_many_types() {
+        // Just exercise a few common key shapes.
+        let _ = hash_item(&7u32, 0);
+        let _ = hash_item(&7u64, 0);
+        let _ = hash_item(&-7i64, 0);
+        let _ = hash_item("str", 0);
+        let _ = hash_item(&String::from("string"), 0);
+        let _ = hash_item(&(1u32, "pair"), 0);
+        let _ = hash_item(&vec![1u8, 2, 3], 0);
+        // str and String with equal content hash equally.
+        assert_eq!(hash_item("x", 3), hash_item(&String::from("x"), 3));
+    }
+
+    #[test]
+    fn seeded_map_is_deterministic() {
+        let mut m: HashMap<&str, u32, SeededBuildHasher> =
+            HashMap::with_hasher(SeededBuildHasher::new(5));
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("b"), Some(&2));
+    }
+
+    #[test]
+    fn hash_bytes_matches_xxh64() {
+        assert_eq!(hash_bytes(b"abc", 0), crate::xxhash::xxh64(b"abc", 0));
+    }
+
+    #[test]
+    fn fingerprints_spread_over_u64() {
+        // Crude dispersion check: top bytes of consecutive integer keys
+        // should take many values.
+        use std::collections::HashSet;
+        let tops: HashSet<u8> = (0..1000u64)
+            .map(|i| (hash_item(&i, 0) >> 56) as u8)
+            .collect();
+        assert!(tops.len() > 200, "only {} distinct top bytes", tops.len());
+    }
+}

@@ -1,0 +1,157 @@
+//! Finalizer-style 64-bit mixing functions.
+//!
+//! These are fast bijections on `u64` with strong avalanche behaviour. They
+//! are the workhorse for hashing integer keys and for deriving independent
+//! hash streams from `(seed, value)` pairs.
+
+/// The SplitMix64 finalizer: a bijective mixer with full avalanche.
+///
+/// This is the output function of the SplitMix64 generator (Steele, Lea &
+/// Flood, OOPSLA 2014 lineage; constants due to David Stafford's "Mix13").
+/// It is statistically strong enough to serve as a hash function for
+/// integer keys in every sketch in this workspace.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The MurmurHash3 `fmix64` finalizer.
+///
+/// Used where a second, independent-looking mixer is needed (e.g. deriving a
+/// value stream distinct from the [`mix64`] stream for double hashing).
+#[inline]
+#[must_use]
+pub fn murmur_fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^ (k >> 33)
+}
+
+/// Mixes a `(seed, value)` pair into a single well-distributed `u64`.
+///
+/// Distinct seeds yield hash streams that behave independently; this is how
+/// the sketch crates derive the `d` rows of a Count-Min sketch or the `k`
+/// hash functions of a Bloom filter from one base hash.
+#[inline]
+#[must_use]
+pub fn mix64_seeded(value: u64, seed: u64) -> u64 {
+    // XOR-fold the seed through two different mixers so that related seeds
+    // (0, 1, 2, ...) still produce unrelated streams.
+    mix64(value ^ murmur_fmix64(seed ^ 0x71A9_3C61_E04F_5A2D))
+}
+
+/// Maps a 64-bit hash to the range `[0, n)` without modulo bias.
+///
+/// Uses Lemire's multiply-high reduction, which is both faster and fairer
+/// than `h % n` when `n` is not a power of two.
+#[inline]
+#[must_use]
+pub fn fastrange64(hash: u64, n: u64) -> u64 {
+    ((u128::from(hash) * u128::from(n)) >> 64) as u64
+}
+
+/// Converts a hash to a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+#[must_use]
+pub fn to_unit_f64(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn mix64_is_injective_on_a_sample() {
+        use std::collections::HashSet;
+        let outputs: HashSet<u64> = (0..100_000u64).map(mix64).collect();
+        assert_eq!(outputs.len(), 100_000);
+    }
+
+    #[test]
+    fn murmur_differs_from_splitmix() {
+        // The two mixers must not be trivially related for double hashing.
+        for x in 0..1000u64 {
+            assert_ne!(mix64(x), murmur_fmix64(x));
+        }
+    }
+
+    #[test]
+    fn seeded_streams_differ() {
+        let a: Vec<u64> = (0..64).map(|x| mix64_seeded(x, 1)).collect();
+        let b: Vec<u64> = (0..64).map(|x| mix64_seeded(x, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fastrange_stays_in_range_and_covers() {
+        let n = 10;
+        let mut seen = [false; 10];
+        for x in 0..10_000u64 {
+            let r = fastrange64(mix64(x), n);
+            assert!(r < n);
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn fastrange_is_roughly_uniform() {
+        let n = 16u64;
+        let mut counts = [0u32; 16];
+        let trials = 160_000u64;
+        for x in 0..trials {
+            counts[fastrange64(mix64(x), n) as usize] += 1;
+        }
+        let expected = (trials / n) as f64;
+        for &c in &counts {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        for x in 0..10_000u64 {
+            let u = to_unit_f64(mix64(x));
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_eq!(to_unit_f64(0), 0.0);
+        assert!(to_unit_f64(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn mix64_avalanche_quality() {
+        // Flipping one input bit should flip ~32 of 64 output bits on average.
+        let mut rng_state = 0xDEAD_BEEFu64;
+        let mut total_flips = 0u64;
+        let mut samples = 0u64;
+        for _ in 0..2_000 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = rng_state;
+            for bit in 0..64 {
+                let flipped = mix64(x) ^ mix64(x ^ (1 << bit));
+                total_flips += u64::from(flipped.count_ones());
+                samples += 1;
+            }
+        }
+        let avg = total_flips as f64 / samples as f64;
+        assert!(
+            (avg - 32.0).abs() < 1.0,
+            "avalanche average {avg:.2} should be near 32"
+        );
+    }
+}

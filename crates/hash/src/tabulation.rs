@@ -1,0 +1,98 @@
+//! Simple tabulation hashing.
+//!
+//! Tabulation hashing (Zobrist 1970; analyzed by Pătraşcu & Thorup 2011)
+//! splits a 64-bit key into 8 bytes and XORs together one random table entry
+//! per byte. It is only 3-wise independent, yet provably behaves like a
+//! fully random function for many sketching applications (linear probing,
+//! Cuckoo hashing, min-wise sampling). It is offered here as a stronger,
+//! slightly heavier alternative to the multiply-shift family.
+
+use crate::rng::Rng64;
+
+/// A simple tabulation hash on 64-bit keys: 8 tables of 256 random words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl TabulationHash {
+    /// Draws a random tabulation function (16 KiB of table state).
+    #[must_use]
+    pub fn random(rng: &mut impl Rng64) -> Self {
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.next_u64();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Evaluates the hash.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, x: u64) -> u64 {
+        let bytes = x.to_le_bytes();
+        let mut acc = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            acc ^= self.tables[i][b as usize];
+        }
+        acc
+    }
+
+    /// Size of the table state in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        8 * 256 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn is_deterministic() {
+        let mut rng = SplitMix64::new(1);
+        let h = TabulationHash::random(&mut rng);
+        assert_eq!(h.hash(12345), h.hash(12345));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::collections::HashSet;
+        let mut rng = SplitMix64::new(2);
+        let h = TabulationHash::random(&mut rng);
+        let outs: HashSet<u64> = (0..100_000u64).map(|x| h.hash(x)).collect();
+        assert_eq!(outs.len(), 100_000, "collision among 1e5 keys in 64 bits");
+    }
+
+    #[test]
+    fn zero_key_hashes_to_xor_of_zero_entries() {
+        let mut rng = SplitMix64::new(3);
+        let h = TabulationHash::random(&mut rng);
+        let expect = (0..8).fold(0u64, |acc, i| acc ^ h.tables[i][0]);
+        assert_eq!(h.hash(0), expect);
+    }
+
+    #[test]
+    fn roughly_uniform_low_bits() {
+        let mut rng = SplitMix64::new(4);
+        let h = TabulationHash::random(&mut rng);
+        let mut counts = [0u32; 16];
+        for x in 0..160_000u64 {
+            counts[(h.hash(x) & 15) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) - 10_000.0).abs() < 500.0);
+        }
+    }
+
+    #[test]
+    fn reports_space() {
+        let mut rng = SplitMix64::new(5);
+        let h = TabulationHash::random(&mut rng);
+        assert_eq!(h.space_bytes(), 16 * 1024);
+    }
+}

@@ -1,0 +1,284 @@
+//! A from-scratch implementation of the XXH64 hash for byte strings.
+//!
+//! XXH64 is the industry-standard fast non-cryptographic hash (used by LZ4,
+//! Zstandard, Apache Arrow, and the Apache DataSketches library). Sketches
+//! hash arbitrary keys (strings, tuples, byte blobs) through this function;
+//! integer keys go through the cheaper mixers in [`crate::mix`].
+//!
+//! The implementation matches the reference xxHash specification, verified
+//! against the published test vectors in the unit tests below.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn read_u64(data: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(data[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(data: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+/// Computes the XXH64 hash of `data` under `seed`.
+///
+/// # Example
+/// ```
+/// use sketches_hash::xxhash::xxh64;
+/// assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+/// ```
+#[must_use]
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut offset = 0usize;
+
+    let mut h64: u64 = if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+
+        while offset + 32 <= len {
+            v1 = round(v1, read_u64(data, offset));
+            v2 = round(v2, read_u64(data, offset + 8));
+            v3 = round(v3, read_u64(data, offset + 16));
+            v4 = round(v4, read_u64(data, offset + 24));
+            offset += 32;
+        }
+
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(PRIME64_5)
+    };
+
+    h64 = h64.wrapping_add(len as u64);
+
+    while offset + 8 <= len {
+        h64 = (h64 ^ round(0, read_u64(data, offset)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        offset += 8;
+    }
+
+    if offset + 4 <= len {
+        h64 = (h64 ^ u64::from(read_u32(data, offset)).wrapping_mul(PRIME64_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        offset += 4;
+    }
+
+    while offset < len {
+        h64 = (h64 ^ u64::from(data[offset]).wrapping_mul(PRIME64_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME64_1);
+        offset += 1;
+    }
+
+    h64 ^= h64 >> 33;
+    h64 = h64.wrapping_mul(PRIME64_2);
+    h64 ^= h64 >> 29;
+    h64 = h64.wrapping_mul(PRIME64_3);
+    h64 ^ (h64 >> 32)
+}
+
+/// A streaming XXH64 hasher for incremental input.
+///
+/// Feed it chunks with [`Xxh64::update`] and read the digest with
+/// [`Xxh64::digest`]. Equivalent to calling [`xxh64`] on the concatenation.
+#[derive(Debug, Clone)]
+pub struct Xxh64 {
+    seed: u64,
+    v: [u64; 4],
+    buffer: [u8; 32],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Xxh64 {
+    /// Creates a streaming hasher with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            v: [
+                seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2),
+                seed.wrapping_add(PRIME64_2),
+                seed,
+                seed.wrapping_sub(PRIME64_1),
+            ],
+            buffer: [0u8; 32],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs a chunk of input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len += data.len() as u64;
+
+        if self.buffered > 0 {
+            let need = 32 - self.buffered;
+            let take = need.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 32 {
+                let buf = self.buffer;
+                self.consume_block(&buf);
+                self.buffered = 0;
+            }
+        }
+
+        while data.len() >= 32 {
+            let (block, rest) = data.split_at(32);
+            self.consume_block(block);
+            data = rest;
+        }
+
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    #[inline]
+    fn consume_block(&mut self, block: &[u8]) {
+        self.v[0] = round(self.v[0], read_u64(block, 0));
+        self.v[1] = round(self.v[1], read_u64(block, 8));
+        self.v[2] = round(self.v[2], read_u64(block, 16));
+        self.v[3] = round(self.v[3], read_u64(block, 24));
+    }
+
+    /// Returns the digest of everything absorbed so far.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h64: u64 = if self.total_len >= 32 {
+            let [v1, v2, v3, v4] = self.v;
+            let mut h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = merge_round(h, v1);
+            h = merge_round(h, v2);
+            h = merge_round(h, v3);
+            merge_round(h, v4)
+        } else {
+            self.seed.wrapping_add(PRIME64_5)
+        };
+
+        h64 = h64.wrapping_add(self.total_len);
+
+        let tail = &self.buffer[..self.buffered];
+        let mut offset = 0usize;
+
+        while offset + 8 <= tail.len() {
+            h64 = (h64 ^ round(0, read_u64(tail, offset)))
+                .rotate_left(27)
+                .wrapping_mul(PRIME64_1)
+                .wrapping_add(PRIME64_4);
+            offset += 8;
+        }
+        if offset + 4 <= tail.len() {
+            h64 = (h64 ^ u64::from(read_u32(tail, offset)).wrapping_mul(PRIME64_1))
+                .rotate_left(23)
+                .wrapping_mul(PRIME64_2)
+                .wrapping_add(PRIME64_3);
+            offset += 4;
+        }
+        while offset < tail.len() {
+            h64 = (h64 ^ u64::from(tail[offset]).wrapping_mul(PRIME64_5))
+                .rotate_left(11)
+                .wrapping_mul(PRIME64_1);
+            offset += 1;
+        }
+
+        h64 ^= h64 >> 33;
+        h64 = h64.wrapping_mul(PRIME64_2);
+        h64 ^= h64 >> 29;
+        h64 = h64.wrapping_mul(PRIME64_3);
+        h64 ^ (h64 >> 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Official xxHash test vectors.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"", 1), 0xD5AF_BA13_36A3_BE4B);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(xxh64(b"xxhash", 0x20141025), 0xA3D0_7B87_16C2_F591);
+    }
+
+    #[test]
+    fn long_inputs_exercise_the_block_loop() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let h = xxh64(&data, 0);
+        // Stability pin: recomputing must always match.
+        assert_eq!(h, xxh64(&data, 0));
+        assert_ne!(h, xxh64(&data, 1));
+        assert_ne!(h, xxh64(&data[..1023], 0));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 7 % 256) as u8).collect();
+        for chunk_size in [1usize, 3, 7, 31, 32, 33, 64, 777] {
+            let mut st = Xxh64::new(42);
+            for chunk in data.chunks(chunk_size) {
+                st.update(chunk);
+            }
+            assert_eq!(st.digest(), xxh64(&data, 42), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn streaming_empty_matches() {
+        let st = Xxh64::new(9);
+        assert_eq!(st.digest(), xxh64(b"", 9));
+    }
+
+    #[test]
+    fn digest_is_idempotent() {
+        let mut st = Xxh64::new(0);
+        st.update(b"hello world");
+        let d1 = st.digest();
+        let d2 = st.digest();
+        assert_eq!(d1, d2);
+        st.update(b"!");
+        assert_ne!(st.digest(), d1);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Alon–Matias–Szegedy "tug-of-war" sketch (STOC 1996), the result the
+//! survey credits with launching streaming algorithms.
+//!
+//! Each counter maintains `⟨f, s⟩` for a 4-wise independent ±1 vector `s`;
+//! its square is an unbiased estimate of `F₂ = ‖f‖₂²`. Averaging `width`
+//! counters controls variance and the median of `depth` groups controls
+//! confidence. The plain (non-robust) AMS estimator is also the victim of
+//! the adaptive adversary in `sketches-robust` (experiment E13).
+
+use std::hash::Hash;
+
+use sketches_core::{
+    Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+};
+use sketches_hash::family::SignHash;
+use sketches_hash::hash_item;
+use sketches_hash::rng::SplitMix64;
+
+/// An AMS F₂ sketch: `depth` groups of `width` ±1 inner-product counters.
+#[derive(Debug, Clone)]
+pub struct AmsSketch {
+    counters: Vec<i64>,
+    width: usize,
+    depth: usize,
+    signs: Vec<SignHash>,
+    seed: u64,
+}
+
+impl AmsSketch {
+    /// Creates a sketch with `width` counters per group (variance
+    /// `≈ 2F₂²/width`) and `depth` groups (median for confidence).
+    ///
+    /// # Errors
+    /// Returns an error if `width == 0` or `depth` outside `1..=32`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> SketchResult<Self> {
+        if width == 0 {
+            return Err(SketchError::invalid("width", "need width >= 1"));
+        }
+        sketches_core::check_range("depth", depth, 1, 32)?;
+        let mut rng = SplitMix64::new(seed ^ 0xA4B5_70FF);
+        let signs = (0..width * depth).map(|_| SignHash::random(&mut rng)).collect();
+        Ok(Self {
+            counters: vec![0i64; width * depth],
+            width,
+            depth,
+            signs,
+            seed,
+        })
+    }
+
+    /// Adds `weight` occurrences of a pre-hashed item.
+    pub fn update_hash(&mut self, hash: u64, weight: i64) {
+        for (c, s) in self.counters.iter_mut().zip(&self.signs) {
+            *c += s.sign(hash) * weight;
+        }
+    }
+
+    /// Adds `weight` (possibly negative) occurrences of `item`.
+    pub fn update_weighted<T: Hash + ?Sized>(&mut self, item: &T, weight: i64) {
+        self.update_hash(hash_item(item, 0xA4B5_7777), weight);
+    }
+
+    /// The F₂ estimate: median over groups of the mean of squared counters.
+    #[must_use]
+    pub fn f2_estimate(&self) -> f64 {
+        let mut group_means: Vec<f64> = (0..self.depth)
+            .map(|g| {
+                let row = &self.counters[g * self.width..(g + 1) * self.width];
+                row.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() / self.width as f64
+            })
+            .collect();
+        sketches_core::median_f64(&mut group_means)
+    }
+
+    /// Estimate of the Euclidean norm `‖f‖₂`.
+    #[must_use]
+    pub fn l2_estimate(&self) -> f64 {
+        self.f2_estimate().sqrt()
+    }
+
+    /// Width (counters per group).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of groups).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for AmsSketch {
+    fn update(&mut self, item: &T) {
+        self.update_weighted(item, 1);
+    }
+}
+
+impl Clear for AmsSketch {
+    fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+impl SpaceUsage for AmsSketch {
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<i64>()
+    }
+}
+
+impl MergeSketch for AmsSketch {
+    /// Linear sketch: counters add.
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(SketchError::incompatible("dimensions differ"));
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(AmsSketch::new(0, 3, 0).is_err());
+        assert!(AmsSketch::new(16, 0, 0).is_err());
+        assert!(AmsSketch::new(16, 33, 0).is_err());
+    }
+
+    #[test]
+    fn f2_estimate_within_variance_bound() {
+        // f has 100 items of weight i+1; F2 = Σ (i+1)².
+        let true_f2: f64 = (1..=100).map(|i| f64::from(i * i)).sum();
+        let mut s = AmsSketch::new(256, 7, 1).unwrap();
+        for i in 0..100u32 {
+            s.update_weighted(&i, i64::from(i + 1));
+        }
+        let est = s.f2_estimate();
+        let rel = (est - true_f2).abs() / true_f2;
+        // stderr ≈ sqrt(2/256) ≈ 8.8%; median of 7 groups is tighter.
+        assert!(rel < 0.25, "F2 estimate {est} vs {true_f2} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn mean_over_seeds_is_unbiased() {
+        let true_f2: f64 = 50.0 * 4.0; // 50 items of weight 2
+        let trials = 40;
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let mut s = AmsSketch::new(64, 1, 100 + t).unwrap();
+            for i in 0..50u32 {
+                s.update_weighted(&i, 2);
+            }
+            sum += s.f2_estimate();
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - true_f2).abs() / true_f2;
+        assert!(rel < 0.15, "mean {mean} vs {true_f2}");
+    }
+
+    #[test]
+    fn deletions_supported() {
+        let mut s = AmsSketch::new(64, 5, 2).unwrap();
+        s.update_weighted(&"a", 10);
+        s.update_weighted(&"a", -10);
+        assert_eq!(s.f2_estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = AmsSketch::new(32, 3, 3).unwrap();
+        let mut b = AmsSketch::new(32, 3, 3).unwrap();
+        let mut whole = AmsSketch::new(32, 3, 3).unwrap();
+        for i in 0..50u32 {
+            a.update(&i);
+            whole.update(&i);
+            b.update(&(i * 7));
+            whole.update(&(i * 7));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.counters, whole.counters);
+        assert!(a.merge(&AmsSketch::new(32, 3, 4).unwrap()).is_err());
+        assert!(a.merge(&AmsSketch::new(64, 3, 3).unwrap()).is_err());
+    }
+
+    #[test]
+    fn l2_is_sqrt_of_f2() {
+        let mut s = AmsSketch::new(128, 5, 5).unwrap();
+        for i in 0..20u32 {
+            s.update_weighted(&i, 3);
+        }
+        assert!((s.l2_estimate() - s.f2_estimate().sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_and_space() {
+        let mut s = AmsSketch::new(8, 2, 0).unwrap();
+        s.update(&1u8);
+        s.clear();
+        assert_eq!(s.f2_estimate(), 0.0);
+        assert_eq!(s.space_bytes(), 16 * 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dense Johnson–Lindenstrauss transforms (the 1984 lemma, with the
+//! explicit random-projection constructions of the 1990s).
+//!
+//! Projects `d`-dimensional vectors to `k` dimensions while preserving all
+//! pairwise Euclidean distances within `1 ± ε` for
+//! `k = O(ε^{-2}·log n)`. Two classic instantiations: i.i.d. Gaussian
+//! entries and ±1 Rademacher entries (Achlioptas), both scaled by `1/√k`.
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+use crate::matrix::{l2_distance, Matrix};
+
+/// Which entry distribution the projection matrix uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JlKind {
+    /// i.i.d. standard normal entries.
+    Gaussian,
+    /// i.i.d. ±1 entries (Achlioptas 2001) — same guarantee, cheaper to
+    /// generate and multiply.
+    Rademacher,
+}
+
+/// A dense JL transform: an explicit `k × d` random matrix.
+#[derive(Debug, Clone)]
+pub struct DenseJl {
+    projection: Matrix,
+    kind: JlKind,
+}
+
+impl DenseJl {
+    /// Draws a random projection from `d` dimensions down to `k`.
+    ///
+    /// # Errors
+    /// Returns an error if `k == 0` or `d == 0`.
+    pub fn new(d: usize, k: usize, kind: JlKind, seed: u64) -> SketchResult<Self> {
+        if d == 0 || k == 0 {
+            return Err(SketchError::invalid("dimensions", "d and k must be positive"));
+        }
+        let mut rng = Xoshiro256PlusPlus::new(seed ^ 0x71_1984);
+        let scale = 1.0 / (k as f64).sqrt();
+        let mut projection = Matrix::zeros(k, d);
+        for r in 0..k {
+            let row = projection.row_mut(r);
+            for x in row.iter_mut() {
+                *x = match kind {
+                    JlKind::Gaussian => rng.gauss() * scale,
+                    JlKind::Rademacher => rng.rademacher() as f64 * scale,
+                };
+            }
+        }
+        Ok(Self { projection, kind })
+    }
+
+    /// Projects a `d`-vector to `k` dimensions.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn project(&self, v: &[f64]) -> SketchResult<Vec<f64>> {
+        if v.len() != self.projection.cols() {
+            return Err(SketchError::invalid(
+                "v",
+                format!("expected dim {}, got {}", self.projection.cols(), v.len()),
+            ));
+        }
+        Ok((0..self.projection.rows())
+            .map(|r| crate::matrix::dot(self.projection.row(r), v))
+            .collect())
+    }
+
+    /// Input dimension `d`.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Output dimension `k`.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.projection.rows()
+    }
+
+    /// The entry distribution.
+    #[must_use]
+    pub fn kind(&self) -> JlKind {
+        self.kind
+    }
+
+    /// The JL dimension sufficient for `n` points at distortion `epsilon`:
+    /// `⌈4·ln n / (ε²/2 − ε³/3)⌉`.
+    #[must_use]
+    pub fn dimension_for(n: usize, epsilon: f64) -> usize {
+        let n = (n.max(2)) as f64;
+        (4.0 * n.ln() / (epsilon * epsilon / 2.0 - epsilon.powi(3) / 3.0)).ceil() as usize
+    }
+}
+
+impl SpaceUsage for DenseJl {
+    fn space_bytes(&self) -> usize {
+        self.projection.rows() * self.projection.cols() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Measures the worst pairwise-distance distortion
+/// `max |‖Px−Py‖/‖x−y‖ − 1|` over all pairs of `points` under the map
+/// `project`.
+pub fn max_pairwise_distortion<F: Fn(&[f64]) -> Vec<f64>>(
+    points: &[Vec<f64>],
+    project: F,
+) -> f64 {
+    let projected: Vec<Vec<f64>> = points.iter().map(|p| project(p)).collect();
+    let mut worst: f64 = 0.0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let orig = l2_distance(&points[i], &points[j]);
+            if orig == 0.0 {
+                continue;
+            }
+            let proj = l2_distance(&projected[i], &projected[j]);
+            worst = worst.max((proj / orig - 1.0).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gauss()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(DenseJl::new(0, 4, JlKind::Gaussian, 0).is_err());
+        assert!(DenseJl::new(4, 0, JlKind::Gaussian, 0).is_err());
+    }
+
+    #[test]
+    fn project_checks_dimensions() {
+        let jl = DenseJl::new(10, 4, JlKind::Gaussian, 1).unwrap();
+        assert!(jl.project(&[0.0; 9]).is_err());
+        assert_eq!(jl.project(&[0.0; 10]).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn norms_preserved_in_expectation() {
+        // Projecting e1 many times: E[‖Pe1‖²] = 1.
+        let mut sq = 0.0;
+        let trials = 200;
+        for t in 0..trials {
+            let jl = DenseJl::new(50, 32, JlKind::Gaussian, t).unwrap();
+            let mut e1 = vec![0.0; 50];
+            e1[0] = 1.0;
+            let p = jl.project(&e1).unwrap();
+            sq += crate::matrix::dot(&p, &p);
+        }
+        let mean = sq / trials as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean squared norm {mean}");
+    }
+
+    #[test]
+    fn gaussian_distortion_small_at_good_dimension() {
+        let points = random_points(30, 500, 7);
+        let jl = DenseJl::new(500, 256, JlKind::Gaussian, 8).unwrap();
+        let distortion = max_pairwise_distortion(&points, |p| jl.project(p).unwrap());
+        assert!(distortion < 0.35, "distortion {distortion:.3}");
+    }
+
+    #[test]
+    fn rademacher_matches_gaussian_quality() {
+        let points = random_points(30, 500, 9);
+        let jl = DenseJl::new(500, 256, JlKind::Rademacher, 10).unwrap();
+        let distortion = max_pairwise_distortion(&points, |p| jl.project(p).unwrap());
+        assert!(distortion < 0.35, "distortion {distortion:.3}");
+    }
+
+    #[test]
+    fn distortion_decreases_with_dimension() {
+        let points = random_points(20, 400, 11);
+        let small = DenseJl::new(400, 16, JlKind::Gaussian, 12).unwrap();
+        let large = DenseJl::new(400, 512, JlKind::Gaussian, 13).unwrap();
+        let d_small = max_pairwise_distortion(&points, |p| small.project(p).unwrap());
+        let d_large = max_pairwise_distortion(&points, |p| large.project(p).unwrap());
+        assert!(
+            d_large < d_small,
+            "distortion should shrink: k=16 → {d_small:.3}, k=512 → {d_large:.3}"
+        );
+    }
+
+    #[test]
+    fn dimension_formula_sane() {
+        let k = DenseJl::dimension_for(10_000, 0.1);
+        assert!((6_000..10_000).contains(&k), "k = {k}");
+        assert!(DenseJl::dimension_for(100, 0.5) < 250);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DenseJl::new(10, 5, JlKind::Gaussian, 42).unwrap();
+        let b = DenseJl::new(10, 5, JlKind::Gaussian, 42).unwrap();
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(a.project(&v).unwrap(), b.project(&v).unwrap());
+    }
+}

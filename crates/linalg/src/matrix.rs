@@ -1,0 +1,382 @@
+//! A minimal dense row-major matrix with exactly the operations the
+//! sketching algorithms need. Not a BLAS replacement — clarity over
+//! absolute speed, but free of needless allocation in the hot loops.
+
+use sketches_core::{SketchError, SketchResult};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> SketchResult<Self> {
+        if data.len() != rows * cols {
+            return Err(SketchError::invalid(
+                "data",
+                format!("expected {} entries, got {}", rows * cols, data.len()),
+            ));
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// The identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    /// Returns an error on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Self) -> SketchResult<Self> {
+        if self.cols != other.rows {
+            return Err(SketchError::invalid(
+                "dimensions",
+                format!(
+                    "{}x{} times {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            ));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let src = other.row(k);
+                let dst = out.row_mut(i);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += a * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Spectral norm `‖A‖₂` via power iteration on `AᵀA`.
+    #[must_use]
+    pub fn spectral_norm(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = (0..self.cols)
+            .map(|i| 1.0 + (i as f64 * 0.37).sin())
+            .collect();
+        let mut norm = 0.0;
+        for _ in 0..200 {
+            // w = Aᵀ(Av)
+            let av: Vec<f64> = (0..self.rows)
+                .map(|r| dot(self.row(r), &v))
+                .collect();
+            let mut w = vec![0.0; self.cols];
+            for (r, &avr) in av.iter().enumerate() {
+                for (wc, &m) in w.iter_mut().zip(self.row(r)) {
+                    *wc += avr * m;
+                }
+            }
+            let wn = l2_norm(&w);
+            if wn == 0.0 {
+                return 0.0;
+            }
+            for x in &mut w {
+                *x /= wn;
+            }
+            let prev = norm;
+            norm = wn.sqrt();
+            v = w;
+            if (norm - prev).abs() <= 1e-12 * norm.max(1.0) {
+                break;
+            }
+        }
+        norm
+    }
+
+    /// Eigendecomposition of a **symmetric** matrix by cyclic Jacobi
+    /// rotations. Returns `(eigenvalues, eigenvectors)` with eigenvectors
+    /// as *columns* of the returned matrix, sorted by descending
+    /// eigenvalue.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is not square.
+    pub fn symmetric_eigen(&self) -> SketchResult<(Vec<f64>, Matrix)> {
+        if self.rows != self.cols {
+            return Err(SketchError::invalid("matrix", "must be square"));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Self::identity(n);
+        for _sweep in 0..100 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off.sqrt() < 1e-12 * self.frobenius_norm().max(1e-300) {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Rotate rows/cols p and q of A.
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+        pairs.sort_by(|x, y| f64::total_cmp(&y.0, &x.0));
+        let eigvals: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+        let mut eigvecs = Self::zeros(n, n);
+        for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+            for r in 0..n {
+                eigvecs[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        Ok((eigvals, eigvecs))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[must_use]
+pub fn l2_norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Euclidean distance between two slices.
+#[must_use]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(Matrix::from_rows(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]).unwrap());
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((m.spectral_norm() - 4.0).abs() < 1e-9, "{}", m.spectral_norm());
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (vals, vecs) = m.symmetric_eigen().unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Check A·v = λ·v for the top eigenvector.
+        let v0 = [vecs[(0, 0)], vecs[(1, 0)]];
+        let av0 = [
+            2.0 * v0[0] + 1.0 * v0[1],
+            1.0 * v0[0] + 2.0 * v0[1],
+        ];
+        assert!((av0[0] - 3.0 * v0[0]).abs() < 1e-9);
+        assert!((av0[1] - 3.0 * v0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_on_larger_random_symmetric() {
+        use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+        let n = 12;
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.gauss();
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        let (vals, vecs) = m.symmetric_eigen().unwrap();
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| m[(i, i)]).sum();
+        let sum_vals: f64 = vals.iter().sum();
+        assert!((trace - sum_vals).abs() < 1e-8);
+        // Eigenvectors orthonormal: VᵀV = I.
+        let vtv = vecs.transpose().matmul(&vecs).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-8, "VtV[{i}{j}]");
+            }
+        }
+        // Reconstruction: V diag(vals) Vᵀ = M.
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = vals[i];
+        }
+        let recon = vecs.matmul(&d).unwrap().matmul(&vecs.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((recon[(i, j)] - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+        // Eigenvalues sorted descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.symmetric_eigen().is_err());
+    }
+}

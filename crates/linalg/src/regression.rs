@@ -1,0 +1,196 @@
+//! Sketch-and-solve least squares — the flagship application of subspace
+//! embeddings (Woodruff's monograph, which the survey credits JL-style
+//! dimensionality reduction with spawning).
+//!
+//! To solve `min_x ‖Ax − b‖₂` for a tall `n × d` matrix, sketch both sides
+//! with a CountSketch transform `S` (`k × n`, `k = O(d²/ε)` suffices; in
+//! practice a few ×d) and solve the tiny `k × d` problem
+//! `min_x ‖SAx − Sb‖₂` exactly via normal equations. The residual is within
+//! `(1 + ε)` of optimal because `S` embeds the `(d+1)`-dimensional subspace
+//! spanned by `A`'s columns and `b`.
+
+use sketches_core::{SketchError, SketchResult};
+
+use crate::matrix::Matrix;
+use crate::sparse_jl::CountSketchTransform;
+
+/// Solves the normal equations `(AᵀA)x = Aᵀb` via the symmetric
+/// eigendecomposition (pseudo-inverse on tiny spectra), for `d × d`
+/// problems small enough for the Jacobi solver.
+fn solve_normal_equations(a: &Matrix, b: &[f64]) -> SketchResult<Vec<f64>> {
+    let d = a.cols();
+    let ata = a.transpose().matmul(a)?;
+    // Aᵀb.
+    let mut atb = vec![0.0; d];
+    for (r, &br) in b.iter().enumerate().take(a.rows()) {
+        for (j, &v) in a.row(r).iter().enumerate() {
+            atb[j] += v * br;
+        }
+    }
+    let (vals, vecs) = ata.symmetric_eigen()?;
+    let cutoff = vals.first().copied().unwrap_or(0.0).abs() * 1e-12;
+    // x = V diag(1/λ) Vᵀ (Aᵀb), dropping negligible eigenvalues.
+    let mut vt_atb = vec![0.0; d];
+    for i in 0..d {
+        for r in 0..d {
+            vt_atb[i] += vecs[(r, i)] * atb[r];
+        }
+    }
+    for (i, v) in vt_atb.iter_mut().enumerate() {
+        if vals[i].abs() > cutoff {
+            *v /= vals[i];
+        } else {
+            *v = 0.0;
+        }
+    }
+    let mut x = vec![0.0; d];
+    for r in 0..d {
+        for i in 0..d {
+            x[r] += vecs[(r, i)] * vt_atb[i];
+        }
+    }
+    Ok(x)
+}
+
+/// Exact least squares via normal equations (the baseline).
+///
+/// # Errors
+/// Returns an error on shape mismatch.
+pub fn exact_least_squares(a: &Matrix, b: &[f64]) -> SketchResult<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(SketchError::invalid("b", "length must equal rows(A)"));
+    }
+    solve_normal_equations(a, b)
+}
+
+/// Sketch-and-solve least squares: sketches the `n`-row problem down to
+/// `sketch_rows` rows with a CountSketch transform and solves that.
+///
+/// # Errors
+/// Returns an error on shape mismatch or `sketch_rows < cols(A)`.
+pub fn sketched_least_squares(
+    a: &Matrix,
+    b: &[f64],
+    sketch_rows: usize,
+    seed: u64,
+) -> SketchResult<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(SketchError::invalid("b", "length must equal rows(A)"));
+    }
+    if sketch_rows < a.cols() {
+        return Err(SketchError::invalid(
+            "sketch_rows",
+            "must be at least cols(A)",
+        ));
+    }
+    let s = CountSketchTransform::new(a.rows(), sketch_rows, seed)?;
+    let sa = s.project_matrix(a)?;
+    let sb = s.project(b)?;
+    solve_normal_equations(&sa, &sb)
+}
+
+/// The residual norm `‖Ax − b‖₂` of a candidate solution.
+///
+/// # Errors
+/// Returns an error on shape mismatch.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> SketchResult<f64> {
+    if x.len() != a.cols() || b.len() != a.rows() {
+        return Err(SketchError::invalid("shapes", "x/b dimensions mismatch"));
+    }
+    let mut sq = 0.0;
+    for (r, &br) in b.iter().enumerate().take(a.rows()) {
+        let pred = crate::matrix::dot(a.row(r), x);
+        let d = pred - br;
+        sq += d * d;
+    }
+    Ok(sq.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+    /// Builds a noisy overdetermined system with a known planted solution.
+    fn planted(n: usize, d: usize, noise: f64, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let x_true: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+        let mut a = Matrix::zeros(n, d);
+        let mut b = vec![0.0; n];
+        for r in 0..n {
+            for c in 0..d {
+                a[(r, c)] = rng.gauss();
+            }
+            b[r] = crate::matrix::dot(a.row(r), &x_true) + noise * rng.gauss();
+        }
+        (a, b, x_true)
+    }
+
+    #[test]
+    fn exact_recovers_planted_solution() {
+        let (a, b, x_true) = planted(400, 8, 0.01, 1);
+        let x = exact_least_squares(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 0.02, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn sketched_residual_within_epsilon_of_optimal() {
+        let (a, b, _) = planted(4_000, 10, 0.5, 2);
+        let x_opt = exact_least_squares(&a, &b).unwrap();
+        let r_opt = residual_norm(&a, &x_opt, &b).unwrap();
+        // Sketch 4000 rows down to 400.
+        let x_sk = sketched_least_squares(&a, &b, 400, 3).unwrap();
+        let r_sk = residual_norm(&a, &x_sk, &b).unwrap();
+        assert!(r_sk >= r_opt - 1e-9, "cannot beat the optimum");
+        assert!(
+            r_sk <= 1.15 * r_opt,
+            "sketched residual {r_sk:.3} vs optimal {r_opt:.3}"
+        );
+    }
+
+    #[test]
+    fn residual_shrinks_with_sketch_size() {
+        let (a, b, _) = planted(4_000, 12, 1.0, 4);
+        let r_opt = residual_norm(&a, &exact_least_squares(&a, &b).unwrap(), &b).unwrap();
+        let excess = |rows: usize| -> f64 {
+            let x = sketched_least_squares(&a, &b, rows, 5).unwrap();
+            residual_norm(&a, &x, &b).unwrap() / r_opt - 1.0
+        };
+        let coarse = excess(40);
+        let fine = excess(1200);
+        assert!(
+            fine < coarse,
+            "excess residual should shrink: rows=40 → {coarse:.4}, rows=1200 → {fine:.4}"
+        );
+        assert!(fine < 0.05, "fine sketch excess {fine:.4}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(10, 3);
+        let b = vec![0.0; 9];
+        assert!(exact_least_squares(&a, &b).is_err());
+        assert!(sketched_least_squares(&a, &[0.0; 10], 2, 0).is_err());
+        assert!(residual_norm(&a, &[0.0; 2], &[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn handles_rank_deficiency() {
+        // Duplicate column: AᵀA singular; pseudo-inverse must not blow up.
+        let mut a = Matrix::zeros(50, 3);
+        let mut rng = Xoshiro256PlusPlus::new(6);
+        for r in 0..50 {
+            let v = rng.gauss();
+            a[(r, 0)] = v;
+            a[(r, 1)] = v; // duplicate
+            a[(r, 2)] = rng.gauss();
+        }
+        let b: Vec<f64> = (0..50).map(|r| a[(r, 0)] * 2.0 + a[(r, 2)]).collect();
+        let x = exact_least_squares(&a, &b).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        let r = residual_norm(&a, &x, &b).unwrap();
+        assert!(r < 1e-8, "residual {r} on a consistent system");
+    }
+}

@@ -1,0 +1,344 @@
+//! Sparse Johnson–Lindenstrauss transforms.
+//!
+//! * [`CountSketchTransform`] — each input coordinate maps to **one** output
+//!   bucket with a random sign: the matrix form of the Count sketch, which
+//!   the survey notes was "generalized as the basis of sparse JL
+//!   transforms". Projection time is `O(nnz(x))`.
+//! * [`SparseJl`] — the Kane–Nelson construction with `s` nonzeros per
+//!   column (block variant), interpolating between CountSketch (`s = 1`)
+//!   and dense JL, with stronger guarantees than `s = 1` at the same
+//!   output dimension.
+//! * [`approximate_matrix_product`] — sketched approximate matrix
+//!   multiplication `AᵀB ≈ (SA)ᵀ(SB)`, one of the survey's "optimizing
+//!   machine learning" directions.
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::family::{KWiseHash, SignHash};
+use sketches_hash::rng::SplitMix64;
+
+use crate::matrix::Matrix;
+
+/// The CountSketch transform: `s = 1` sparse JL.
+#[derive(Debug, Clone)]
+pub struct CountSketchTransform {
+    bucket: KWiseHash,
+    sign: SignHash,
+    d: usize,
+    k: usize,
+}
+
+impl CountSketchTransform {
+    /// Draws a transform from `d` dimensions to `k` buckets.
+    ///
+    /// # Errors
+    /// Returns an error if `d == 0` or `k == 0`.
+    pub fn new(d: usize, k: usize, seed: u64) -> SketchResult<Self> {
+        if d == 0 || k == 0 {
+            return Err(SketchError::invalid("dimensions", "d and k must be positive"));
+        }
+        let mut rng = SplitMix64::new(seed ^ 0xC5_7F0);
+        Ok(Self {
+            bucket: KWiseHash::random(2, &mut rng),
+            sign: SignHash::random(&mut rng),
+            d,
+            k,
+        })
+    }
+
+    /// Projects a `d`-vector into `k` buckets in `O(d)` (or `O(nnz)` via
+    /// [`Self::project_sparse`]).
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn project(&self, v: &[f64]) -> SketchResult<Vec<f64>> {
+        if v.len() != self.d {
+            return Err(SketchError::invalid("v", "dimension mismatch"));
+        }
+        let mut out = vec![0.0; self.k];
+        for (i, &x) in v.iter().enumerate() {
+            if x != 0.0 {
+                let b = self.bucket.hash_range(i as u64, self.k as u64) as usize;
+                out[b] += self.sign.sign(i as u64) as f64 * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects a sparse vector given as `(index, value)` pairs.
+    pub fn project_sparse(&self, entries: &[(usize, f64)]) -> Vec<f64> {
+        let mut out = vec![0.0; self.k];
+        for &(i, x) in entries {
+            let b = self.bucket.hash_range(i as u64, self.k as u64) as usize;
+            out[b] += self.sign.sign(i as u64) as f64 * x;
+        }
+        out
+    }
+
+    /// Applies the transform to every **column** of `a` (i.e. computes
+    /// `S·A` where `S` is the `k × d` sketch matrix), for a `d × m` input.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn project_matrix(&self, a: &Matrix) -> SketchResult<Matrix> {
+        if a.rows() != self.d {
+            return Err(SketchError::invalid("a", "row count must equal d"));
+        }
+        let mut out = Matrix::zeros(self.k, a.cols());
+        for i in 0..self.d {
+            let b = self.bucket.hash_range(i as u64, self.k as u64) as usize;
+            let s = self.sign.sign(i as u64) as f64;
+            let src = a.row(i);
+            let dst = out.row_mut(b);
+            for (d_val, &s_val) in dst.iter_mut().zip(src) {
+                *d_val += s * s_val;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Output dimension `k`.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.k
+    }
+}
+
+impl SpaceUsage for CountSketchTransform {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// A Kane–Nelson style sparse JL transform: the `k` output rows are split
+/// into `s` blocks of `k/s`; each input coordinate lands in one bucket per
+/// block, scaled by `1/√s`.
+#[derive(Debug, Clone)]
+pub struct SparseJl {
+    buckets: Vec<KWiseHash>,
+    signs: Vec<SignHash>,
+    d: usize,
+    k: usize,
+    s: usize,
+}
+
+impl SparseJl {
+    /// Draws a transform with sparsity `s` (nonzeros per column). `k` must
+    /// be divisible by `s`.
+    ///
+    /// # Errors
+    /// Returns an error if dimensions are zero or `s` does not divide `k`.
+    pub fn new(d: usize, k: usize, s: usize, seed: u64) -> SketchResult<Self> {
+        if d == 0 || k == 0 || s == 0 {
+            return Err(SketchError::invalid("dimensions", "must be positive"));
+        }
+        if k % s != 0 {
+            return Err(SketchError::invalid("s", "must divide k"));
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x5BA2_5E11);
+        Ok(Self {
+            buckets: (0..s).map(|_| KWiseHash::random(2, &mut rng)).collect(),
+            signs: (0..s).map(|_| SignHash::random(&mut rng)).collect(),
+            d,
+            k,
+            s,
+        })
+    }
+
+    /// Projects a `d`-vector to `k` dimensions in `O(s·nnz)`.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn project(&self, v: &[f64]) -> SketchResult<Vec<f64>> {
+        if v.len() != self.d {
+            return Err(SketchError::invalid("v", "dimension mismatch"));
+        }
+        let block = self.k / self.s;
+        let scale = 1.0 / (self.s as f64).sqrt();
+        let mut out = vec![0.0; self.k];
+        for (i, &x) in v.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            for b in 0..self.s {
+                let col = self.buckets[b].hash_range(i as u64, block as u64) as usize;
+                out[b * block + col] += self.signs[b].sign(i as u64) as f64 * x * scale;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparsity `s` per column.
+    #[must_use]
+    pub fn sparsity(&self) -> usize {
+        self.s
+    }
+
+    /// Output dimension `k`.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.k
+    }
+}
+
+/// Sketched approximate matrix multiplication: estimates `AᵀB` (for
+/// `d × m` and `d × n` inputs) as `(SA)ᵀ(SB)` with a `k`-row CountSketch.
+/// Error: `‖AᵀB − (SA)ᵀ(SB)‖_F ≲ ‖A‖_F·‖B‖_F/√k`.
+///
+/// # Errors
+/// Returns an error if the inputs have different row counts.
+pub fn approximate_matrix_product(
+    a: &Matrix,
+    b: &Matrix,
+    k: usize,
+    seed: u64,
+) -> SketchResult<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(SketchError::invalid("b", "row counts must match"));
+    }
+    let s = CountSketchTransform::new(a.rows(), k, seed)?;
+    let sa = s.project_matrix(a)?;
+    let sb = s.project_matrix(b)?;
+    sa.transpose().matmul(&sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jl::max_pairwise_distortion;
+    use crate::matrix::dot;
+    use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gauss()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(CountSketchTransform::new(0, 4, 0).is_err());
+        assert!(SparseJl::new(10, 9, 2, 0).is_err()); // 2 ∤ 9
+        assert!(SparseJl::new(10, 8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn countsketch_preserves_norm_in_expectation() {
+        let mut sq = 0.0;
+        let trials = 300;
+        let v: Vec<f64> = (0..100).map(|i| (f64::from(i) * 0.1).sin()).collect();
+        let true_sq = dot(&v, &v);
+        for t in 0..trials {
+            let cs = CountSketchTransform::new(100, 64, t).unwrap();
+            let p = cs.project(&v).unwrap();
+            sq += dot(&p, &p);
+        }
+        let mean = sq / trials as f64;
+        assert!(
+            (mean - true_sq).abs() / true_sq < 0.1,
+            "mean {mean} vs {true_sq}"
+        );
+    }
+
+    #[test]
+    fn project_sparse_matches_dense() {
+        let cs = CountSketchTransform::new(50, 16, 3).unwrap();
+        let mut v = vec![0.0; 50];
+        v[3] = 2.0;
+        v[17] = -1.5;
+        let dense = cs.project(&v).unwrap();
+        let sparse = cs.project_sparse(&[(3, 2.0), (17, -1.5)]);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn sparse_jl_distortion_reasonable() {
+        let points = random_points(25, 400, 5);
+        let jl = SparseJl::new(400, 256, 4, 6).unwrap();
+        let d = max_pairwise_distortion(&points, |p| jl.project(p).unwrap());
+        assert!(d < 0.4, "distortion {d:.3}");
+    }
+
+    #[test]
+    fn higher_sparsity_tightens_concentration() {
+        // Norm of a single projected vector across seeds: higher s should
+        // have lower variance at the same k.
+        let v: Vec<f64> = (0..200).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let true_sq = dot(&v, &v);
+        let spread = |s: usize| -> f64 {
+            let mut worst: f64 = 0.0;
+            for t in 0..60u64 {
+                let jl = SparseJl::new(200, 64, s, 1000 + t).unwrap();
+                let p = jl.project(&v).unwrap();
+                worst = worst.max((dot(&p, &p) / true_sq - 1.0).abs());
+            }
+            worst
+        };
+        let s1 = spread(1);
+        let s8 = spread(8);
+        assert!(
+            s8 < s1 * 1.2,
+            "s=8 spread {s8:.3} should not exceed s=1 spread {s1:.3}"
+        );
+    }
+
+    #[test]
+    fn project_matrix_matches_per_column() {
+        let cs = CountSketchTransform::new(6, 4, 9).unwrap();
+        let a = Matrix::from_rows(
+            6,
+            2,
+            vec![1.0, 0.0, 0.0, 2.0, 3.0, 0.0, 0.0, 4.0, 5.0, 0.0, 0.0, 6.0],
+        )
+        .unwrap();
+        let sa = cs.project_matrix(&a).unwrap();
+        // Column 0 of A projected manually must equal column 0 of SA.
+        let col0: Vec<f64> = (0..6).map(|r| a[(r, 0)]).collect();
+        let proj0 = cs.project(&col0).unwrap();
+        for r in 0..4 {
+            assert!((sa[(r, 0)] - proj0[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amm_error_shrinks_with_k() {
+        let mut rng = Xoshiro256PlusPlus::new(8);
+        let d = 300;
+        let m = 8;
+        let mut a = Matrix::zeros(d, m);
+        let mut b = Matrix::zeros(d, m);
+        for r in 0..d {
+            for c in 0..m {
+                a[(r, c)] = rng.gauss();
+                b[(r, c)] = rng.gauss();
+            }
+        }
+        let exact = a.transpose().matmul(&b).unwrap();
+        let err = |k: usize| -> f64 {
+            let approx = approximate_matrix_product(&a, &b, k, 17).unwrap();
+            let mut diff = 0.0;
+            for i in 0..m {
+                for j in 0..m {
+                    let d = approx[(i, j)] - exact[(i, j)];
+                    diff += d * d;
+                }
+            }
+            diff.sqrt()
+        };
+        let coarse = err(32);
+        let fine = err(2048);
+        assert!(
+            fine < coarse,
+            "AMM error should shrink with k: k=32 → {coarse:.2}, k=2048 → {fine:.2}"
+        );
+        let scale = a.frobenius_norm() * b.frobenius_norm();
+        assert!(fine < scale * 0.12, "fine error {fine} vs scale {scale}");
+    }
+
+    #[test]
+    fn amm_rejects_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 2);
+        assert!(approximate_matrix_product(&a, &b, 8, 0).is_err());
+    }
+}

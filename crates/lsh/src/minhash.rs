@@ -1,0 +1,360 @@
+//! MinHash (Broder, 1997): signatures whose agreement rate is exactly the
+//! Jaccard similarity of the underlying sets.
+
+use std::hash::Hash;
+
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
+use sketches_hash::hash_item;
+use sketches_hash::mix::mix64_seeded;
+
+/// A MinHash signature: the vector of per-function minima.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHashSignature(pub Vec<u64>);
+
+impl MinHashSignature {
+    /// Estimated Jaccard similarity: the fraction of agreeing components.
+    ///
+    /// # Errors
+    /// Returns an error if lengths differ.
+    pub fn jaccard(&self, other: &Self) -> SketchResult<f64> {
+        if self.0.len() != other.0.len() {
+            return Err(SketchError::incompatible("signature lengths differ"));
+        }
+        let agree = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .filter(|(a, b)| a == b)
+            .count();
+        Ok(agree as f64 / self.0.len() as f64)
+    }
+
+    /// Signature length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the signature is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The classic k-hash MinHasher: `k` independent hash functions, each
+/// tracking its minimum over the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHasher {
+    mins: Vec<u64>,
+    seed: u64,
+}
+
+impl MinHasher {
+    /// Creates a MinHasher with `k >= 1` hash functions.
+    ///
+    /// # Errors
+    /// Returns an error if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> SketchResult<Self> {
+        if k == 0 {
+            return Err(SketchError::invalid("k", "need k >= 1"));
+        }
+        Ok(Self {
+            mins: vec![u64::MAX; k],
+            seed,
+        })
+    }
+
+    /// Absorbs a pre-hashed element.
+    pub fn update_hash(&mut self, hash: u64) {
+        for (i, m) in self.mins.iter_mut().enumerate() {
+            let h = mix64_seeded(hash, self.seed ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            if h < *m {
+                *m = h;
+            }
+        }
+    }
+
+    /// The current signature.
+    #[must_use]
+    pub fn signature(&self) -> MinHashSignature {
+        MinHashSignature(self.mins.clone())
+    }
+
+    /// Estimated Jaccard similarity with another MinHasher.
+    ///
+    /// # Errors
+    /// Returns an error on parameter mismatch.
+    pub fn jaccard(&self, other: &Self) -> SketchResult<f64> {
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        self.signature().jaccard(&other.signature())
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for MinHasher {
+    fn update(&mut self, item: &T) {
+        self.update_hash(hash_item(item, 0x3147_4A51));
+    }
+}
+
+impl Clear for MinHasher {
+    fn clear(&mut self) {
+        self.mins.fill(u64::MAX);
+    }
+}
+
+impl SpaceUsage for MinHasher {
+    fn space_bytes(&self) -> usize {
+        self.mins.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl MergeSketch for MinHasher {
+    /// Component-wise minimum — the signature of the *union* of the sets.
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.mins.len() != other.mins.len() {
+            return Err(SketchError::incompatible("k differs"));
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        for (a, &b) in self.mins.iter_mut().zip(&other.mins) {
+            *a = (*a).min(b);
+        }
+        Ok(())
+    }
+}
+
+/// One-permutation MinHash with rotation densification (Li, Owen & Zhang):
+/// a single hash pass, buckets by the top bits, with empty buckets filled
+/// from the next non-empty one. `k`-times cheaper per update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnePermMinHasher {
+    mins: Vec<u64>,
+    k: usize,
+    seed: u64,
+}
+
+impl OnePermMinHasher {
+    /// Creates a one-permutation hasher with `k >= 1` buckets.
+    ///
+    /// # Errors
+    /// Returns an error if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> SketchResult<Self> {
+        if k == 0 {
+            return Err(SketchError::invalid("k", "need k >= 1"));
+        }
+        Ok(Self {
+            mins: vec![u64::MAX; k],
+            k,
+            seed,
+        })
+    }
+
+    /// Absorbs a pre-hashed element: one hash, one bucket update.
+    pub fn update_hash(&mut self, hash: u64) {
+        let h = mix64_seeded(hash, self.seed);
+        let bucket = ((u128::from(h) * self.k as u128) >> 64) as usize;
+        let value = mix64_seeded(h, 0x0EB5);
+        if value < self.mins[bucket] {
+            self.mins[bucket] = value;
+        }
+    }
+
+    /// The densified signature: empty buckets borrow the value of the next
+    /// occupied bucket (cyclically), keeping the collision property.
+    #[must_use]
+    pub fn signature(&self) -> MinHashSignature {
+        let mut out = vec![u64::MAX; self.k];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.mins[i] != u64::MAX {
+                *slot = self.mins[i];
+                continue;
+            }
+            // Rotate to the next non-empty bucket.
+            for d in 1..=self.k {
+                let j = (i + d) % self.k;
+                if self.mins[j] != u64::MAX {
+                    // Mix in the distance so distinct empty runs stay
+                    // distinguishable across sets with different support.
+                    *slot = mix64_seeded(self.mins[j], d as u64);
+                    break;
+                }
+            }
+        }
+        MinHashSignature(out)
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for OnePermMinHasher {
+    fn update(&mut self, item: &T) {
+        self.update_hash(hash_item(item, 0x0E_B514));
+    }
+}
+
+impl Clear for OnePermMinHasher {
+    fn clear(&mut self) {
+        self.mins.fill(u64::MAX);
+    }
+}
+
+impl SpaceUsage for OnePermMinHasher {
+    fn space_bytes(&self) -> usize {
+        self.mins.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl MergeSketch for OnePermMinHasher {
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.k != other.k || self.seed != other.seed {
+            return Err(SketchError::incompatible("parameters differ"));
+        }
+        for (a, &b) in self.mins.iter_mut().zip(&other.mins) {
+            *a = (*a).min(b);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds two integer sets with the given Jaccard similarity.
+    fn sets_with_jaccard(j: f64, size: usize) -> (Vec<u64>, Vec<u64>) {
+        // |A∩B| = j·|A∪B|; build union of size `size`.
+        let inter = (j * size as f64 / (1.0 + j) * 2.0).round() as u64;
+        let rest = size as u64 - inter;
+        let a: Vec<u64> = (0..inter).chain(inter..inter + rest / 2).collect();
+        let b: Vec<u64> = (0..inter)
+            .chain(inter + rest / 2..inter + rest)
+            .collect();
+        (a, b)
+    }
+
+    fn true_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        use std::collections::HashSet;
+        let sa: HashSet<_> = a.iter().collect();
+        let sb: HashSet<_> = b.iter().collect();
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        inter / union
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(MinHasher::new(0, 0).is_err());
+        assert!(OnePermMinHasher::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let mut a = MinHasher::new(64, 1).unwrap();
+        let mut b = MinHasher::new(64, 1).unwrap();
+        for i in 0..100u64 {
+            a.update(&i);
+            b.update(&i);
+        }
+        assert_eq!(a.jaccard(&b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_jaccard_near_zero() {
+        let mut a = MinHasher::new(128, 2).unwrap();
+        let mut b = MinHasher::new(128, 2).unwrap();
+        for i in 0..500u64 {
+            a.update(&i);
+            b.update(&(i + 10_000));
+        }
+        assert!(a.jaccard(&b).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn estimates_match_true_jaccard() {
+        for target in [0.2, 0.5, 0.8] {
+            let (sa, sb) = sets_with_jaccard(target, 2000);
+            let truth = true_jaccard(&sa, &sb);
+            let mut a = MinHasher::new(512, 3).unwrap();
+            let mut b = MinHasher::new(512, 3).unwrap();
+            for x in &sa {
+                a.update(x);
+            }
+            for x in &sb {
+                b.update(x);
+            }
+            let est = a.jaccard(&b).unwrap();
+            // stderr ≈ sqrt(j(1-j)/512) ≈ 0.022.
+            assert!(
+                (est - truth).abs() < 0.08,
+                "target {target}: est {est:.3} vs true {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = MinHasher::new(64, 4).unwrap();
+        let mut b = MinHasher::new(64, 4).unwrap();
+        let mut u = MinHasher::new(64, 4).unwrap();
+        for i in 0..200u64 {
+            a.update(&i);
+            u.update(&i);
+        }
+        for i in 100..300u64 {
+            b.update(&i);
+            u.update(&i);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, u);
+        assert!(a.merge(&MinHasher::new(32, 4).unwrap()).is_err());
+    }
+
+    #[test]
+    fn one_perm_estimates_jaccard() {
+        let (sa, sb) = sets_with_jaccard(0.5, 4000);
+        let truth = true_jaccard(&sa, &sb);
+        let mut a = OnePermMinHasher::new(256, 5).unwrap();
+        let mut b = OnePermMinHasher::new(256, 5).unwrap();
+        for x in &sa {
+            a.update(x);
+        }
+        for x in &sb {
+            b.update(x);
+        }
+        let est = a.signature().jaccard(&b.signature()).unwrap();
+        assert!(
+            (est - truth).abs() < 0.1,
+            "one-perm est {est:.3} vs true {truth:.3}"
+        );
+    }
+
+    #[test]
+    fn one_perm_densification_fills_empty_buckets() {
+        let mut a = OnePermMinHasher::new(64, 6).unwrap();
+        // Only 5 items: most buckets empty; signature must still have no
+        // u64::MAX placeholders.
+        for i in 0..5u64 {
+            a.update(&i);
+        }
+        let sig = a.signature();
+        assert!(sig.0.iter().all(|&v| v != u64::MAX));
+    }
+
+    #[test]
+    fn signature_mismatch_is_error() {
+        let a = MinHasher::new(8, 0).unwrap();
+        let b = MinHasher::new(16, 0).unwrap();
+        assert!(a.signature().jaccard(&b.signature()).is_err());
+        assert!(a.jaccard(&MinHasher::new(8, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = MinHasher::new(8, 0).unwrap();
+        a.update(&1u32);
+        a.clear();
+        assert_eq!(a.signature().0, vec![u64::MAX; 8]);
+    }
+}

@@ -1,0 +1,192 @@
+//! p-stable LSH for Euclidean distance (Datar, Immorlica, Indyk &
+//! Mirrokni, SoCG 2004) — the "E2LSH" scheme.
+//!
+//! `h(v) = ⌊(⟨a, v⟩ + b)/w⌋` with `a` standard Gaussian (2-stable) and `b`
+//! uniform in `[0, w)`. Nearby points collide with probability decreasing
+//! in `‖u − v‖/w`, which the index in [`crate::index`] amplifies by
+//! concatenation and repetition.
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// One Gaussian-projection bucket hash.
+#[derive(Debug, Clone)]
+pub struct PStableHasher {
+    a: Vec<f64>,
+    b: f64,
+    w: f64,
+}
+
+impl PStableHasher {
+    /// Draws a hash over dimension `d` with bucket width `w > 0`.
+    ///
+    /// # Errors
+    /// Returns an error for `d == 0` or non-positive `w`.
+    pub fn new(d: usize, w: f64, seed: u64) -> SketchResult<Self> {
+        if d == 0 {
+            return Err(SketchError::invalid("d", "must be positive"));
+        }
+        sketches_core::check_positive_finite("w", w)?;
+        let mut rng = Xoshiro256PlusPlus::new(seed ^ 0xE215);
+        Ok(Self {
+            a: (0..d).map(|_| rng.gauss()).collect(),
+            b: rng.next_f64() * w,
+            w,
+        })
+    }
+
+    /// Hashes a vector to its bucket index.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn hash(&self, v: &[f64]) -> SketchResult<i64> {
+        if v.len() != self.a.len() {
+            return Err(SketchError::invalid("v", "dimension mismatch"));
+        }
+        let dot: f64 = self.a.iter().zip(v).map(|(&a, &x)| a * x).sum();
+        Ok(((dot + self.b) / self.w).floor() as i64)
+    }
+
+    /// The theoretical collision probability for two points at distance
+    /// `c`: `p(c) = 1 − 2Φ(−w/c) − (2c/(√(2π)·w))(1 − e^{−w²/(2c²)})`.
+    #[must_use]
+    pub fn collision_probability(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 1.0;
+        }
+        let r = self.w / c;
+        let phi_neg = 0.5 * libm_erfc(r / std::f64::consts::SQRT_2);
+        1.0 - 2.0 * phi_neg
+            - (2.0 / (std::f64::consts::TAU.sqrt() * r)) * (1.0 - (-r * r / 2.0).exp())
+    }
+
+    /// Bucket width `w`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.w
+    }
+}
+
+/// A reasonable-accuracy complementary error function (Abramowitz &
+/// Stegun 7.1.26-style rational approximation), good to ~1e-7 — enough for
+/// computing theoretical collision curves in experiments.
+#[must_use]
+pub fn libm_erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * ax);
+    let y = t * (-ax * ax - 1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587
+                                    + t * (-0.82215223 + t * 0.17087277)))))))))
+    .exp();
+    if x >= 0.0 {
+        y
+    } else {
+        2.0 - y
+    }
+}
+
+impl SpaceUsage for PStableHasher {
+    fn space_bytes(&self) -> usize {
+        self.a.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(PStableHasher::new(0, 1.0, 0).is_err());
+        assert!(PStableHasher::new(4, 0.0, 0).is_err());
+        assert!(PStableHasher::new(4, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((libm_erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((libm_erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((libm_erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(libm_erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn close_points_collide_more() {
+        let d = 16;
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let base: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+        let perturb = |eps: f64, rng: &mut Xoshiro256PlusPlus| -> Vec<f64> {
+            let noise: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+            let n = noise.iter().map(|x| x * x).sum::<f64>().sqrt();
+            base.iter()
+                .zip(&noise)
+                .map(|(&b, &x)| b + eps * x / n)
+                .collect()
+        };
+        let mut near_coll = 0u32;
+        let mut far_coll = 0u32;
+        let trials = 2_000;
+        for t in 0..trials {
+            let h = PStableHasher::new(d, 4.0, 100 + t as u64).unwrap();
+            let hb = h.hash(&base).unwrap();
+            let near = perturb(1.0, &mut rng);
+            let far = perturb(20.0, &mut rng);
+            if h.hash(&near).unwrap() == hb {
+                near_coll += 1;
+            }
+            if h.hash(&far).unwrap() == hb {
+                far_coll += 1;
+            }
+        }
+        assert!(
+            near_coll > 3 * far_coll,
+            "near {near_coll} vs far {far_coll}"
+        );
+    }
+
+    #[test]
+    fn empirical_collision_matches_theory() {
+        let d = 8;
+        let w = 4.0;
+        let dist = 2.0;
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let mut collisions = 0u32;
+        let trials = 4_000;
+        for t in 0..trials {
+            let h = PStableHasher::new(d, w, 999 + t as u64).unwrap();
+            let a: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+            // Point at exact distance `dist` in a random direction.
+            let dir: Vec<f64> = {
+                let v: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+                let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                v.into_iter().map(|x| x / n).collect()
+            };
+            let b: Vec<f64> = a.iter().zip(&dir).map(|(&x, &u)| x + dist * u).collect();
+            if h.hash(&a).unwrap() == h.hash(&b).unwrap() {
+                collisions += 1;
+            }
+        }
+        let emp = f64::from(collisions) / f64::from(trials);
+        let theory = PStableHasher::new(d, w, 0).unwrap().collision_probability(dist);
+        assert!(
+            (emp - theory).abs() < 0.03,
+            "empirical {emp:.3} vs theory {theory:.3}"
+        );
+    }
+
+    #[test]
+    fn collision_probability_monotone() {
+        let h = PStableHasher::new(4, 4.0, 3).unwrap();
+        let p1 = h.collision_probability(0.5);
+        let p2 = h.collision_probability(2.0);
+        let p3 = h.collision_probability(8.0);
+        assert!(p1 > p2 && p2 > p3, "{p1} {p2} {p3}");
+        assert_eq!(h.collision_probability(0.0), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! SimHash (Charikar, STOC 2002): sign-random-projection signatures for
+//! angular/cosine similarity.
+//!
+//! Bit `i` of the signature is the sign of `⟨rᵢ, x⟩` for a random Gaussian
+//! vector `rᵢ`. For two vectors at angle θ, each bit disagrees with
+//! probability `θ/π`, so the Hamming distance estimates the angle and
+//! `cos(π·hamming/b)` estimates the cosine similarity.
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// A SimHash signature of `b` bits, packed into words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimHashSignature {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SimHashSignature {
+    /// Hamming distance to another signature.
+    ///
+    /// # Errors
+    /// Returns an error on length mismatch.
+    pub fn hamming(&self, other: &Self) -> SketchResult<u32> {
+        if self.len != other.len {
+            return Err(SketchError::incompatible("signature lengths differ"));
+        }
+        Ok(self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| (a ^ b).count_ones())
+            .sum())
+    }
+
+    /// Estimated angle in radians between the original vectors.
+    ///
+    /// # Errors
+    /// Returns an error on length mismatch.
+    pub fn angle_estimate(&self, other: &Self) -> SketchResult<f64> {
+        let h = self.hamming(other)?;
+        Ok(std::f64::consts::PI * f64::from(h) / self.len as f64)
+    }
+
+    /// Estimated cosine similarity.
+    ///
+    /// # Errors
+    /// Returns an error on length mismatch.
+    pub fn cosine_estimate(&self, other: &Self) -> SketchResult<f64> {
+        Ok(self.angle_estimate(other)?.cos())
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the signature has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `band`-th group of `r` bits, packed into a u64 (for banding
+    /// indexes). `r` must be ≤ 64.
+    #[must_use]
+    pub fn band(&self, band: usize, r: usize) -> u64 {
+        let mut out = 0u64;
+        for i in 0..r {
+            let bit = band * r + i;
+            if bit >= self.len {
+                break;
+            }
+            if self.bits[bit / 64] >> (bit % 64) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// A SimHash family: `b` random Gaussian hyperplanes over dimension `d`.
+#[derive(Debug, Clone)]
+pub struct SimHasher {
+    planes: Vec<Vec<f64>>,
+    d: usize,
+}
+
+impl SimHasher {
+    /// Draws `b >= 1` hyperplanes over `d >= 1` dimensions.
+    ///
+    /// # Errors
+    /// Returns an error for zero parameters.
+    pub fn new(d: usize, b: usize, seed: u64) -> SketchResult<Self> {
+        if d == 0 || b == 0 {
+            return Err(SketchError::invalid("dimensions", "must be positive"));
+        }
+        let mut rng = Xoshiro256PlusPlus::new(seed ^ 0x51_3417);
+        let planes = (0..b)
+            .map(|_| (0..d).map(|_| rng.gauss()).collect())
+            .collect();
+        Ok(Self { planes, d })
+    }
+
+    /// Signs a vector.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn sign(&self, v: &[f64]) -> SketchResult<SimHashSignature> {
+        if v.len() != self.d {
+            return Err(SketchError::invalid("v", "dimension mismatch"));
+        }
+        let b = self.planes.len();
+        let mut bits = vec![0u64; b.div_ceil(64)];
+        for (i, plane) in self.planes.iter().enumerate() {
+            let dot: f64 = plane.iter().zip(v).map(|(&p, &x)| p * x).sum();
+            if dot >= 0.0 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Ok(SimHashSignature { bits, len: b })
+    }
+
+    /// Signature length in bits.
+    #[must_use]
+    pub fn num_bits(&self) -> usize {
+        self.planes.len()
+    }
+}
+
+impl SpaceUsage for SimHasher {
+    fn space_bytes(&self) -> usize {
+        self.planes.len() * self.d * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: Vec<f64>) -> Vec<f64> {
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        v.into_iter().map(|x| x / n).collect()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(SimHasher::new(0, 8, 0).is_err());
+        assert!(SimHasher::new(8, 0, 0).is_err());
+        let h = SimHasher::new(4, 8, 0).unwrap();
+        assert!(h.sign(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identical_vectors_agree_fully() {
+        let h = SimHasher::new(10, 256, 1).unwrap();
+        let v: Vec<f64> = (0..10).map(|i| f64::from(i) - 4.5).collect();
+        let s1 = h.sign(&v).unwrap();
+        let s2 = h.sign(&v).unwrap();
+        assert_eq!(s1.hamming(&s2).unwrap(), 0);
+        assert_eq!(s1.cosine_estimate(&s2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn opposite_vectors_disagree_fully() {
+        let h = SimHasher::new(10, 256, 2).unwrap();
+        let v: Vec<f64> = (0..10).map(|i| f64::from(i) + 1.0).collect();
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        let s1 = h.sign(&v).unwrap();
+        let s2 = h.sign(&neg).unwrap();
+        assert_eq!(s1.hamming(&s2).unwrap() as usize, s1.len());
+        assert!(s1.cosine_estimate(&s2).unwrap() < -0.99);
+    }
+
+    #[test]
+    fn orthogonal_vectors_disagree_half() {
+        let h = SimHasher::new(4, 2048, 3).unwrap();
+        let a = h.sign(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let b = h.sign(&[0.0, 1.0, 0.0, 0.0]).unwrap();
+        let frac = f64::from(a.hamming(&b).unwrap()) / 2048.0;
+        assert!((frac - 0.5).abs() < 0.05, "disagreement {frac}");
+        let cos = a.cosine_estimate(&b).unwrap();
+        assert!(cos.abs() < 0.15, "cosine {cos}");
+    }
+
+    #[test]
+    fn angle_estimates_track_truth() {
+        // Vectors at a known angle θ: (1,0) and (cosθ, sinθ).
+        let h = SimHasher::new(2, 4096, 4).unwrap();
+        for theta_deg in [30.0, 60.0, 120.0] {
+            let theta = f64::to_radians(theta_deg);
+            let a = h.sign(&[1.0, 0.0]).unwrap();
+            let b = h.sign(&[theta.cos(), theta.sin()]).unwrap();
+            let est = a.angle_estimate(&b).unwrap();
+            assert!(
+                (est - theta).abs() < 0.08,
+                "θ={theta_deg}°: est {est:.3} vs {theta:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let h = SimHasher::new(6, 128, 5).unwrap();
+        let v = unit(vec![1.0, -2.0, 3.0, 0.5, -0.1, 2.2]);
+        let scaled: Vec<f64> = v.iter().map(|x| x * 42.0).collect();
+        assert_eq!(h.sign(&v).unwrap(), h.sign(&scaled).unwrap());
+    }
+
+    #[test]
+    fn banding_extracts_bits() {
+        let h = SimHasher::new(3, 16, 6).unwrap();
+        let s = h.sign(&[0.3, -0.7, 1.1]).unwrap();
+        // Reconstruct all bits from 4 bands of 4.
+        let mut reconstructed = 0u64;
+        for band in 0..4 {
+            reconstructed |= s.band(band, 4) << (band * 4);
+        }
+        assert_eq!(reconstructed, s.bits[0] & 0xFFFF);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let h1 = SimHasher::new(4, 8, 7).unwrap();
+        let h2 = SimHasher::new(4, 16, 7).unwrap();
+        let a = h1.sign(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let b = h2.sign(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(a.hamming(&b).is_err());
+    }
+}

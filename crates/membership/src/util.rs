@@ -1,0 +1,14 @@
+//! Shared probing helpers for the filter implementations.
+
+use sketches_hash::mix::{mix64_seeded, murmur_fmix64};
+
+/// Derives the two base hashes for Kirsch–Mitzenmacher double hashing:
+/// probe `i` lands at `h1 + i·h2` (with `h2` forced odd so probe sequences
+/// cycle through the whole table). One derivation shared by every filter so
+/// fixes cannot drift between them.
+#[inline]
+pub(crate) fn double_hash(hash: u64, seed: u64) -> (u64, u64) {
+    let h1 = mix64_seeded(hash, seed);
+    let h2 = murmur_fmix64(h1 ^ seed) | 1;
+    (h1, h2)
+}

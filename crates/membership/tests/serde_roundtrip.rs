@@ -1,0 +1,52 @@
+//! Serde round-trips for the membership filters (`--features serde`).
+
+#![cfg(feature = "serde")]
+
+use sketches_core::{MembershipTester, MergeSketch, Update};
+use sketches_membership::{BlockedBloomFilter, BloomFilter, CountingBloomFilter, CuckooFilter};
+
+#[test]
+fn bloom_roundtrip_no_false_negatives() {
+    let mut f = BloomFilter::with_capacity(5_000, 0.01, 3).unwrap();
+    for i in 0..5_000u64 {
+        f.update(&i);
+    }
+    let back: BloomFilter = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    assert_eq!(back, f);
+    for i in 0..5_000u64 {
+        assert!(back.contains(&i));
+    }
+    // Merge compatibility survives.
+    let mut merged = back;
+    merged.merge(&f).unwrap();
+}
+
+#[test]
+fn counting_bloom_roundtrip_supports_delete() {
+    let mut f = CountingBloomFilter::new(4096, 4, 5).unwrap();
+    f.update("keep");
+    f.update("drop");
+    let mut back: CountingBloomFilter =
+        serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    back.remove("drop");
+    assert!(back.contains("keep"));
+    assert!(!back.contains("drop"));
+}
+
+#[test]
+fn blocked_and_cuckoo_roundtrip() {
+    let mut blocked = BlockedBloomFilter::new(64, 6, 7).unwrap();
+    let mut cuckoo = CuckooFilter::with_capacity(1_000, 7).unwrap();
+    for i in 0..500u64 {
+        blocked.update(&i);
+        cuckoo.insert(&i).unwrap();
+    }
+    let b2: BlockedBloomFilter =
+        serde_json::from_str(&serde_json::to_string(&blocked).unwrap()).unwrap();
+    let c2: CuckooFilter = serde_json::from_str(&serde_json::to_string(&cuckoo).unwrap()).unwrap();
+    for i in 0..500u64 {
+        assert!(b2.contains(&i));
+        assert!(c2.contains(&i));
+    }
+    assert_eq!(c2.len(), 500);
+}

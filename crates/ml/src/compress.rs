@@ -1,0 +1,240 @@
+//! The Count-Sketch gradient compressor.
+//!
+//! Clients sketch their `d`-dimensional gradient into `rows × cols`
+//! counters (`≪ d`); sketches are *linear*, so the server just sums them —
+//! the heart of FetchSGD. Top-k coordinates are recovered by querying all
+//! `d` estimates (the model dimension is known to the server).
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::family::{KWiseHash, SignHash};
+use sketches_hash::rng::SplitMix64;
+
+/// A float Count-Sketch of a fixed-dimension gradient vector.
+#[derive(Debug, Clone)]
+pub struct GradientSketch {
+    counters: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    dim: usize,
+    bucket_hashes: Vec<KWiseHash>,
+    sign_hashes: Vec<SignHash>,
+    seed: u64,
+}
+
+impl GradientSketch {
+    /// Creates an empty sketch for `dim`-dimensional vectors.
+    ///
+    /// All parties must use the same `seed` so their sketches share hash
+    /// functions and can be summed.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate dimensions.
+    pub fn new(dim: usize, rows: usize, cols: usize, seed: u64) -> SketchResult<Self> {
+        if dim == 0 || rows == 0 || cols < 2 {
+            return Err(SketchError::invalid("dims", "degenerate sketch shape"));
+        }
+        let mut rng = SplitMix64::new(seed ^ 0xFE7C_459D);
+        Ok(Self {
+            counters: vec![0.0; rows * cols],
+            rows,
+            cols,
+            dim,
+            bucket_hashes: (0..rows).map(|_| KWiseHash::random(2, &mut rng)).collect(),
+            sign_hashes: (0..rows).map(|_| SignHash::random(&mut rng)).collect(),
+            seed,
+        })
+    }
+
+    /// Accumulates a dense vector into the sketch (linear).
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn accumulate(&mut self, v: &[f64]) -> SketchResult<()> {
+        if v.len() != self.dim {
+            return Err(SketchError::invalid("v", "dimension mismatch"));
+        }
+        for (i, &x) in v.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            for row in 0..self.rows {
+                let b = self.bucket_hashes[row].hash_range(i as u64, self.cols as u64) as usize;
+                let s = self.sign_hashes[row].sign(i as u64) as f64;
+                self.counters[row * self.cols + b] += s * x;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales every counter (used for momentum).
+    pub fn scale(&mut self, factor: f64) {
+        for c in &mut self.counters {
+            *c *= factor;
+        }
+    }
+
+    /// Adds `factor ×` another sketch (linearity with scaling — used to
+    /// fold the learning rate into the error-feedback accumulator).
+    ///
+    /// # Errors
+    /// Returns an error if shapes or seeds differ.
+    pub fn add_scaled(&mut self, other: &Self, factor: f64) -> SketchResult<()> {
+        if self.rows != other.rows || self.cols != other.cols || self.dim != other.dim {
+            return Err(SketchError::incompatible("shapes differ"));
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += factor * b;
+        }
+        Ok(())
+    }
+
+    /// Adds another sketch (linearity — the server-side aggregation step).
+    ///
+    /// # Errors
+    /// Returns an error if shapes or seeds differ.
+    pub fn add(&mut self, other: &Self) -> SketchResult<()> {
+        if self.rows != other.rows || self.cols != other.cols || self.dim != other.dim {
+            return Err(SketchError::incompatible("shapes differ"));
+        }
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Median-of-rows point estimate of coordinate `i`.
+    #[must_use]
+    pub fn estimate(&self, i: usize) -> f64 {
+        let mut ests: Vec<f64> = (0..self.rows)
+            .map(|row| {
+                let b = self.bucket_hashes[row].hash_range(i as u64, self.cols as u64) as usize;
+                self.sign_hashes[row].sign(i as u64) as f64
+                    * self.counters[row * self.cols + b]
+            })
+            .collect();
+        sketches_core::median_f64(&mut ests)
+    }
+
+    /// Extracts the dense top-`k` approximation: the `k` coordinates with
+    /// the largest |estimate|, all others zero.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<f64> {
+        let mut scored: Vec<(f64, usize)> = (0..self.dim)
+            .map(|i| (self.estimate(i).abs(), i))
+            .collect();
+        scored.sort_by(|a, b| f64::total_cmp(&b.0, &a.0));
+        let mut out = vec![0.0; self.dim];
+        for &(_, i) in scored.iter().take(k) {
+            out[i] = self.estimate(i);
+        }
+        out
+    }
+
+    /// Zeroes the sketch.
+    pub fn reset(&mut self) {
+        self.counters.fill(0.0);
+    }
+
+    /// Bytes a client transmits per round (the counters).
+    #[must_use]
+    pub fn transmitted_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Model dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl SpaceUsage for GradientSketch {
+    fn space_bytes(&self) -> usize {
+        self.transmitted_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(GradientSketch::new(0, 3, 16, 0).is_err());
+        assert!(GradientSketch::new(8, 0, 16, 0).is_err());
+        assert!(GradientSketch::new(8, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn recovers_sparse_heavy_coordinates() {
+        let d = 512;
+        let mut v = vec![0.0; d];
+        v[7] = 10.0;
+        v[100] = -8.0;
+        v[300] = 5.0;
+        for (i, x) in v.iter_mut().enumerate() {
+            if *x == 0.0 {
+                *x = ((i % 13) as f64 - 6.0) * 0.01; // small noise floor
+            }
+        }
+        let mut s = GradientSketch::new(d, 7, 128, 1).unwrap();
+        s.accumulate(&v).unwrap();
+        let top = s.top_k(3);
+        assert!((top[7] - 10.0).abs() < 1.0, "top[7] = {}", top[7]);
+        assert!((top[100] + 8.0).abs() < 1.0, "top[100] = {}", top[100]);
+        assert!((top[300] - 5.0).abs() < 1.0, "top[300] = {}", top[300]);
+        assert_eq!(top.iter().filter(|&&x| x != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn linearity_sum_of_sketches() {
+        let d = 64;
+        let a: Vec<f64> = (0..d).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..d).map(|i| -(i as f64) / 2.0).collect();
+        let mut sa = GradientSketch::new(d, 5, 32, 2).unwrap();
+        sa.accumulate(&a).unwrap();
+        let mut sb = GradientSketch::new(d, 5, 32, 2).unwrap();
+        sb.accumulate(&b).unwrap();
+        sa.add(&sb).unwrap();
+        let mut s_sum = GradientSketch::new(d, 5, 32, 2).unwrap();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        s_sum.accumulate(&sum).unwrap();
+        for i in 0..d {
+            assert!(
+                (sa.estimate(i) - s_sum.estimate(i)).abs() < 1e-9,
+                "linearity broken at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_rejects_mismatched_seeds() {
+        let mut a = GradientSketch::new(8, 3, 16, 0).unwrap();
+        let b = GradientSketch::new(8, 3, 16, 1).unwrap();
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn scale_and_reset() {
+        let mut s = GradientSketch::new(8, 3, 16, 3).unwrap();
+        s.accumulate(&[1.0; 8]).unwrap();
+        let before = s.estimate(0);
+        s.scale(0.5);
+        assert!((s.estimate(0) - before * 0.5).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.estimate(0), 0.0);
+    }
+
+    #[test]
+    fn compression_ratio_is_real() {
+        let s = GradientSketch::new(100_000, 5, 256, 4).unwrap();
+        let dense_bytes = 100_000 * 8;
+        assert!(s.transmitted_bytes() * 50 < dense_bytes);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic classification tasks sharded across simulated clients.
+
+use sketches_core::{SketchError, SketchResult};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// A linearly separable (with label noise) binary classification task.
+#[derive(Debug, Clone)]
+pub struct SyntheticTask {
+    /// Feature matrix, one row per example.
+    pub xs: Vec<Vec<f64>>,
+    /// Labels in {0.0, 1.0}.
+    pub ys: Vec<f64>,
+    /// The ground-truth weight vector.
+    pub true_weights: Vec<f64>,
+}
+
+impl SyntheticTask {
+    /// Generates `n` examples over `d` (sparse-signal) dimensions with
+    /// `label_noise` probability of flipping each label and the default
+    /// signal sparsity of `d/16 + 4` active features.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate sizes or noise outside `[0, 0.5)`.
+    pub fn generate(n: usize, d: usize, label_noise: f64, seed: u64) -> SketchResult<Self> {
+        Self::generate_with_sparsity(n, d, d / 16 + 4, label_noise, seed)
+    }
+
+    /// Generates a task with an explicit number of `active` signal
+    /// features — the heavy-hitter structure FetchSGD's top-k step
+    /// exploits (fewer active features = stronger sketching advantage).
+    ///
+    /// # Errors
+    /// Returns an error for degenerate sizes or noise outside `[0, 0.5)`.
+    pub fn generate_with_sparsity(
+        n: usize,
+        d: usize,
+        active: usize,
+        label_noise: f64,
+        seed: u64,
+    ) -> SketchResult<Self> {
+        if n == 0 || d == 0 {
+            return Err(SketchError::invalid("n/d", "must be positive"));
+        }
+        if active == 0 || active > d {
+            return Err(SketchError::invalid("active", "must be in 1..=d"));
+        }
+        if !(0.0..0.5).contains(&label_noise) {
+            return Err(SketchError::invalid("label_noise", "must be in [0, 0.5)"));
+        }
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let mut true_weights = vec![0.0; d];
+        for w in true_weights.iter_mut().take(active) {
+            *w = rng.gauss() * 2.0;
+        }
+        rng.shuffle(&mut true_weights);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
+            let margin: f64 = x.iter().zip(&true_weights).map(|(&a, &b)| a * b).sum();
+            let mut y = f64::from(margin > 0.0);
+            if rng.gen_bool(label_noise) {
+                y = 1.0 - y;
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        Ok(Self {
+            xs,
+            ys,
+            true_weights,
+        })
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the task is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.true_weights.len()
+    }
+
+    /// Splits into `k` client shards (round-robin, so shards are iid).
+    #[must_use]
+    pub fn shard(&self, k: usize) -> Vec<SyntheticTask> {
+        let mut shards: Vec<SyntheticTask> = (0..k)
+            .map(|_| SyntheticTask {
+                xs: Vec::new(),
+                ys: Vec::new(),
+                true_weights: self.true_weights.clone(),
+            })
+            .collect();
+        for (i, (x, y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            shards[i % k].xs.push(x.clone());
+            shards[i % k].ys.push(*y);
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(SyntheticTask::generate(0, 4, 0.0, 0).is_err());
+        assert!(SyntheticTask::generate(10, 0, 0.0, 0).is_err());
+        assert!(SyntheticTask::generate(10, 4, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn labels_match_margins_mostly() {
+        let task = SyntheticTask::generate(2000, 32, 0.05, 1).unwrap();
+        let mut agree = 0;
+        for (x, &y) in task.xs.iter().zip(&task.ys) {
+            let margin: f64 = x.iter().zip(&task.true_weights).map(|(&a, &b)| a * b).sum();
+            if f64::from(margin > 0.0) == y {
+                agree += 1;
+            }
+        }
+        let frac = f64::from(agree) / 2000.0;
+        assert!((frac - 0.95).abs() < 0.03, "agreement {frac}");
+    }
+
+    #[test]
+    fn true_weights_are_sparse() {
+        let task = SyntheticTask::generate(10, 256, 0.0, 2).unwrap();
+        let nonzero = task.true_weights.iter().filter(|&&w| w != 0.0).count();
+        assert!(nonzero <= 256 / 16 + 4);
+        assert!(nonzero > 0);
+    }
+
+    #[test]
+    fn sharding_partitions_data() {
+        let task = SyntheticTask::generate(100, 8, 0.0, 3).unwrap();
+        let shards = task.shard(7);
+        let total: usize = shards.iter().map(SyntheticTask::len).sum();
+        assert_eq!(total, 100);
+        assert!(shards.iter().all(|s| s.len() >= 14));
+    }
+}

@@ -1,0 +1,144 @@
+//! Logistic regression: the model FetchSGD trains here.
+
+use sketches_core::{SketchError, SketchResult};
+
+use crate::data::SyntheticTask;
+
+/// A logistic-regression model over `d` features.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    /// The weight vector.
+    pub weights: Vec<f64>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticModel {
+    /// A zero-initialized model.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        Self {
+            weights: vec![0.0; d],
+        }
+    }
+
+    /// Predicted probability of class 1.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let z: f64 = self.weights.iter().zip(x).map(|(&w, &xi)| w * xi).sum();
+        sigmoid(z)
+    }
+
+    /// Mean log-loss over a task.
+    ///
+    /// # Errors
+    /// Returns an error on empty data or dimension mismatch.
+    pub fn loss(&self, task: &SyntheticTask) -> SketchResult<f64> {
+        self.check(task)?;
+        let mut total = 0.0;
+        for (x, &y) in task.xs.iter().zip(&task.ys) {
+            let p = self.predict(x).clamp(1e-12, 1.0 - 1e-12);
+            total -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+        }
+        Ok(total / task.len() as f64)
+    }
+
+    /// Classification accuracy over a task.
+    ///
+    /// # Errors
+    /// Returns an error on empty data or dimension mismatch.
+    pub fn accuracy(&self, task: &SyntheticTask) -> SketchResult<f64> {
+        self.check(task)?;
+        let correct = task
+            .xs
+            .iter()
+            .zip(&task.ys)
+            .filter(|(x, &y)| f64::from(self.predict(x) > 0.5) == y)
+            .count();
+        Ok(correct as f64 / task.len() as f64)
+    }
+
+    /// Full-batch gradient of the log-loss over a task.
+    ///
+    /// # Errors
+    /// Returns an error on empty data or dimension mismatch.
+    pub fn gradient(&self, task: &SyntheticTask) -> SketchResult<Vec<f64>> {
+        self.check(task)?;
+        let d = self.weights.len();
+        let mut grad = vec![0.0; d];
+        for (x, &y) in task.xs.iter().zip(&task.ys) {
+            let err = self.predict(x) - y;
+            for (g, &xi) in grad.iter_mut().zip(x) {
+                *g += err * xi;
+            }
+        }
+        for g in &mut grad {
+            *g /= task.len() as f64;
+        }
+        Ok(grad)
+    }
+
+    /// Applies `weights -= lr * delta`.
+    pub fn apply_update(&mut self, delta: &[f64], lr: f64) {
+        for (w, &d) in self.weights.iter_mut().zip(delta) {
+            *w -= lr * d;
+        }
+    }
+
+    fn check(&self, task: &SyntheticTask) -> SketchResult<()> {
+        if task.is_empty() {
+            return Err(SketchError::EmptySketch);
+        }
+        if task.dim() != self.weights.len() {
+            return Err(SketchError::invalid("task", "dimension mismatch"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_descent_learns() {
+        let task = SyntheticTask::generate(2000, 16, 0.02, 1).unwrap();
+        let mut model = LogisticModel::new(16);
+        let initial_loss = model.loss(&task).unwrap();
+        for _ in 0..200 {
+            let g = model.gradient(&task).unwrap();
+            model.apply_update(&g, 1.0);
+        }
+        let final_loss = model.loss(&task).unwrap();
+        assert!(final_loss < initial_loss / 2.0, "{initial_loss} → {final_loss}");
+        let acc = model.accuracy(&task).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn sigmoid_behaviour() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn errors_on_mismatch() {
+        let task = SyntheticTask::generate(10, 4, 0.0, 2).unwrap();
+        let model = LogisticModel::new(8);
+        assert!(model.loss(&task).is_err());
+        assert!(model.gradient(&task).is_err());
+    }
+
+    #[test]
+    fn gradient_points_downhill() {
+        let task = SyntheticTask::generate(500, 8, 0.0, 3).unwrap();
+        let mut model = LogisticModel::new(8);
+        let l0 = model.loss(&task).unwrap();
+        let g = model.gradient(&task).unwrap();
+        model.apply_update(&g, 0.5);
+        assert!(model.loss(&task).unwrap() < l0);
+    }
+}

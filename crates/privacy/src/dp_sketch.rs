@@ -1,0 +1,409 @@
+//! Central-DP linear sketches (Zhao et al., NeurIPS 2022: "Differentially
+//! Private Linear Sketches").
+//!
+//! Because a Count-Min sketch is a *linear* function of the input
+//! histogram, adding calibrated noise to its counters yields a
+//! differentially-private summary whose per-query noise does not grow with
+//! the domain size — the survey's point that sketch representations make
+//! "the perturbations due to privacy less disruptive". The
+//! [`DpHistogram`] baseline adds noise to every domain bin instead;
+//! experiment E12 compares the two at equal ε and equal space.
+
+use std::hash::Hash;
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage, Update};
+use sketches_frequency::{CountMinSketch, CountSketch};
+use sketches_hash::rng::Xoshiro256PlusPlus;
+
+use crate::mechanisms::laplace_noise;
+
+/// A Count-Min sketch released with ε-DP by adding Laplace noise to every
+/// counter at finalization time.
+#[derive(Debug, Clone)]
+pub struct DpCountMin {
+    sketch: CountMinSketch,
+    /// Per-counter noise, drawn at finalization.
+    noise: Option<Vec<f64>>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl DpCountMin {
+    /// Creates a DP Count-Min with the given dimensions and privacy ε.
+    ///
+    /// One item contributes to `depth` counters, so the L1 sensitivity of
+    /// the counter vector is `depth` and each counter gets
+    /// `Lap(depth/ε)` noise.
+    ///
+    /// # Errors
+    /// Returns an error for bad dimensions or ε.
+    pub fn new(width: usize, depth: usize, epsilon: f64, seed: u64) -> SketchResult<Self> {
+        sketches_core::check_positive_finite("epsilon", epsilon)?;
+        Ok(Self {
+            sketch: CountMinSketch::new(width, depth, seed)?,
+            noise: None,
+            epsilon,
+            seed,
+        })
+    }
+
+    /// Absorbs an item (must happen before [`Self::finalize`]).
+    ///
+    /// # Errors
+    /// Returns an error if the sketch was already finalized.
+    pub fn update<T: Hash + ?Sized>(&mut self, item: &T) -> SketchResult<()> {
+        if self.noise.is_some() {
+            return Err(SketchError::invalid(
+                "state",
+                "sketch already finalized; no further updates allowed",
+            ));
+        }
+        Update::update(&mut self.sketch, item);
+        Ok(())
+    }
+
+    /// Draws the Laplace noise, after which the sketch is ε-DP and
+    /// queryable.
+    pub fn finalize(&mut self) {
+        if self.noise.is_some() {
+            return;
+        }
+        let mut rng = Xoshiro256PlusPlus::new(self.seed ^ 0xD9_0153);
+        let scale_sensitivity = self.sketch.depth() as f64;
+        let count = self.sketch.width() * self.sketch.depth();
+        self.noise = Some(
+            (0..count)
+                .map(|_| laplace_noise(scale_sensitivity, self.epsilon, &mut rng))
+                .collect(),
+        );
+    }
+
+    /// DP frequency estimate: min over rows of (counter + its noise).
+    ///
+    /// # Errors
+    /// Returns an error if [`Self::finalize`] has not been called.
+    pub fn estimate<T: Hash + ?Sized>(&self, item: &T) -> SketchResult<f64> {
+        let noise = self
+            .noise
+            .as_ref()
+            .ok_or_else(|| SketchError::invalid("state", "call finalize() before querying"))?;
+        // Reconstruct the per-row counters via the public API: query each
+        // row by probing with the noisy min. CountMinSketch only exposes
+        // the min, so we recompute rows through the row-estimate trick:
+        // estimate() is min over rows of counters; we need per-row values,
+        // so we re-derive them from the raw counter layout instead.
+        let est = self.sketch.row_values(item);
+        let w = self.sketch.width();
+        let v = est
+            .iter()
+            .enumerate()
+            .map(|(row, &(col, c))| c as f64 + noise[row * w + col])
+            .fold(f64::INFINITY, f64::min);
+        Ok(v.max(0.0))
+    }
+
+    /// The privacy parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl SpaceUsage for DpCountMin {
+    fn space_bytes(&self) -> usize {
+        self.sketch.space_bytes()
+            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+    }
+}
+
+/// A Count sketch released with ε-DP by adding Laplace noise to every
+/// counter at finalization (Zhao et al.'s second construction). Unlike the
+/// Count-Min variant the noisy estimate stays *unbiased*: the median of
+/// `sign·(counter + noise)` has symmetric noise around the true estimate.
+#[derive(Debug, Clone)]
+pub struct DpCountSketch {
+    sketch: CountSketch,
+    noise: Option<Vec<f64>>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl DpCountSketch {
+    /// Creates a DP Count sketch; each item touches `depth` counters, so
+    /// every counter gets `Lap(depth/ε)` noise.
+    ///
+    /// # Errors
+    /// Returns an error for bad dimensions or ε.
+    pub fn new(width: usize, depth: usize, epsilon: f64, seed: u64) -> SketchResult<Self> {
+        sketches_core::check_positive_finite("epsilon", epsilon)?;
+        Ok(Self {
+            sketch: CountSketch::new(width, depth, seed)?,
+            noise: None,
+            epsilon,
+            seed,
+        })
+    }
+
+    /// Absorbs an item (before [`Self::finalize`]).
+    ///
+    /// # Errors
+    /// Returns an error if already finalized.
+    pub fn update<T: Hash + ?Sized>(&mut self, item: &T) -> SketchResult<()> {
+        if self.noise.is_some() {
+            return Err(SketchError::invalid("state", "already finalized"));
+        }
+        Update::update(&mut self.sketch, item);
+        Ok(())
+    }
+
+    /// Draws the Laplace noise; afterwards the sketch is ε-DP.
+    pub fn finalize(&mut self) {
+        if self.noise.is_some() {
+            return;
+        }
+        let mut rng = Xoshiro256PlusPlus::new(self.seed ^ 0xD9_0155);
+        let sensitivity = self.sketch.depth() as f64;
+        let count = self.sketch.width() * self.sketch.depth();
+        self.noise = Some(
+            (0..count)
+                .map(|_| laplace_noise(sensitivity, self.epsilon, &mut rng))
+                .collect(),
+        );
+    }
+
+    /// DP frequency estimate: the median over rows of
+    /// `sign · (counter + noise)`.
+    ///
+    /// # Errors
+    /// Returns an error if [`Self::finalize`] has not been called.
+    pub fn estimate<T: Hash + ?Sized>(&self, item: &T) -> SketchResult<f64> {
+        let noise = self
+            .noise
+            .as_ref()
+            .ok_or_else(|| SketchError::invalid("state", "call finalize() first"))?;
+        let w = self.sketch.width();
+        let mut ests: Vec<f64> = self
+            .sketch
+            .row_components(item)
+            .into_iter()
+            .enumerate()
+            .map(|(row, (col, counter, sign))| {
+                sign as f64 * (counter as f64 + noise[row * w + col])
+            })
+            .collect();
+        Ok(sketches_core::median_f64(&mut ests))
+    }
+
+    /// The privacy parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl SpaceUsage for DpCountSketch {
+    fn space_bytes(&self) -> usize {
+        self.sketch.space_bytes()
+            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+    }
+}
+
+/// The baseline: a full histogram over `0..domain` with `Lap(1/ε)` noise
+/// per bin (sensitivity 1 — each item touches one bin).
+#[derive(Debug, Clone)]
+pub struct DpHistogram {
+    counts: Vec<u64>,
+    noise: Option<Vec<f64>>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl DpHistogram {
+    /// Creates a histogram over `0..domain`.
+    ///
+    /// # Errors
+    /// Returns an error for a zero domain or bad ε.
+    pub fn new(domain: usize, epsilon: f64, seed: u64) -> SketchResult<Self> {
+        if domain == 0 {
+            return Err(SketchError::invalid("domain", "must be positive"));
+        }
+        sketches_core::check_positive_finite("epsilon", epsilon)?;
+        Ok(Self {
+            counts: vec![0u64; domain],
+            noise: None,
+            epsilon,
+            seed,
+        })
+    }
+
+    /// Counts one occurrence of `value`.
+    ///
+    /// # Errors
+    /// Returns an error if out of domain or already finalized.
+    pub fn update(&mut self, value: usize) -> SketchResult<()> {
+        if self.noise.is_some() {
+            return Err(SketchError::invalid("state", "already finalized"));
+        }
+        if value >= self.counts.len() {
+            return Err(SketchError::invalid("value", "outside domain"));
+        }
+        self.counts[value] += 1;
+        Ok(())
+    }
+
+    /// Draws the noise; afterwards the histogram is ε-DP.
+    pub fn finalize(&mut self) {
+        if self.noise.is_some() {
+            return;
+        }
+        let mut rng = Xoshiro256PlusPlus::new(self.seed ^ 0xD9_0154);
+        self.noise = Some(
+            (0..self.counts.len())
+                .map(|_| laplace_noise(1.0, self.epsilon, &mut rng))
+                .collect(),
+        );
+    }
+
+    /// DP estimate for `value`.
+    ///
+    /// # Errors
+    /// Returns an error if not finalized or out of domain.
+    pub fn estimate(&self, value: usize) -> SketchResult<f64> {
+        let noise = self
+            .noise
+            .as_ref()
+            .ok_or_else(|| SketchError::invalid("state", "call finalize() first"))?;
+        if value >= self.counts.len() {
+            return Err(SketchError::invalid("value", "outside domain"));
+        }
+        Ok((self.counts[value] as f64 + noise[value]).max(0.0))
+    }
+}
+
+impl SpaceUsage for DpHistogram {
+    fn space_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(DpCountMin::new(64, 4, 0.0, 0).is_err());
+        assert!(DpCountSketch::new(64, 5, f64::NAN, 0).is_err());
+        assert!(DpHistogram::new(0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn dp_count_sketch_lifecycle_and_accuracy() {
+        let mut s = DpCountSketch::new(512, 5, 1.0, 11).unwrap();
+        for i in 0..200u32 {
+            let reps = 2_000 / (i + 1);
+            for _ in 0..reps {
+                s.update(&i).unwrap();
+            }
+        }
+        assert!(s.estimate(&0u32).is_err(), "query before finalize");
+        s.finalize();
+        assert!(s.update(&1u32).is_err(), "update after finalize");
+        let est = s.estimate(&0u32).unwrap();
+        assert!((est - 2_000.0).abs() < 300.0, "heavy estimate {est:.0}");
+    }
+
+    #[test]
+    fn dp_count_sketch_noise_is_symmetric() {
+        // Mean estimate of an absent item across seeds should be ~0 (the
+        // Count-Sketch + Laplace combination stays unbiased).
+        let mut sum = 0.0;
+        let trials = 24;
+        for t in 0..trials {
+            let mut s = DpCountSketch::new(256, 5, 1.0, 100 + t).unwrap();
+            for i in 0..500u32 {
+                s.update(&i).unwrap();
+            }
+            s.finalize();
+            sum += s.estimate(&999_999u32).unwrap();
+        }
+        let mean = sum / trials as f64;
+        assert!(mean.abs() < 15.0, "absent-item mean {mean:.2}");
+    }
+
+    #[test]
+    fn updates_blocked_after_finalize() {
+        let mut s = DpCountMin::new(64, 4, 1.0, 1).unwrap();
+        s.update(&1u32).unwrap();
+        s.finalize();
+        assert!(s.update(&2u32).is_err());
+        let mut h = DpHistogram::new(10, 1.0, 1).unwrap();
+        h.update(3).unwrap();
+        h.finalize();
+        assert!(h.update(3).is_err());
+    }
+
+    #[test]
+    fn query_requires_finalize() {
+        let s = DpCountMin::new(64, 4, 1.0, 2).unwrap();
+        assert!(s.estimate(&1u32).is_err());
+        let h = DpHistogram::new(4, 1.0, 2).unwrap();
+        assert!(h.estimate(1).is_err());
+    }
+
+    #[test]
+    fn dp_cms_accuracy_at_reasonable_epsilon() {
+        let mut s = DpCountMin::new(512, 5, 1.0, 3).unwrap();
+        for i in 0..200u32 {
+            let reps = 2_000 / (i + 1);
+            for _ in 0..reps {
+                s.update(&i).unwrap();
+            }
+        }
+        s.finalize();
+        // Heavy item 0 has 2000 occurrences; Laplace(5/1) noise is tiny
+        // relative to that, sketch collision error moderate.
+        let est = s.estimate(&0u32).unwrap();
+        assert!(
+            (est - 2_000.0).abs() < 300.0,
+            "DP-CMS heavy estimate {est:.0}"
+        );
+    }
+
+    #[test]
+    fn dp_histogram_accuracy() {
+        let mut h = DpHistogram::new(100, 1.0, 4).unwrap();
+        for _ in 0..500 {
+            h.update(7).unwrap();
+        }
+        h.finalize();
+        let est = h.estimate(7).unwrap();
+        assert!((est - 500.0).abs() < 30.0, "estimate {est:.0}");
+        let ghost = h.estimate(8).unwrap();
+        assert!(ghost < 20.0);
+    }
+
+    #[test]
+    fn dp_cms_space_beats_histogram_on_large_domains() {
+        // The E12 story: same ε, huge domain — the sketch is tiny, the
+        // histogram is domain-sized.
+        let s = DpCountMin::new(512, 5, 1.0, 5).unwrap();
+        let h = DpHistogram::new(1_000_000, 1.0, 5).unwrap();
+        assert!(s.space_bytes() * 100 < h.space_bytes());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = DpCountMin::new(64, 3, 0.5, seed).unwrap();
+            for i in 0..100u32 {
+                s.update(&i).unwrap();
+            }
+            s.finalize();
+            s.estimate(&5u32).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

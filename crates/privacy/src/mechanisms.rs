@@ -1,0 +1,174 @@
+//! Basic privacy mechanisms: randomized response, Laplace, discrete
+//! geometric, and ε-budget accounting.
+
+use sketches_core::{SketchError, SketchResult};
+use sketches_hash::rng::Rng64;
+
+/// Warner's randomized response (1965): report the true bit with
+/// probability `e^ε/(1+e^ε)`, the flipped bit otherwise. Satisfies ε-LDP.
+pub fn randomized_response(truth: bool, epsilon: f64, rng: &mut impl Rng64) -> bool {
+    let p_truth = epsilon.exp() / (1.0 + epsilon.exp());
+    if rng.gen_bool(p_truth) {
+        truth
+    } else {
+        !truth
+    }
+}
+
+/// Unbiases an observed count of 1-responses out of `n` randomized
+/// responses back to an estimate of the true count.
+#[must_use]
+pub fn debias_randomized_response(ones: f64, n: f64, epsilon: f64) -> f64 {
+    let p = epsilon.exp() / (1.0 + epsilon.exp());
+    (ones - n * (1.0 - p)) / (2.0 * p - 1.0)
+}
+
+/// A Laplace sample with scale `sensitivity/epsilon` — the Laplace
+/// mechanism for ε-DP release of a statistic with the given L1
+/// sensitivity.
+pub fn laplace_noise(sensitivity: f64, epsilon: f64, rng: &mut impl Rng64) -> f64 {
+    rng.laplace(sensitivity / epsilon)
+}
+
+/// The discrete (two-sided) geometric mechanism: integer-valued noise with
+/// `Pr[k] ∝ α^{|k|}`, `α = e^{−ε/sensitivity}`. The integer analogue of
+/// Laplace, exact for counting queries.
+pub fn discrete_geometric(sensitivity: f64, epsilon: f64, rng: &mut impl Rng64) -> i64 {
+    let alpha = (-epsilon / sensitivity).exp();
+    // Sample magnitude from the geometric tail, sign uniformly.
+    // Pr[|k| = 0] = (1-α)/(1+α); Pr[|k| = j] = 2α^j(1-α)/(1+α·... ]
+    // Sample via inversion: u in (0,1).
+    let u = rng.next_f64();
+    let p0 = (1.0 - alpha) / (1.0 + alpha);
+    if u < p0 {
+        return 0;
+    }
+    // Remaining mass is symmetric; sample magnitude geometrically.
+    let magnitude = 1 + (rng.next_f64().max(f64::MIN_POSITIVE).ln() / alpha.ln()).floor() as i64;
+    if rng.next_u64() & 1 == 0 {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// A simple sequential-composition ε budget tracker.
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget of `total_epsilon > 0`.
+    ///
+    /// # Errors
+    /// Returns an error for non-positive or non-finite ε.
+    pub fn new(total_epsilon: f64) -> SketchResult<Self> {
+        sketches_core::check_positive_finite("epsilon", total_epsilon)?;
+        Ok(Self {
+            total: total_epsilon,
+            spent: 0.0,
+        })
+    }
+
+    /// Attempts to spend `epsilon` from the budget.
+    ///
+    /// # Errors
+    /// Returns an error if the remaining budget is insufficient.
+    pub fn spend(&mut self, epsilon: f64) -> SketchResult<()> {
+        if epsilon.is_nan() || epsilon <= 0.0 {
+            return Err(SketchError::invalid("epsilon", "must be positive"));
+        }
+        if self.spent + epsilon > self.total + 1e-12 {
+            return Err(SketchError::CapacityExceeded {
+                reason: format!(
+                    "privacy budget exhausted: spent {:.3} + {:.3} > {:.3}",
+                    self.spent, epsilon, self.total
+                ),
+            });
+        }
+        self.spent += epsilon;
+        Ok(())
+    }
+
+    /// Remaining budget.
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_hash::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rr_keeps_truth_with_correct_probability() {
+        let eps = 1.0;
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let n = 100_000;
+        let kept = (0..n)
+            .filter(|_| randomized_response(true, eps, &mut rng))
+            .count();
+        let p = eps.exp() / (1.0 + eps.exp()); // ≈ 0.731
+        let frac = kept as f64 / n as f64;
+        assert!((frac - p).abs() < 0.01, "kept fraction {frac} vs {p}");
+    }
+
+    #[test]
+    fn rr_debias_recovers_true_count() {
+        let eps = 1.5;
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let n = 200_000usize;
+        let true_ones = 60_000usize;
+        let mut observed = 0.0;
+        for i in 0..n {
+            if randomized_response(i < true_ones, eps, &mut rng) {
+                observed += 1.0;
+            }
+        }
+        let est = debias_randomized_response(observed, n as f64, eps);
+        let rel = (est - true_ones as f64).abs() / true_ones as f64;
+        assert!(rel < 0.03, "debias estimate {est} (rel {rel:.4})");
+    }
+
+    #[test]
+    fn laplace_scale_matches() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(2.0, 0.5, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // scale b = 4 → var = 2b² = 32.
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 32.0).abs() < 1.5, "var {var}");
+    }
+
+    #[test]
+    fn geometric_noise_symmetric_and_integer() {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let n = 100_000;
+        let samples: Vec<i64> = (0..n)
+            .map(|_| discrete_geometric(1.0, 1.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let zeros = samples.iter().filter(|&&s| s == 0).count() as f64 / n as f64;
+        let alpha: f64 = (-1.0f64).exp();
+        let p0 = (1.0 - alpha) / (1.0 + alpha);
+        assert!((zeros - p0).abs() < 0.01, "P[0] {zeros} vs {p0}");
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.spend(0.4).unwrap();
+        b.spend(0.6).unwrap();
+        assert!(b.remaining() < 1e-9);
+        assert!(b.spend(0.1).is_err());
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+    }
+}

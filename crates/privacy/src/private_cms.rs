@@ -1,0 +1,236 @@
+//! Apple's private Count-Mean-Sketch (Differential Privacy Team, 2017) —
+//! the deployment the survey describes as "taking a Count-Min sketch of a
+//! sparse input and applying randomized response to each entry".
+//!
+//! Client: pick one of `k` hash rows uniformly, one-hot encode the value's
+//! bucket in ±1, flip each entry with probability `1/(e^{ε/2} + 1)`.
+//! Server: debias each report so its expectation is the original one-hot,
+//! accumulate into the `k × m` matrix, and answer queries with the
+//! collision-corrected mean `f̂(v) = (m/(m−1))·(Σⱼ M[j, hⱼ(v)] − n/m)`.
+
+use std::hash::Hash;
+
+use sketches_core::{SketchError, SketchResult, SpaceUsage};
+use sketches_hash::hash_item;
+use sketches_hash::mix::{fastrange64, mix64_seeded};
+use sketches_hash::rng::Rng64;
+
+/// A privatized client report: the chosen row and the noisy ±1 vector.
+#[derive(Debug, Clone)]
+pub struct CmsReport {
+    row: usize,
+    bits: Vec<i8>,
+}
+
+/// Client-side encoder.
+#[derive(Debug, Clone)]
+pub struct PrivateCmsClient {
+    rows: usize,
+    buckets: usize,
+    epsilon: f64,
+    seed: u64,
+}
+
+fn bucket_of<T: Hash + ?Sized>(value: &T, row: usize, buckets: usize, seed: u64) -> usize {
+    let h = mix64_seeded(
+        hash_item(value, seed ^ 0xCE5_0AE),
+        (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    fastrange64(h, buckets as u64) as usize
+}
+
+impl PrivateCmsClient {
+    /// Creates a client for a `rows × buckets` sketch at privacy `epsilon`.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate parameters.
+    pub fn new(rows: usize, buckets: usize, epsilon: f64, seed: u64) -> SketchResult<Self> {
+        if rows == 0 || buckets < 2 {
+            return Err(SketchError::invalid("rows/buckets", "too small"));
+        }
+        sketches_core::check_positive_finite("epsilon", epsilon)?;
+        Ok(Self {
+            rows,
+            buckets,
+            epsilon,
+            seed,
+        })
+    }
+
+    /// Privatizes one value.
+    pub fn report<T: Hash + ?Sized>(&self, value: &T, rng: &mut impl Rng64) -> CmsReport {
+        let row = rng.gen_range(self.rows as u64) as usize;
+        let bucket = bucket_of(value, row, self.buckets, self.seed);
+        let flip_prob = 1.0 / ((self.epsilon / 2.0).exp() + 1.0);
+        let bits = (0..self.buckets)
+            .map(|b| {
+                let truth: i8 = if b == bucket { 1 } else { -1 };
+                if rng.gen_bool(flip_prob) {
+                    -truth
+                } else {
+                    truth
+                }
+            })
+            .collect();
+        CmsReport { row, bits }
+    }
+}
+
+/// Server-side aggregator.
+#[derive(Debug, Clone)]
+pub struct PrivateCmsServer {
+    /// Debiased count matrix, `rows × buckets`.
+    matrix: Vec<f64>,
+    rows: usize,
+    buckets: usize,
+    epsilon: f64,
+    seed: u64,
+    n: u64,
+}
+
+impl PrivateCmsServer {
+    /// Creates a server matching the client parameters.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate parameters.
+    pub fn new(rows: usize, buckets: usize, epsilon: f64, seed: u64) -> SketchResult<Self> {
+        let _ = PrivateCmsClient::new(rows, buckets, epsilon, seed)?;
+        Ok(Self {
+            matrix: vec![0.0; rows * buckets],
+            rows,
+            buckets,
+            epsilon,
+            seed,
+            n: 0,
+        })
+    }
+
+    /// Absorbs one client report, debiasing it so its expected
+    /// contribution is the client's true one-hot row.
+    ///
+    /// # Errors
+    /// Returns an error if the report shape does not match.
+    pub fn collect(&mut self, report: &CmsReport) -> SketchResult<()> {
+        if report.row >= self.rows || report.bits.len() != self.buckets {
+            return Err(SketchError::invalid("report", "shape mismatch"));
+        }
+        let e_half = (self.epsilon / 2.0).exp();
+        let c_eps = (e_half + 1.0) / (e_half - 1.0);
+        let base = report.row * self.buckets;
+        for (b, &bit) in report.bits.iter().enumerate() {
+            self.matrix[base + b] += c_eps / 2.0 * f64::from(bit) + 0.5;
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Collision- and noise-corrected frequency estimate for `value`.
+    #[must_use]
+    pub fn estimate<T: Hash + ?Sized>(&self, value: &T) -> f64 {
+        let m = self.buckets as f64;
+        let x: f64 = (0..self.rows)
+            .map(|row| {
+                let b = bucket_of(value, row, self.buckets, self.seed);
+                self.matrix[row * self.buckets + b]
+            })
+            .sum();
+        (m / (m - 1.0)) * (x - self.n as f64 / m)
+    }
+
+    /// Reports collected.
+    #[must_use]
+    pub fn reports(&self) -> u64 {
+        self.n
+    }
+}
+
+impl SpaceUsage for PrivateCmsServer {
+    fn space_bytes(&self) -> usize {
+        self.matrix.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_hash::rng::Xoshiro256PlusPlus;
+
+    fn run(eps: f64, counts: &[(&str, usize)], seed: u64) -> PrivateCmsServer {
+        let rows = 16;
+        let buckets = 1024;
+        let client = PrivateCmsClient::new(rows, buckets, eps, seed).unwrap();
+        let mut server = PrivateCmsServer::new(rows, buckets, eps, seed).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(seed ^ 0xFACE);
+        for &(v, n) in counts {
+            for _ in 0..n {
+                server.collect(&client.report(v, &mut rng)).unwrap();
+            }
+        }
+        server
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(PrivateCmsClient::new(0, 64, 1.0, 0).is_err());
+        assert!(PrivateCmsClient::new(4, 1, 1.0, 0).is_err());
+        assert!(PrivateCmsClient::new(4, 64, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn recovers_frequencies_at_moderate_epsilon() {
+        let counts = [("apple", 20_000), ("banana", 8_000), ("cherry", 2_000)];
+        let server = run(4.0, &counts, 1);
+        for &(v, n) in &counts {
+            let est = server.estimate(v);
+            let tol = 0.10 * n as f64 + 600.0;
+            assert!(
+                (est - n as f64).abs() < tol,
+                "{v}: est {est:.0} vs {n}"
+            );
+        }
+        let ghost = server.estimate("durian");
+        assert!(ghost.abs() < 1_500.0, "ghost {ghost:.0}");
+    }
+
+    #[test]
+    fn estimates_are_nearly_unbiased_across_seeds() {
+        let truth = 5_000usize;
+        let mut sum = 0.0;
+        let trials = 8;
+        for t in 0..trials {
+            let server = run(2.0, &[("x", truth), ("pad", 5_000)], 100 + t);
+            sum += server.estimate("x");
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.1, "mean {mean:.0} vs {truth} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn smaller_epsilon_is_noisier() {
+        let counts = [("only", 10_000)];
+        let tight = run(8.0, &counts, 7);
+        let loose = run(0.5, &counts, 7);
+        let err_tight = (tight.estimate("only") - 10_000.0).abs();
+        let err_loose = (loose.estimate("only") - 10_000.0).abs();
+        assert!(
+            err_tight < err_loose + 500.0,
+            "ε=8 err {err_tight:.0} vs ε=0.5 err {err_loose:.0}"
+        );
+    }
+
+    #[test]
+    fn collect_rejects_shape_mismatch() {
+        let mut server = PrivateCmsServer::new(4, 64, 1.0, 0).unwrap();
+        let bad = CmsReport {
+            row: 9,
+            bits: vec![1; 64],
+        };
+        assert!(server.collect(&bad).is_err());
+        let bad2 = CmsReport {
+            row: 0,
+            bits: vec![1; 32],
+        };
+        assert!(server.collect(&bad2).is_err());
+    }
+}

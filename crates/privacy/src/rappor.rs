@@ -1,0 +1,358 @@
+//! RAPPOR (Erlingsson, Pihur & Korolova, CCS 2014) — the system the survey
+//! describes as "combining the Bloom filter summary with randomized
+//! response".
+//!
+//! Each client Bloom-encodes its string into `m` bits with `h` hashes and
+//! applies *permanent* randomized response (flip each bit with probability
+//! `f/2`). The aggregator debiases per-bit counts and decodes candidate
+//! strings Count-Min style: a candidate's frequency estimate is the
+//! minimum of its bits' debiased counts (collisions only inflate bits, so
+//! the minimum is the tightest of the available upper bounds).
+
+use sketches_core::{SketchError, SketchResult};
+use sketches_hash::hash_item;
+use sketches_hash::mix::{fastrange64, mix64_seeded};
+use sketches_hash::rng::Rng64;
+
+/// Client-side RAPPOR encoder.
+#[derive(Debug, Clone)]
+pub struct RapporClient {
+    bits: usize,
+    hashes: u32,
+    f: f64,
+    seed: u64,
+}
+
+/// Computes the bit positions of `value` (shared by client and decoder).
+fn bloom_bits(value: &str, bits: usize, hashes: u32, seed: u64) -> Vec<usize> {
+    let base = hash_item(&value, seed);
+    (0..hashes)
+        .map(|i| {
+            let h = mix64_seeded(base, u64::from(i).wrapping_mul(0x9E37_79B9) ^ seed);
+            fastrange64(h, bits as u64) as usize
+        })
+        .collect()
+}
+
+impl RapporClient {
+    /// Creates a client with an `bits`-bit Bloom filter, `hashes` hash
+    /// functions, and flip parameter `f ∈ (0, 1)` (each bit flips to a
+    /// coin with probability `f`; ε = 2h·ln((1−f/2)/(f/2)) for one-time
+    /// collection).
+    ///
+    /// # Errors
+    /// Returns an error for degenerate parameters.
+    pub fn new(bits: usize, hashes: u32, f: f64, seed: u64) -> SketchResult<Self> {
+        if bits < 8 {
+            return Err(SketchError::invalid("bits", "need at least 8 bits"));
+        }
+        sketches_core::check_range("hashes", hashes, 1, 8)?;
+        sketches_core::check_open_unit("f", f, 0.0, 1.0)?;
+        Ok(Self {
+            bits,
+            hashes,
+            f,
+            seed,
+        })
+    }
+
+    /// Produces the permanent randomized report for `value`.
+    #[must_use]
+    pub fn report(&self, value: &str, rng: &mut impl Rng64) -> Vec<bool> {
+        let mut bloom = vec![false; self.bits];
+        for b in bloom_bits(value, self.bits, self.hashes, self.seed) {
+            bloom[b] = true;
+        }
+        bloom
+            .into_iter()
+            .map(|bit| {
+                if rng.gen_bool(self.f) {
+                    rng.gen_bool(0.5) // replaced by a fair coin
+                } else {
+                    bit
+                }
+            })
+            .collect()
+    }
+
+    /// The local-DP ε of a single (one-time) report.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        2.0 * f64::from(self.hashes) * ((1.0 - self.f / 2.0) / (self.f / 2.0)).ln()
+    }
+}
+
+/// Server-side aggregator and decoder.
+#[derive(Debug, Clone)]
+pub struct RapporAggregator {
+    bit_counts: Vec<u64>,
+    reports: u64,
+    bits: usize,
+    hashes: u32,
+    f: f64,
+    seed: u64,
+}
+
+impl RapporAggregator {
+    /// Creates an aggregator matching the client parameters.
+    ///
+    /// # Errors
+    /// Returns an error for degenerate parameters (same rules as the
+    /// client).
+    pub fn new(bits: usize, hashes: u32, f: f64, seed: u64) -> SketchResult<Self> {
+        let _check = RapporClient::new(bits, hashes, f, seed)?;
+        Ok(Self {
+            bit_counts: vec![0u64; bits],
+            reports: 0,
+            bits,
+            hashes,
+            f,
+            seed,
+        })
+    }
+
+    /// Absorbs one client report.
+    ///
+    /// # Errors
+    /// Returns an error if the report length does not match.
+    pub fn collect(&mut self, report: &[bool]) -> SketchResult<()> {
+        if report.len() != self.bits {
+            return Err(SketchError::invalid("report", "length mismatch"));
+        }
+        for (c, &b) in self.bit_counts.iter_mut().zip(report) {
+            *c += u64::from(b);
+        }
+        self.reports += 1;
+        Ok(())
+    }
+
+    /// Debiased estimate of how many clients had bit `j` set.
+    fn debiased_bit(&self, j: usize) -> f64 {
+        let c = self.bit_counts[j] as f64;
+        let n = self.reports as f64;
+        // P(report 1 | true 1) = 1 − f/2; P(report 1 | true 0) = f/2.
+        (c - n * self.f / 2.0) / (1.0 - self.f)
+    }
+
+    /// Estimated number of clients holding `candidate` (Count-Min-style
+    /// minimum over its Bloom bits, clamped at 0).
+    #[must_use]
+    pub fn estimate(&self, candidate: &str) -> f64 {
+        bloom_bits(candidate, self.bits, self.hashes, self.seed)
+            .into_iter()
+            .map(|j| self.debiased_bit(j))
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+
+    /// Number of reports collected.
+    #[must_use]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_hash::rng::Xoshiro256PlusPlus;
+
+    fn run_rappor(f: f64, counts: &[(&str, usize)], seed: u64) -> RapporAggregator {
+        let client = RapporClient::new(256, 2, f, seed).unwrap();
+        let mut agg = RapporAggregator::new(256, 2, f, seed).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(seed ^ 1);
+        for &(value, n) in counts {
+            for _ in 0..n {
+                agg.collect(&client.report(value, &mut rng)).unwrap();
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(RapporClient::new(4, 2, 0.5, 0).is_err());
+        assert!(RapporClient::new(64, 0, 0.5, 0).is_err());
+        assert!(RapporClient::new(64, 2, 0.0, 0).is_err());
+        assert!(RapporClient::new(64, 2, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn report_has_right_length_and_noise() {
+        let client = RapporClient::new(128, 2, 0.5, 1).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let r = client.report("hello", &mut rng);
+        assert_eq!(r.len(), 128);
+        // With f=0.5, about a quarter of the bits are 1 from noise alone.
+        let ones = r.iter().filter(|&&b| b).count();
+        assert!(ones > 10 && ones < 60, "{ones} ones");
+    }
+
+    #[test]
+    fn recovers_candidate_frequencies() {
+        let counts = [("firefox", 5_000), ("chrome", 10_000), ("safari", 2_000)];
+        let agg = run_rappor(0.25, &counts, 3);
+        for &(value, n) in &counts {
+            let est = agg.estimate(value);
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "{value}: est {est:.0} vs {n} (rel {rel:.3})");
+        }
+        // A never-reported candidate stays near zero.
+        let ghost = agg.estimate("netscape");
+        assert!(ghost < 1_000.0, "ghost estimate {ghost:.0}");
+    }
+
+    #[test]
+    fn stronger_privacy_is_noisier() {
+        let counts = [("a", 3_000), ("b", 1_000)];
+        let low_noise = run_rappor(0.1, &counts, 4);
+        let high_noise = run_rappor(0.9, &counts, 4);
+        let err = |agg: &RapporAggregator| {
+            (agg.estimate("a") - 3_000.0).abs() + (agg.estimate("b") - 1_000.0).abs()
+        };
+        assert!(
+            err(&low_noise) < err(&high_noise),
+            "more flipping should hurt accuracy: {} vs {}",
+            err(&low_noise),
+            err(&high_noise)
+        );
+        // And ε reflects it.
+        assert!(
+            RapporClient::new(64, 2, 0.1, 0).unwrap().epsilon()
+                > RapporClient::new(64, 2, 0.9, 0).unwrap().epsilon()
+        );
+    }
+
+    #[test]
+    fn collect_rejects_wrong_length() {
+        let mut agg = RapporAggregator::new(64, 2, 0.5, 0).unwrap();
+        assert!(agg.collect(&[false; 32]).is_err());
+    }
+}
+
+/// A longitudinal RAPPOR reporter: the *permanent* randomized response is
+/// memoized once per value (protecting against averaging attacks across
+/// reports), and each collection round applies a second, *instantaneous*
+/// randomized response on top (protecting any single report).
+///
+/// Instantaneous parameters: a bit reports 1 with probability `q` when the
+/// permanent bit is 1, and with probability `p` when it is 0 (`q > p`).
+#[derive(Debug, Clone)]
+pub struct LongitudinalReporter {
+    /// The memoized permanent randomized Bloom bits.
+    permanent: Vec<bool>,
+    p: f64,
+    q: f64,
+}
+
+impl LongitudinalReporter {
+    /// Creates a reporter for `value`, drawing its permanent noise once.
+    ///
+    /// # Errors
+    /// Returns an error unless `0 < p < q < 1`.
+    pub fn new(
+        client: &RapporClient,
+        value: &str,
+        p: f64,
+        q: f64,
+        rng: &mut impl Rng64,
+    ) -> SketchResult<Self> {
+        sketches_core::check_open_unit("p", p, 0.0, 1.0)?;
+        sketches_core::check_open_unit("q", q, 0.0, 1.0)?;
+        if p >= q {
+            return Err(sketches_core::SketchError::invalid(
+                "p",
+                "need p < q for the instantaneous response",
+            ));
+        }
+        Ok(Self {
+            permanent: client.report(value, rng),
+            p,
+            q,
+        })
+    }
+
+    /// Emits one instantaneous report (call once per collection round).
+    pub fn report(&self, rng: &mut impl Rng64) -> Vec<bool> {
+        self.permanent
+            .iter()
+            .map(|&b| rng.gen_bool(if b { self.q } else { self.p }))
+            .collect()
+    }
+}
+
+impl RapporAggregator {
+    /// Debiased estimate for `candidate` over *longitudinal* reports
+    /// collected with instantaneous parameters `(p, q)` matching the
+    /// clients'.
+    ///
+    /// The combined channel: `P(1 | bloom bit set) = q(1−f/2) + p·f/2` and
+    /// `P(1 | unset) = p(1−f/2) + q·f/2`.
+    #[must_use]
+    pub fn estimate_longitudinal(&self, candidate: &str, p: f64, q: f64) -> f64 {
+        let n = self.reports as f64;
+        let p1_set = q * (1.0 - self.f / 2.0) + p * self.f / 2.0;
+        let p1_unset = p * (1.0 - self.f / 2.0) + q * self.f / 2.0;
+        bloom_bits(candidate, self.bits, self.hashes, self.seed)
+            .into_iter()
+            .map(|j| {
+                let c = self.bit_counts[j] as f64;
+                (c - n * p1_unset) / (p1_set - p1_unset)
+            })
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod longitudinal_tests {
+    use super::*;
+    use sketches_hash::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_instantaneous_params() {
+        let client = RapporClient::new(64, 2, 0.5, 1).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        assert!(LongitudinalReporter::new(&client, "x", 0.75, 0.25, &mut rng).is_err());
+        assert!(LongitudinalReporter::new(&client, "x", 0.0, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn permanent_noise_is_memoized() {
+        let client = RapporClient::new(128, 2, 0.5, 2).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let reporter = LongitudinalReporter::new(&client, "stable", 0.25, 0.75, &mut rng).unwrap();
+        // Two rounds from the same reporter share the permanent layer:
+        // their agreement must be far above that of two independent
+        // permanent draws.
+        let r1 = reporter.report(&mut rng);
+        let r2 = reporter.report(&mut rng);
+        let agree = r1.iter().zip(&r2).filter(|(a, b)| a == b).count();
+        assert!(agree > 64, "agreement {agree}/128 too low for shared state");
+    }
+
+    #[test]
+    fn longitudinal_estimates_recover_frequencies() {
+        let (bits, hashes, f) = (256, 2, 0.25);
+        let (p, q) = (0.3, 0.7);
+        let client = RapporClient::new(bits, hashes, f, 4).unwrap();
+        let mut agg = RapporAggregator::new(bits, hashes, f, 4).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let counts = [("alpha", 8_000), ("beta", 3_000)];
+        for &(value, n) in &counts {
+            for _ in 0..n {
+                // Each simulated user reports once.
+                let reporter =
+                    LongitudinalReporter::new(&client, value, p, q, &mut rng).unwrap();
+                agg.collect(&reporter.report(&mut rng)).unwrap();
+            }
+        }
+        for &(value, n) in &counts {
+            let est = agg.estimate_longitudinal(value, p, q);
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.25, "{value}: est {est:.0} vs {n} (rel {rel:.3})");
+        }
+        let ghost = agg.estimate_longitudinal("gamma", p, q);
+        assert!(ghost < 2_000.0, "ghost {ghost:.0}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Serde round-trips for the quantile summaries (`--features serde`).
+
+#![cfg(feature = "serde")]
+
+use sketches_core::{MergeSketch, QuantileSketch, Update};
+use sketches_quantiles::{GreenwaldKhanna, KllSketch, MrlSketch, QDigest, TDigest};
+
+#[test]
+fn kll_roundtrip() {
+    let mut k = KllSketch::new(128, 3).unwrap();
+    for i in 0..50_000 {
+        k.update(&f64::from(i));
+    }
+    let back: KllSketch = serde_json::from_str(&serde_json::to_string(&k).unwrap()).unwrap();
+    assert_eq!(back.count(), k.count());
+    for q in [0.1, 0.5, 0.9] {
+        assert_eq!(back.quantile(q).unwrap(), k.quantile(q).unwrap());
+    }
+    // Post-deserialization merge still works.
+    let mut merged = back;
+    let other = KllSketch::new(128, 99).unwrap();
+    merged.merge(&other).unwrap();
+}
+
+#[test]
+fn tdigest_roundtrip() {
+    let mut t = TDigest::new(100.0).unwrap();
+    for i in 0..20_000 {
+        t.update(&f64::from(i % 1000));
+    }
+    let back: TDigest = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(back.count(), t.count());
+    assert_eq!(back.quantile(0.99).unwrap(), t.quantile(0.99).unwrap());
+}
+
+#[test]
+fn gk_mrl_qdigest_roundtrip() {
+    let mut gk = GreenwaldKhanna::new(0.02).unwrap();
+    let mut mrl = MrlSketch::new(64).unwrap();
+    let mut qd = QDigest::new(10, 32).unwrap();
+    for i in 0..10_000u64 {
+        gk.update(&(i as f64));
+        mrl.update(&(i as f64));
+        qd.update(i % 1024, 1).unwrap();
+    }
+    let gk2: GreenwaldKhanna = serde_json::from_str(&serde_json::to_string(&gk).unwrap()).unwrap();
+    let mrl2: MrlSketch = serde_json::from_str(&serde_json::to_string(&mrl).unwrap()).unwrap();
+    let qd2: QDigest = serde_json::from_str(&serde_json::to_string(&qd).unwrap()).unwrap();
+    assert_eq!(gk2.quantile(0.5).unwrap(), gk.quantile(0.5).unwrap());
+    assert_eq!(mrl2.quantile(0.5).unwrap(), mrl.quantile(0.5).unwrap());
+    assert_eq!(qd2.quantile(0.5).unwrap(), qd.quantile(0.5).unwrap());
+    assert_eq!(qd2, qd);
+}

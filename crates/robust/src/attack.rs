@@ -1,0 +1,199 @@
+//! An adaptive adversary that breaks the vanilla AMS F₂ sketch.
+//!
+//! The adversary streams turnstile updates and may query the estimator
+//! after every one. Strategy (the classic "learn the kernel" attack):
+//! insert a fresh candidate item, observe whether the revealed estimate
+//! grew; if it grew, *delete* the candidate again (allowed — AMS is a
+//! linear sketch); if not, keep it. Kept items are exactly those whose
+//! sign pattern cancels the current counters, so the true `F₂` grows
+//! linearly while the sketch's counters — and hence its estimate — stay
+//! flat. Against the sketch-switching defense the revealed estimate is
+//! lazy, the growth signal disappears, and the attack degenerates to an
+//! oblivious stream.
+
+use sketches_linalg::AmsSketch;
+
+use crate::switching::RobustF2;
+
+/// Outcome of an attack run.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackOutcome {
+    /// True F₂ of the final stream (number of kept unit items).
+    pub true_f2: f64,
+    /// The estimator's final (revealed) estimate.
+    pub final_estimate: f64,
+}
+
+impl AttackOutcome {
+    /// `estimate / truth` — near 1.0 means the estimator survived; near
+    /// 0.0 means it was broken (massive underestimate).
+    #[must_use]
+    pub fn survival_ratio(&self) -> f64 {
+        if self.true_f2 == 0.0 {
+            1.0
+        } else {
+            self.final_estimate / self.true_f2
+        }
+    }
+}
+
+/// The adaptive attack driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveF2Attack {
+    /// Number of items the adversary will keep in the stream.
+    pub target_items: u64,
+    /// Unconditionally kept items at the start (the adversary needs
+    /// nonzero counters before cancellation is even possible).
+    pub bootstrap_items: u64,
+    /// Cap on candidate probes (safety against non-terminating runs).
+    pub max_probes: u64,
+    /// Accept a candidate when the estimate grows by at most this much
+    /// (an honest unit insertion grows F₂ by 1, so any value < 1 forces
+    /// sublinear estimate growth while the true F₂ grows linearly).
+    pub tolerance: f64,
+}
+
+impl Default for AdaptiveF2Attack {
+    fn default() -> Self {
+        Self {
+            target_items: 300,
+            bootstrap_items: 30,
+            max_probes: 60_000,
+            tolerance: 0.25,
+        }
+    }
+}
+
+impl AdaptiveF2Attack {
+    /// Runs the adaptive strategy against an estimate oracle: `update`
+    /// applies a ±1 turnstile update, `estimate` reveals the current
+    /// published value.
+    fn run<U, E>(&self, mut update: U, mut estimate: E) -> AttackOutcome
+    where
+        U: FnMut(u64, i64),
+        E: FnMut() -> f64,
+    {
+        let mut kept = 0u64;
+        let mut candidate: u64 = 0;
+        // Bootstrap: keep the first items unconditionally so the counters
+        // carry signal the adversary can cancel against.
+        while kept < self.bootstrap_items {
+            candidate += 1;
+            update(candidate, 1);
+            kept += 1;
+        }
+        let mut probes = 0u64;
+        while kept < self.target_items && probes < self.max_probes {
+            probes += 1;
+            candidate += 1;
+            let before = estimate();
+            update(candidate, 1);
+            let after = estimate();
+            if after <= before + self.tolerance {
+                kept += 1; // estimate (nearly) did not grow: cancelling item
+            } else {
+                update(candidate, -1); // undo (turnstile deletion)
+            }
+        }
+        AttackOutcome {
+            true_f2: kept as f64,
+            final_estimate: estimate(),
+        }
+    }
+
+    /// Runs the attack against a vanilla AMS sketch whose raw estimate is
+    /// revealed after every update.
+    #[must_use]
+    pub fn run_against_vanilla(&self, sketch: &mut AmsSketch) -> AttackOutcome {
+        // Split the borrows through a RefCell so update and estimate can
+        // both touch the sketch.
+        let cell = std::cell::RefCell::new(sketch);
+        self.run(
+            |item, w| cell.borrow_mut().update_weighted(&item, w),
+            || cell.borrow().f2_estimate(),
+        )
+    }
+
+    /// Runs the *same* adaptive strategy against the sketch-switching
+    /// defense (which reveals only the lazily published estimate).
+    #[must_use]
+    pub fn run_against_robust(&self, robust: &mut RobustF2) -> AttackOutcome {
+        let cell = std::cell::RefCell::new(robust);
+        self.run(
+            |item, w| cell.borrow_mut().update_weighted(&item, w),
+            || cell.borrow_mut().estimate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches_linalg::AmsSketch;
+
+    #[test]
+    fn attack_breaks_vanilla_ams() {
+        let mut sketch = AmsSketch::new(64, 5, 42).unwrap();
+        let attack = AdaptiveF2Attack::default();
+        let outcome = attack.run_against_vanilla(&mut sketch);
+        assert!(
+            outcome.true_f2 >= 300.0,
+            "adversary failed to build the stream ({})",
+            outcome.true_f2
+        );
+        assert!(
+            outcome.survival_ratio() < 0.5,
+            "vanilla AMS survived with ratio {:.3}; the attack should force \
+             a gross underestimate",
+            outcome.survival_ratio()
+        );
+    }
+
+    #[test]
+    fn robust_version_survives_the_same_attack() {
+        let mut robust = RobustF2::new(1e6, 0.2, 64, 5, 42).unwrap();
+        let attack = AdaptiveF2Attack::default();
+        let outcome = attack.run_against_robust(&mut robust);
+        assert!(
+            outcome.survival_ratio() > 0.5,
+            "robust estimator broken: ratio {:.3} (estimate {:.0} vs truth {:.0})",
+            outcome.survival_ratio(),
+            outcome.final_estimate,
+            outcome.true_f2
+        );
+    }
+
+    #[test]
+    fn robust_beats_vanilla_across_seeds() {
+        let attack = AdaptiveF2Attack {
+            target_items: 200,
+            bootstrap_items: 25,
+            max_probes: 40_000,
+            tolerance: 0.25,
+        };
+        let mut vanilla_ratios = 0.0;
+        let mut robust_ratios = 0.0;
+        let trials = 5;
+        for seed in 0..trials {
+            let mut s = AmsSketch::new(64, 5, 1000 + seed).unwrap();
+            vanilla_ratios += attack.run_against_vanilla(&mut s).survival_ratio();
+            let mut r = RobustF2::new(1e6, 0.2, 64, 5, 1000 + seed).unwrap();
+            robust_ratios += attack.run_against_robust(&mut r).survival_ratio();
+        }
+        assert!(
+            robust_ratios > 1.5 * vanilla_ratios,
+            "robust mean ratio {:.3} vs vanilla {:.3}",
+            robust_ratios / trials as f64,
+            vanilla_ratios / trials as f64
+        );
+    }
+
+    #[test]
+    fn survival_ratio_edge_cases() {
+        let o = AttackOutcome {
+            true_f2: 0.0,
+            final_estimate: 0.0,
+        };
+        assert_eq!(o.survival_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Sketch switching: the generic compiler from oblivious to adversarially
+//! robust streaming for monotone quantities.
+//!
+//! All λ copies ingest every update, but only one copy's estimate is ever
+//! *revealed*. The published value updates lazily — only when the active
+//! copy's estimate exceeds `(1+ε)` times the published value — and each
+//! such flip permanently retires the active copy. Because a monotone
+//! quantity can only flip `λ = O(log(max)/ε)` times, λ copies suffice, and
+//! the adversary never observes an estimate whose randomness is still in
+//! use.
+
+use std::hash::Hash;
+
+use sketches_cardinality::HyperLogLog;
+use sketches_core::{CardinalityEstimator, SketchResult, SpaceUsage, Update};
+use sketches_linalg::AmsSketch;
+
+/// The ε-flip number of a monotone quantity growing to `max_value`:
+/// `⌈log_{1+ε}(max_value)⌉ + 1`.
+#[must_use]
+pub fn flip_number(max_value: f64, epsilon: f64) -> usize {
+    if max_value <= 1.0 {
+        return 2;
+    }
+    (max_value.ln() / (1.0 + epsilon).ln()).ceil() as usize + 1
+}
+
+/// An adversarially robust F₂ estimator via sketch switching over AMS
+/// copies.
+#[derive(Debug, Clone)]
+pub struct RobustF2 {
+    copies: Vec<AmsSketch>,
+    active: usize,
+    published: f64,
+    epsilon: f64,
+    exhausted: bool,
+}
+
+impl RobustF2 {
+    /// Creates a robust estimator expecting F₂ at most `max_f2`, with
+    /// multiplicative accuracy `epsilon`, over AMS copies of the given
+    /// `width × depth`.
+    ///
+    /// # Errors
+    /// Returns an error for bad parameters.
+    pub fn new(
+        max_f2: f64,
+        epsilon: f64,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> SketchResult<Self> {
+        sketches_core::check_open_unit("epsilon", epsilon, 0.0, 1.0)?;
+        let lambda = flip_number(max_f2, epsilon);
+        let copies = (0..lambda)
+            .map(|i| AmsSketch::new(width, depth, seed.wrapping_add(0x0B05 * i as u64 + 1)))
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Self {
+            copies,
+            active: 0,
+            published: 0.0,
+            epsilon,
+            exhausted: false,
+        })
+    }
+
+    /// Absorbs a weighted update into every copy.
+    pub fn update_weighted<T: Hash + ?Sized>(&mut self, item: &T, weight: i64) {
+        for c in &mut self.copies {
+            c.update_weighted(item, weight);
+        }
+    }
+
+    /// The robust estimate: lazily updated, each revelation retiring one
+    /// sketch copy.
+    pub fn estimate(&mut self) -> f64 {
+        if self.exhausted {
+            return self.published;
+        }
+        let current = self.copies[self.active].f2_estimate();
+        if current > (1.0 + self.epsilon) * self.published.max(f64::MIN_POSITIVE)
+            || (self.published == 0.0 && current > 0.0)
+        {
+            self.published = current;
+            if self.active + 1 < self.copies.len() {
+                self.active += 1;
+            } else {
+                self.exhausted = true;
+            }
+        }
+        self.published
+    }
+
+    /// Number of copies (the flip number λ).
+    #[must_use]
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Whether all copies have been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for RobustF2 {
+    fn update(&mut self, item: &T) {
+        self.update_weighted(item, 1);
+    }
+}
+
+impl SpaceUsage for RobustF2 {
+    fn space_bytes(&self) -> usize {
+        self.copies.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+/// An adversarially robust distinct-count estimator via sketch switching
+/// over HyperLogLog copies (distinct count is monotone under insertions).
+#[derive(Debug, Clone)]
+pub struct RobustDistinct {
+    copies: Vec<HyperLogLog>,
+    active: usize,
+    published: f64,
+    epsilon: f64,
+    exhausted: bool,
+}
+
+impl RobustDistinct {
+    /// Creates a robust distinct counter for up to `max_distinct` items at
+    /// multiplicative accuracy `epsilon`, with HLL precision `p`.
+    ///
+    /// # Errors
+    /// Returns an error for bad parameters.
+    pub fn new(max_distinct: f64, epsilon: f64, precision: u32, seed: u64) -> SketchResult<Self> {
+        sketches_core::check_open_unit("epsilon", epsilon, 0.0, 1.0)?;
+        let lambda = flip_number(max_distinct, epsilon);
+        let copies = (0..lambda)
+            .map(|i| HyperLogLog::new(precision, seed.wrapping_add(0xD157 * i as u64 + 1)))
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Self {
+            copies,
+            active: 0,
+            published: 0.0,
+            epsilon,
+            exhausted: false,
+        })
+    }
+
+    /// The robust estimate.
+    pub fn estimate(&mut self) -> f64 {
+        if self.exhausted {
+            return self.published;
+        }
+        let current = self.copies[self.active].estimate();
+        if current > (1.0 + self.epsilon) * self.published.max(f64::MIN_POSITIVE)
+            || (self.published == 0.0 && current > 0.0)
+        {
+            self.published = current;
+            if self.active + 1 < self.copies.len() {
+                self.active += 1;
+            } else {
+                self.exhausted = true;
+            }
+        }
+        self.published
+    }
+
+    /// Number of copies (λ).
+    #[must_use]
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+impl<T: Hash + ?Sized> Update<T> for RobustDistinct {
+    fn update(&mut self, item: &T) {
+        for c in &mut self.copies {
+            c.update(item);
+        }
+    }
+}
+
+impl SpaceUsage for RobustDistinct {
+    fn space_bytes(&self) -> usize {
+        self.copies.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_number_formula() {
+        assert_eq!(flip_number(1.0, 0.1), 2);
+        let l = flip_number(1e6, 0.1);
+        // log_{1.1}(1e6) ≈ 145.
+        assert!((140..160).contains(&l), "λ = {l}");
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(RobustF2::new(1e6, 0.0, 64, 3, 0).is_err());
+        assert!(RobustDistinct::new(1e6, 1.0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn tracks_f2_on_oblivious_streams() {
+        let mut r = RobustF2::new(1e6, 0.2, 64, 5, 1).unwrap();
+        let mut true_f2 = 0.0;
+        for i in 0..800u32 {
+            r.update(&i);
+            true_f2 += 1.0;
+            if i % 100 == 99 {
+                let est = r.estimate();
+                let rel = (est - true_f2).abs() / true_f2;
+                // (1+ε) laziness plus AMS variance.
+                assert!(rel < 0.45, "at n={i}: est {est:.0} vs {true_f2} ({rel:.3})");
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_monotone_lazy() {
+        let mut r = RobustF2::new(1e6, 0.3, 32, 3, 2).unwrap();
+        let mut last = 0.0;
+        for i in 0..3_000u32 {
+            r.update(&i);
+            let est = r.estimate();
+            assert!(est >= last, "published estimate went down");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn switching_consumes_copies_slowly() {
+        let mut r = RobustF2::new(1e9, 0.25, 16, 3, 3).unwrap();
+        for i in 0..3_000u32 {
+            r.update(&i);
+            let _ = r.estimate();
+        }
+        assert!(
+            !r.is_exhausted(),
+            "λ copies should outlast a 3k-item stream"
+        );
+    }
+
+    #[test]
+    fn robust_distinct_tracks_cardinality() {
+        let mut r = RobustDistinct::new(1e7, 0.2, 10, 4).unwrap();
+        for i in 0..20_000u64 {
+            r.update(&i);
+        }
+        let est = r.estimate();
+        let rel = (est - 20_000.0).abs() / 20_000.0;
+        assert!(rel < 0.3, "robust distinct {est:.0} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn space_scales_with_flip_number() {
+        let tight = RobustF2::new(1e4, 0.5, 32, 3, 5).unwrap();
+        let loose = RobustF2::new(1e12, 0.05, 32, 3, 5).unwrap();
+        assert!(loose.num_copies() > 5 * tight.num_copies());
+        assert!(loose.space_bytes() > 5 * tight.space_bytes());
+    }
+}

@@ -1,0 +1,151 @@
+//! Bernoulli (fixed-rate) sampling.
+//!
+//! Every item is kept independently with probability `p`. This is the
+//! "alternative downsampling technique" the survey's advertising section
+//! says modern warehouses use instead of sketches — the baseline of
+//! experiment E8's crossover analysis. Estimates scale kept counts by
+//! `1/p` (Horvitz–Thompson).
+
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// A Bernoulli sampler keeping each item with probability `p`.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler<T> {
+    kept: Vec<T>,
+    p: f64,
+    seen: u64,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl<T: Clone> BernoulliSampler<T> {
+    /// Creates a sampler with rate `p ∈ (0, 1]`.
+    ///
+    /// # Errors
+    /// Returns an error for `p` outside `(0, 1]`.
+    pub fn new(p: f64, seed: u64) -> SketchResult<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SketchError::invalid("p", "need p in (0, 1]"));
+        }
+        Ok(Self {
+            kept: Vec::new(),
+            p,
+            seen: 0,
+            rng: Xoshiro256PlusPlus::new(seed),
+        })
+    }
+
+    /// Kept items.
+    #[must_use]
+    pub fn sample(&self) -> &[T] {
+        &self.kept
+    }
+
+    /// Horvitz–Thompson estimate of the stream length.
+    #[must_use]
+    pub fn estimated_total(&self) -> f64 {
+        self.kept.len() as f64 / self.p
+    }
+
+    /// Items seen.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sampling rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.p
+    }
+}
+
+impl<T: Clone> Update<T> for BernoulliSampler<T> {
+    fn update(&mut self, item: &T) {
+        self.seen += 1;
+        if self.rng.gen_bool(self.p) {
+            self.kept.push(item.clone());
+        }
+    }
+}
+
+impl<T> Clear for BernoulliSampler<T> {
+    fn clear(&mut self) {
+        self.kept.clear();
+        self.seen = 0;
+    }
+}
+
+impl<T> SpaceUsage for BernoulliSampler<T> {
+    fn space_bytes(&self) -> usize {
+        self.kept.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Clone> MergeSketch for BernoulliSampler<T> {
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if (self.p - other.p).abs() > f64::EPSILON {
+            return Err(SketchError::incompatible("rates differ"));
+        }
+        self.kept.extend_from_slice(&other.kept);
+        self.seen += other.seen;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(BernoulliSampler::<u32>::new(0.0, 0).is_err());
+        assert!(BernoulliSampler::<u32>::new(1.5, 0).is_err());
+        assert!(BernoulliSampler::<u32>::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn keeps_roughly_p_fraction() {
+        let mut s = BernoulliSampler::new(0.1, 1).unwrap();
+        for i in 0..100_000u32 {
+            s.update(&i);
+        }
+        let kept = s.sample().len() as f64;
+        assert!((kept - 10_000.0).abs() < 500.0, "kept {kept}");
+        let est = s.estimated_total();
+        assert!((est - 100_000.0).abs() / 100_000.0 < 0.05);
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let mut s = BernoulliSampler::new(1.0, 2).unwrap();
+        for i in 0..100u32 {
+            s.update(&i);
+        }
+        assert_eq!(s.sample().len(), 100);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = BernoulliSampler::new(0.5, 3).unwrap();
+        let mut b = BernoulliSampler::new(0.5, 4).unwrap();
+        for i in 0..1000u32 {
+            a.update(&i);
+            b.update(&i);
+        }
+        let na = a.sample().len();
+        a.merge(&b).unwrap();
+        assert_eq!(a.sample().len(), na + b.sample().len());
+        assert_eq!(a.seen(), 2000);
+        assert!(a.merge(&BernoulliSampler::new(0.4, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BernoulliSampler::new(0.9, 5).unwrap();
+        s.update(&1u8);
+        s.clear();
+        assert!(s.sample().is_empty());
+        assert_eq!(s.seen(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The L0 sampler: a (near-)uniform sample from the *nonzero coordinates*
+//! of a vector maintained under inserts and deletes.
+//!
+//! Construction (Jowhari–Saglam–Tardos lineage, PODS 2011 test of time):
+//! level `l` keeps an s-sparse recovery structure over the coordinates
+//! whose hash has at least `l` trailing zero bits (an expected `2^{−l}`
+//! subsample). To sample, find the first level sparse enough to decode and
+//! return the recovered coordinate with the minimum hash. Fails (returns
+//! `None`) with small constant probability — callers keep several
+//! independent instances, as the graph-sketching crate does.
+
+use std::collections::BTreeMap;
+
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage};
+use sketches_hash::mix::mix64_seeded;
+
+use crate::recovery::SparseRecovery;
+
+/// Default number of subsampling levels (supports ~2^40 distinct indices).
+const DEFAULT_LEVELS: usize = 40;
+
+/// An L0 sampler over `(index: u64, delta: i64)` turnstile updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L0Sampler {
+    levels: Vec<SparseRecovery>,
+    seed: u64,
+}
+
+impl L0Sampler {
+    /// Creates a sampler with per-level sparsity `s` (8–16 is typical) and
+    /// `rows` hash rows per recovery structure, with the default 40
+    /// subsampling levels.
+    ///
+    /// # Errors
+    /// Returns an error for invalid sparsity/rows.
+    pub fn new(s: usize, rows: usize, seed: u64) -> SketchResult<Self> {
+        Self::with_levels(s, rows, DEFAULT_LEVELS, seed)
+    }
+
+    /// Creates a sampler with an explicit level count; `levels` should be
+    /// at least `log2` of the number of distinct indices the vector can
+    /// hold. Fewer levels mean a smaller sketch (the AGM graph sketches
+    /// size this to `2·log2(n) + 4`).
+    ///
+    /// # Errors
+    /// Returns an error for invalid sparsity/rows/levels.
+    pub fn with_levels(s: usize, rows: usize, levels: usize, seed: u64) -> SketchResult<Self> {
+        sketches_core::check_range("levels", levels, 1, 64)?;
+        let levels = (0..levels)
+            .map(|l| SparseRecovery::new(s, rows, seed ^ ((l as u64) << 48 | 0x10_5A)))
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Self { levels, seed })
+    }
+
+    /// Level of an index: number of trailing zeros of its hash.
+    #[inline]
+    fn level_of(&self, index: u64) -> usize {
+        (mix64_seeded(index, self.seed ^ 0x007E_4E15).trailing_zeros() as usize)
+            .min(self.levels.len() - 1)
+    }
+
+    /// Applies `vector[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        let max_level = self.level_of(index);
+        for l in 0..=max_level {
+            self.levels[l].update(index, delta);
+        }
+    }
+
+    /// Draws a sample: a uniformly-random nonzero coordinate and its net
+    /// weight, or `None` if this instance failed (constant probability) or
+    /// the vector is zero (reported as `Some(None)`-like via `Ok(None)`
+    /// semantics — see return description).
+    ///
+    /// Returns:
+    /// * `Some((index, weight))` — a successful sample;
+    /// * `None` — the vector is zero *or* every level was too dense
+    ///   (failure).
+    #[must_use]
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        for level in &self.levels {
+            if let Some(map) = level.recover() {
+                if map.is_empty() {
+                    // Truly empty at this level ⇒ deeper levels are subsets:
+                    // vector is (w.h.p.) zero or we lost it — either way, stop.
+                    return None;
+                }
+                // Uniformity: among the decoded survivors, pick the one with
+                // the minimum hash (a random function of the index).
+                return map
+                    .iter()
+                    .min_by_key(|(&idx, _)| mix64_seeded(idx, self.seed ^ 0xBEEF))
+                    .map(|(&idx, &w)| (idx, w));
+            }
+        }
+        None
+    }
+
+    /// Recovers the *entire* support if some level can decode it exactly
+    /// (only possible when the vector is sparser than the level budget).
+    #[must_use]
+    pub fn recover_support(&self) -> Option<BTreeMap<u64, i64>> {
+        self.levels[0].recover()
+    }
+}
+
+impl Clear for L0Sampler {
+    fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.clear();
+        }
+    }
+}
+
+impl SpaceUsage for L0Sampler {
+    fn space_bytes(&self) -> usize {
+        self.levels.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+impl MergeSketch for L0Sampler {
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.seed != other.seed {
+            return Err(SketchError::incompatible("seeds differ"));
+        }
+        if self.levels.len() != other.levels.len() {
+            return Err(SketchError::incompatible("level counts differ"));
+        }
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn samples_from_sparse_vector() {
+        let mut s = L0Sampler::new(8, 4, 1).unwrap();
+        s.update(100, 5);
+        s.update(200, -3);
+        let (idx, w) = s.sample().expect("sparse vector must sample");
+        assert!(
+            (idx == 100 && w == 5) || (idx == 200 && w == -3),
+            "got ({idx}, {w})"
+        );
+    }
+
+    #[test]
+    fn zero_vector_samples_none() {
+        let mut s = L0Sampler::new(8, 4, 2).unwrap();
+        s.update(7, 4);
+        s.update(7, -4);
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn survives_deletions_of_other_items() {
+        let mut s = L0Sampler::new(8, 4, 3).unwrap();
+        for i in 0..100u64 {
+            s.update(i, 1);
+        }
+        for i in 0..99u64 {
+            s.update(i, -1);
+        }
+        // Only coordinate 99 remains.
+        assert_eq!(s.sample(), Some((99, 1)));
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform_over_support() {
+        // 32 nonzero coordinates; over many independent sampler instances
+        // each should be chosen ~1/32 of the time.
+        let support: Vec<u64> = (0..32).map(|i| 1000 + 37 * i).collect();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut failures = 0u32;
+        let trials = 1500u64;
+        for t in 0..trials {
+            let mut s = L0Sampler::new(8, 5, 1000 + t).unwrap();
+            for &idx in &support {
+                s.update(idx, 1);
+            }
+            match s.sample() {
+                Some((idx, 1)) => *counts.entry(idx).or_insert(0) += 1,
+                Some((idx, w)) => panic!("bad weight for {idx}: {w}"),
+                None => failures += 1,
+            }
+        }
+        assert!(
+            f64::from(failures) / trials as f64 <= 0.2,
+            "{failures} failures out of {trials}"
+        );
+        let successes: u32 = counts.values().sum();
+        let expected = f64::from(successes) / 32.0;
+        for &idx in &support {
+            let c = f64::from(counts.get(&idx).copied().unwrap_or(0));
+            assert!(
+                (c - expected).abs() < expected * 0.7 + 10.0,
+                "index {idx}: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_support_when_sparse() {
+        let mut s = L0Sampler::new(8, 4, 5).unwrap();
+        s.update(10, 1);
+        s.update(20, 2);
+        s.update(30, 3);
+        let sup = s.recover_support().expect("3-sparse with s=8");
+        assert_eq!(sup.len(), 3);
+        assert_eq!(sup[&30], 3);
+    }
+
+    #[test]
+    fn merge_acts_like_sum_of_streams() {
+        let mut a = L0Sampler::new(8, 4, 6).unwrap();
+        let mut b = L0Sampler::new(8, 4, 6).unwrap();
+        a.update(1, 1);
+        b.update(1, -1); // cancels
+        b.update(2, 9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.sample(), Some((2, 9)));
+        assert!(a.merge(&L0Sampler::new(8, 4, 7).unwrap()).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = L0Sampler::new(4, 3, 8).unwrap();
+        s.update(1, 1);
+        s.clear();
+        assert_eq!(s.sample(), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Lp sampling via precision sampling (Andoni–Krauthgamer–Onak; analysis
+//! tightened by Jowhari, Saglam & Tardos, PODS 2011 test of time).
+//!
+//! Goal: sample coordinate `i` with probability proportional to `fᵢᵖ/Fₚ`,
+//! `p ∈ (0, 2]`, from a turnstile stream. Each coordinate is scaled by
+//! `uᵢ^{−1/p}` for a (hash-derived) uniform `uᵢ`; the maximum |scaled|
+//! coordinate is then an Lp sample. The scaled vector lives in a hierarchy
+//! of dyadic Count-Sketches, and the argmax is found by beam-searching down
+//! the prefix tree. Each instance succeeds with constant probability —
+//! callers run several instances, exactly as with the L0 sampler.
+
+use sketches_core::{check_open_unit, Clear, SketchError, SketchResult, SpaceUsage};
+use sketches_hash::family::{KWiseHash, SignHash};
+use sketches_hash::mix::{mix64_seeded, to_unit_f64};
+use sketches_hash::rng::SplitMix64;
+
+/// A small Count-Sketch over `f64` weights (the crate-public integer
+/// Count-Sketch lives in `sketches-frequency`; Lp sampling needs real
+/// scaling factors).
+#[derive(Debug, Clone)]
+struct FloatCountSketch {
+    counters: Vec<f64>,
+    width: usize,
+    depth: usize,
+    bucket_hashes: Vec<KWiseHash>,
+    sign_hashes: Vec<SignHash>,
+}
+
+impl FloatCountSketch {
+    fn new(width: usize, depth: usize, rng: &mut SplitMix64) -> Self {
+        Self {
+            counters: vec![0.0; width * depth],
+            width,
+            depth,
+            bucket_hashes: (0..depth).map(|_| KWiseHash::random(2, rng)).collect(),
+            sign_hashes: (0..depth).map(|_| SignHash::random(rng)).collect(),
+        }
+    }
+
+    fn update(&mut self, key: u64, value: f64) {
+        for row in 0..self.depth {
+            let b = self.bucket_hashes[row].hash_range(key, self.width as u64) as usize;
+            let s = self.sign_hashes[row].sign(key) as f64;
+            self.counters[row * self.width + b] += s * value;
+        }
+    }
+
+    fn estimate(&self, key: u64) -> f64 {
+        let mut ests: Vec<f64> = (0..self.depth)
+            .map(|row| {
+                let b = self.bucket_hashes[row].hash_range(key, self.width as u64) as usize;
+                self.sign_hashes[row].sign(key) as f64 * self.counters[row * self.width + b]
+            })
+            .collect();
+        sketches_core::median_f64(&mut ests)
+    }
+
+    fn clear(&mut self) {
+        self.counters.fill(0.0);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// An Lp sampler over the integer domain `[0, 2^domain_bits)`.
+#[derive(Debug, Clone)]
+pub struct LpSampler {
+    /// `sketches[l]` sketches the scaled vector aggregated at prefix level
+    /// `l` (level 0 = individual coordinates).
+    sketches: Vec<FloatCountSketch>,
+    p: f64,
+    domain_bits: u32,
+    seed: u64,
+    /// Beam width of the argmax descent.
+    beam: usize,
+    updates: u64,
+}
+
+impl LpSampler {
+    /// Creates a sampler for `p ∈ (0, 2]` over `[0, 2^domain_bits)` with
+    /// per-level Count-Sketch dimensions `(width, depth)`.
+    ///
+    /// # Errors
+    /// Returns an error for `p` outside `(0, 2]`, bad domain size, or
+    /// degenerate sketch dimensions.
+    pub fn new(
+        p: f64,
+        domain_bits: u32,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> SketchResult<Self> {
+        check_open_unit("p", p, 0.0, 2.0 + 1e-9)?;
+        sketches_core::check_range("domain_bits", domain_bits, 1, 40)?;
+        if width < 4 || depth == 0 {
+            return Err(SketchError::invalid("width/depth", "too small"));
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x1B_5A3F);
+        let sketches = (0..=domain_bits as usize)
+            .map(|_| FloatCountSketch::new(width, depth, &mut rng))
+            .collect();
+        Ok(Self {
+            sketches,
+            p,
+            domain_bits,
+            seed,
+            beam: 8,
+            updates: 0,
+        })
+    }
+
+    /// The precision-sampling scale factor `uᵢ^{−1/p}` for coordinate `i`.
+    fn scale(&self, index: u64) -> f64 {
+        let u = to_unit_f64(mix64_seeded(index, self.seed ^ 0x5CA1E)).max(1e-18);
+        u.powf(-1.0 / self.p)
+    }
+
+    /// Applies `vector[index] += delta`.
+    ///
+    /// # Panics
+    /// Panics in debug mode if `index` is outside the domain.
+    pub fn update(&mut self, index: u64, delta: f64) {
+        debug_assert!(index < (1u64 << self.domain_bits));
+        let z = delta * self.scale(index);
+        for (l, sketch) in self.sketches.iter_mut().enumerate() {
+            sketch.update(index >> l, z);
+        }
+        self.updates += 1;
+    }
+
+    /// Draws a sample: `(index, estimated frequency)` with
+    /// `Pr[index = i] ≈ fᵢᵖ/Fₚ`, or `None` on an empty sketch.
+    #[must_use]
+    pub fn sample(&self) -> Option<(u64, f64)> {
+        if self.updates == 0 {
+            return None;
+        }
+        // Beam search down the prefix tree for the max |z| coordinate.
+        let top = self.domain_bits as usize;
+        let mut candidates: Vec<u64> = vec![0, 1]; // children of the root
+        for level in (0..top).rev() {
+            let mut scored: Vec<(f64, u64)> = candidates
+                .iter()
+                .map(|&prefix| (self.sketches[level].estimate(prefix).abs(), prefix))
+                .collect();
+            scored.sort_by(|a, b| f64::total_cmp(&b.0, &a.0));
+            scored.truncate(self.beam);
+            if level == 0 {
+                let (zmax, idx) = scored.first().copied()?;
+                if zmax == 0.0 {
+                    return None;
+                }
+                let freq = self.sketches[0].estimate(idx) / self.scale(idx);
+                return Some((idx, freq));
+            }
+            candidates = scored
+                .iter()
+                .flat_map(|&(_, pfx)| [pfx << 1, (pfx << 1) | 1])
+                .collect();
+        }
+        None
+    }
+
+    /// The exponent `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Clear for LpSampler {
+    fn clear(&mut self) {
+        for s in &mut self.sketches {
+            s.clear();
+        }
+        self.updates = 0;
+    }
+}
+
+impl SpaceUsage for LpSampler {
+    fn space_bytes(&self) -> usize {
+        self.sketches.iter().map(FloatCountSketch::space_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Builds the empirical sampling distribution over `freqs` using many
+    /// independent sampler instances, and returns (index → fraction).
+    fn empirical(p: f64, freqs: &[(u64, f64)], trials: u64) -> HashMap<u64, f64> {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut ok = 0u64;
+        for t in 0..trials {
+            let mut s = LpSampler::new(p, 10, 256, 5, 900 + t).unwrap();
+            for &(i, f) in freqs {
+                s.update(i, f);
+            }
+            if let Some((idx, _)) = s.sample() {
+                *counts.entry(idx).or_insert(0) += 1;
+                ok += 1;
+            }
+        }
+        assert!(ok * 10 >= trials * 8, "too many failures: {ok}/{trials}");
+        counts
+            .into_iter()
+            .map(|(i, c)| (i, c as f64 / ok as f64))
+            .collect()
+    }
+
+    fn target(p: f64, freqs: &[(u64, f64)]) -> HashMap<u64, f64> {
+        let fp: f64 = freqs.iter().map(|&(_, f)| f.abs().powf(p)).sum();
+        freqs
+            .iter()
+            .map(|&(i, f)| (i, f.abs().powf(p) / fp))
+            .collect()
+    }
+
+    fn tv_distance(a: &HashMap<u64, f64>, b: &HashMap<u64, f64>) -> f64 {
+        let keys: std::collections::BTreeSet<u64> = a.keys().chain(b.keys()).copied().collect();
+        keys.iter()
+            .map(|k| (a.get(k).unwrap_or(&0.0) - b.get(k).unwrap_or(&0.0)).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LpSampler::new(0.0, 10, 64, 3, 0).is_err());
+        assert!(LpSampler::new(2.5, 10, 64, 3, 0).is_err());
+        assert!(LpSampler::new(1.0, 0, 64, 3, 0).is_err());
+        assert!(LpSampler::new(1.0, 10, 2, 3, 0).is_err());
+    }
+
+    #[test]
+    fn empty_samples_none() {
+        let s = LpSampler::new(1.0, 10, 64, 3, 1).unwrap();
+        assert!(s.sample().is_none());
+    }
+
+    #[test]
+    fn l1_sampling_tracks_frequencies() {
+        let freqs: Vec<(u64, f64)> = (0..16).map(|i| (i * 13 + 5, (i + 1) as f64)).collect();
+        let emp = empirical(1.0, &freqs, 800);
+        let tgt = target(1.0, &freqs);
+        let tv = tv_distance(&emp, &tgt);
+        assert!(tv < 0.2, "L1 TV distance {tv:.3}");
+    }
+
+    #[test]
+    fn l2_sampling_prefers_heavy_items_more() {
+        let freqs: Vec<(u64, f64)> = vec![(1, 10.0), (2, 5.0), (3, 1.0), (4, 1.0)];
+        let emp = empirical(2.0, &freqs, 600);
+        // Under L2, item 1 has 100/127 ≈ 79% of the mass.
+        let p1 = emp.get(&1).copied().unwrap_or(0.0);
+        assert!(p1 > 0.6, "heavy item sampled only {p1:.3} under L2");
+    }
+
+    #[test]
+    fn deletions_respected() {
+        let mut hits = 0u32;
+        for t in 0..200u64 {
+            let mut s = LpSampler::new(1.0, 8, 128, 5, 7000 + t).unwrap();
+            s.update(10, 100.0);
+            s.update(20, 1.0);
+            s.update(10, -100.0); // fully deleted
+            if let Some((idx, _)) = s.sample() {
+                if idx == 20 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 150, "only {hits}/200 found the surviving item");
+    }
+
+    #[test]
+    fn estimated_frequency_near_truth() {
+        let mut close = 0u32;
+        for t in 0..100u64 {
+            let mut s = LpSampler::new(1.0, 8, 256, 5, 300 + t).unwrap();
+            s.update(42, 50.0);
+            s.update(17, 10.0);
+            if let Some((idx, f)) = s.sample() {
+                let truth = if idx == 42 { 50.0 } else { 10.0 };
+                if (f - truth).abs() / truth < 0.2 {
+                    close += 1;
+                }
+            }
+        }
+        assert!(close > 70, "only {close}/100 frequency estimates were close");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = LpSampler::new(1.0, 8, 64, 3, 9).unwrap();
+        s.update(1, 1.0);
+        s.clear();
+        assert!(s.sample().is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Weighted reservoir sampling (Efraimidis & Spirakis, 2006; "A-ES").
+//!
+//! Each item draws a key `uᵢ^{1/wᵢ}` with `uᵢ` uniform; the `k` largest
+//! keys form the sample, giving inclusion probabilities proportional to the
+//! weights (without replacement). A single heap operation per item.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// A sample entry: the A-ES key and the item.
+#[derive(Debug, Clone)]
+struct Keyed<T> {
+    key: f64,
+    item: T,
+}
+
+impl<T> PartialEq for Keyed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Keyed<T> {}
+impl<T> PartialOrd for Keyed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Keyed<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the min key on top so
+        // it can be evicted.
+        f64::total_cmp(&other.key, &self.key)
+    }
+}
+
+/// A weighted reservoir keeping the `k` items with the largest A-ES keys.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    heap: BinaryHeap<Keyed<T>>,
+    k: usize,
+    total_weight: f64,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl<T: Clone> WeightedReservoir<T> {
+    /// Creates a weighted reservoir of capacity `k >= 1`.
+    ///
+    /// # Errors
+    /// Returns an error if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> SketchResult<Self> {
+        if k == 0 {
+            return Err(SketchError::invalid("k", "need k >= 1"));
+        }
+        Ok(Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+            total_weight: 0.0,
+            rng: Xoshiro256PlusPlus::new(seed),
+        })
+    }
+
+    /// Offers an item with positive weight; zero or negative weights are
+    /// ignored.
+    pub fn offer(&mut self, item: &T, weight: f64) {
+        if weight.is_nan() || weight <= 0.0 || !weight.is_finite() {
+            return;
+        }
+        self.total_weight += weight;
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let key = u.powf(1.0 / weight);
+        if self.heap.len() < self.k {
+            self.heap.push(Keyed {
+                key,
+                item: item.clone(),
+            });
+        } else if let Some(min) = self.heap.peek() {
+            if key > min.key {
+                self.heap.pop();
+                self.heap.push(Keyed {
+                    key,
+                    item: item.clone(),
+                });
+            }
+        }
+    }
+
+    /// The current sample (order unspecified).
+    #[must_use]
+    pub fn sample(&self) -> Vec<T> {
+        self.heap.iter().map(|e| e.item.clone()).collect()
+    }
+
+    /// Sum of all offered weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Capacity `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl<T> Clear for WeightedReservoir<T> {
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.total_weight = 0.0;
+    }
+}
+
+impl<T> SpaceUsage for WeightedReservoir<T> {
+    fn space_bytes(&self) -> usize {
+        self.k * (std::mem::size_of::<T>() + std::mem::size_of::<f64>())
+    }
+}
+
+impl<T: Clone> MergeSketch for WeightedReservoir<T> {
+    /// A-ES keys are comparable across independently-built reservoirs, so
+    /// merging keeps the `k` largest keys overall — exactly the sample the
+    /// union stream would have produced.
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.k != other.k {
+            return Err(SketchError::incompatible("capacities differ"));
+        }
+        for e in &other.heap {
+            if self.heap.len() < self.k {
+                self.heap.push(e.clone());
+            } else if let Some(min) = self.heap.peek() {
+                if e.key > min.key {
+                    self.heap.pop();
+                    self.heap.push(e.clone());
+                }
+            }
+        }
+        self.total_weight += other.total_weight;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(WeightedReservoir::<u32>::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn keeps_at_most_k() {
+        let mut w = WeightedReservoir::new(5, 1).unwrap();
+        for i in 0..100u32 {
+            w.offer(&i, 1.0);
+        }
+        assert_eq!(w.sample().len(), 5);
+    }
+
+    #[test]
+    fn inclusion_tracks_weight() {
+        // Item 0 has weight 10, items 1..=10 weight 1 each. Sampling k=1,
+        // item 0 should win about half the time.
+        let mut wins = 0u32;
+        let trials = 5_000;
+        for t in 0..trials {
+            let mut w = WeightedReservoir::new(1, 100 + t as u64).unwrap();
+            w.offer(&0u32, 10.0);
+            for i in 1..=10u32 {
+                w.offer(&i, 1.0);
+            }
+            if w.sample()[0] == 0 {
+                wins += 1;
+            }
+        }
+        let frac = f64::from(wins) / f64::from(trials);
+        assert!((frac - 0.5).abs() < 0.03, "heavy item won {frac:.3}");
+    }
+
+    #[test]
+    fn ignores_nonpositive_weights() {
+        let mut w = WeightedReservoir::new(4, 2).unwrap();
+        w.offer(&1u32, 0.0);
+        w.offer(&2u32, -5.0);
+        w.offer(&3u32, f64::NAN);
+        assert!(w.sample().is_empty());
+        assert_eq!(w.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_union_distribution() {
+        // Heavy item in stream A, light items in stream B; after merging,
+        // heavy item inclusion should still track its weight share.
+        let mut wins = 0u32;
+        let trials = 3_000;
+        for t in 0..trials {
+            let mut a = WeightedReservoir::new(1, 7 + 2 * t as u64).unwrap();
+            let mut b = WeightedReservoir::new(1, 8 + 2 * t as u64).unwrap();
+            a.offer(&0u32, 5.0);
+            for i in 1..=5u32 {
+                b.offer(&i, 1.0);
+            }
+            a.merge(&b).unwrap();
+            if a.sample()[0] == 0 {
+                wins += 1;
+            }
+        }
+        let frac = f64::from(wins) / f64::from(trials);
+        assert!((frac - 0.5).abs() < 0.04, "merged heavy fraction {frac:.3}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = WeightedReservoir::<u32>::new(2, 0).unwrap();
+        let b = WeightedReservoir::<u32>::new(3, 0).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = WeightedReservoir::new(2, 0).unwrap();
+        w.offer(&1u32, 1.0);
+        w.clear();
+        assert!(w.sample().is_empty());
+        assert_eq!(w.total_weight(), 0.0);
+    }
+}

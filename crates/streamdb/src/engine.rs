@@ -1,0 +1,444 @@
+//! The sketch-backed aggregation engine.
+
+use std::collections::HashMap;
+
+use sketches_cardinality::HyperLogLogPlusPlus;
+use sketches_core::{
+    CardinalityEstimator, MergeSketch, QuantileSketch, SketchError, SketchResult, SpaceUsage,
+    Update,
+};
+use sketches_frequency::SpaceSaving;
+use sketches_quantiles::KllSketch;
+
+use crate::query::{Aggregate, AggregateResult, QuerySpec};
+use crate::value::{Row, Value};
+
+/// Per-group sketch state for one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum(f64),
+    CountDistinct(HyperLogLogPlusPlus),
+    Quantiles(KllSketch),
+    TopK { sketch: SpaceSaving<Value>, k: usize },
+}
+
+/// Tunable sketch parameters for the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// HLL++ precision for COUNT DISTINCT (4..=18).
+    pub hll_precision: u32,
+    /// KLL accuracy parameter for QUANTILES.
+    pub kll_k: usize,
+    /// SpaceSaving counters for TOP-K (must exceed the query's `k`).
+    pub space_saving_counters: usize,
+    /// Base PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            hll_precision: 11,
+            kll_k: 128,
+            space_saving_counters: 64,
+            seed: 0x57_DB,
+        }
+    }
+}
+
+/// A GROUP BY engine maintaining one set of sketches per group — the
+/// "huge numbers of sketches in parallel" design of the ISP-era systems.
+#[derive(Debug, Clone)]
+pub struct SketchEngine {
+    spec: QuerySpec,
+    config: EngineConfig,
+    /// Pristine per-group state, validated at construction and cloned for
+    /// each new group (cheaper and simpler than re-validating per group).
+    template: Vec<AggState>,
+    groups: HashMap<Vec<Value>, Vec<AggState>>,
+    rows_processed: u64,
+}
+
+impl SketchEngine {
+    /// Creates an engine for `spec` with default sketch parameters.
+    ///
+    /// # Errors
+    /// Returns an error if the spec/config produce invalid sketches.
+    pub fn new(spec: QuerySpec) -> SketchResult<Self> {
+        Self::with_config(spec, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit sketch parameters.
+    ///
+    /// # Errors
+    /// Returns an error if the config is invalid (validated eagerly by
+    /// constructing a probe group).
+    pub fn with_config(spec: QuerySpec, config: EngineConfig) -> SketchResult<Self> {
+        let mut engine = Self {
+            spec,
+            config,
+            template: Vec::new(),
+            groups: HashMap::new(),
+            rows_processed: 0,
+        };
+        engine.template = engine.fresh_state()?;
+        Ok(engine)
+    }
+
+    fn fresh_state(&self) -> SketchResult<Vec<AggState>> {
+        self.spec
+            .aggregates
+            .iter()
+            .map(|agg| {
+                Ok(match agg {
+                    Aggregate::Count => AggState::Count(0),
+                    Aggregate::Sum { .. } => AggState::Sum(0.0),
+                    Aggregate::CountDistinct { .. } => AggState::CountDistinct(
+                        HyperLogLogPlusPlus::new(self.config.hll_precision, self.config.seed)?,
+                    ),
+                    Aggregate::Quantiles { .. } => {
+                        AggState::Quantiles(KllSketch::new(self.config.kll_k, self.config.seed)?)
+                    }
+                    Aggregate::TopK { k, .. } => {
+                        if *k > self.config.space_saving_counters {
+                            return Err(SketchError::invalid(
+                                "k",
+                                "TopK k exceeds space_saving_counters",
+                            ));
+                        }
+                        AggState::TopK {
+                            sketch: SpaceSaving::new(self.config.space_saving_counters)?,
+                            k: *k,
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Processes one row.
+    ///
+    /// # Errors
+    /// Returns an error if the row is too short for the query or a
+    /// non-numeric field is aggregated numerically.
+    pub fn process(&mut self, row: &Row) -> SketchResult<()> {
+        if row.len() <= self.spec.max_field() {
+            return Err(SketchError::invalid("row", "row shorter than query fields"));
+        }
+        let key: Vec<Value> = self.spec.group_by.iter().map(|&i| row[i].clone()).collect();
+        let template = &self.template;
+        let state = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| template.clone());
+        for (agg, st) in self.spec.aggregates.iter().zip(state.iter_mut()) {
+            match (agg, st) {
+                (Aggregate::Count, AggState::Count(c)) => *c += 1,
+                (Aggregate::Sum { field }, AggState::Sum(s)) => {
+                    let v = row[*field].as_f64().ok_or_else(|| {
+                        SketchError::invalid("field", "SUM over non-numeric field")
+                    })?;
+                    *s += v;
+                }
+                (Aggregate::CountDistinct { field }, AggState::CountDistinct(h)) => {
+                    h.update(&row[*field]);
+                }
+                (Aggregate::Quantiles { field }, AggState::Quantiles(q)) => {
+                    let v = row[*field].as_f64().ok_or_else(|| {
+                        SketchError::invalid("field", "QUANTILES over non-numeric field")
+                    })?;
+                    q.update(&v);
+                }
+                (Aggregate::TopK { field, .. }, AggState::TopK { sketch, .. }) => {
+                    sketch.update(&row[*field]);
+                }
+                _ => unreachable!("state vector built from the same spec"),
+            }
+        }
+        self.rows_processed += 1;
+        Ok(())
+    }
+
+    /// Reports the aggregates of one group (`None` if the group was never
+    /// seen).
+    ///
+    /// # Errors
+    /// Returns an error only for internal sketch query failures.
+    pub fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
+        let Some(state) = self.groups.get(key) else {
+            return Ok(None);
+        };
+        let results = state
+            .iter()
+            .map(|st| {
+                Ok(match st {
+                    AggState::Count(c) => AggregateResult::Count(*c),
+                    AggState::Sum(s) => AggregateResult::Sum(*s),
+                    AggState::CountDistinct(h) => AggregateResult::CountDistinct(h.estimate()),
+                    AggState::Quantiles(q) => AggregateResult::Quantiles {
+                        p50: q.quantile(0.5)?,
+                        p95: q.quantile(0.95)?,
+                        p99: q.quantile(0.99)?,
+                    },
+                    AggState::TopK { sketch, k } => AggregateResult::TopK(sketch.top_k(*k)),
+                })
+            })
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Some(results))
+    }
+
+    /// All group keys currently tracked.
+    pub fn groups(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.groups.keys()
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Rows processed.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        self.rows_processed
+    }
+
+    /// Finishes a tumbling window: returns every group's report and resets
+    /// the state for the next window.
+    ///
+    /// # Errors
+    /// Propagates report errors.
+    pub fn flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
+        let keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(report) = self.report(&key)? {
+                out.push((key, report));
+            }
+        }
+        self.groups.clear();
+        self.rows_processed = 0;
+        Ok(out)
+    }
+
+    /// Merges another engine's state (distributed GROUP BY: shard by row,
+    /// merge per-group sketches).
+    ///
+    /// # Errors
+    /// Returns an error if specs/configs differ.
+    pub fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.spec != other.spec {
+            return Err(SketchError::incompatible("query specs differ"));
+        }
+        if self.config != other.config {
+            // Checked up front: a lazy failure mid-merge would leave this
+            // engine with a mix of the two configs' groups.
+            return Err(SketchError::incompatible("engine configs differ"));
+        }
+        for (key, other_state) in &other.groups {
+            match self.groups.get_mut(key) {
+                None => {
+                    self.groups.insert(key.clone(), other_state.clone());
+                }
+                Some(state) => {
+                    for (a, b) in state.iter_mut().zip(other_state) {
+                        match (a, b) {
+                            (AggState::Count(x), AggState::Count(y)) => *x += y,
+                            (AggState::Sum(x), AggState::Sum(y)) => *x += y,
+                            (AggState::CountDistinct(x), AggState::CountDistinct(y)) => {
+                                x.merge(y)?;
+                            }
+                            (AggState::Quantiles(x), AggState::Quantiles(y)) => x.merge(y)?,
+                            (
+                                AggState::TopK { sketch: x, .. },
+                                AggState::TopK { sketch: y, .. },
+                            ) => x.merge(y)?,
+                            _ => {
+                                return Err(SketchError::incompatible(
+                                    "aggregate states out of order",
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.rows_processed += other.rows_processed;
+        Ok(())
+    }
+
+    /// Total sketch memory across groups.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        self.groups
+            .values()
+            .flat_map(|state| {
+                state.iter().map(|st| match st {
+                    AggState::Count(_) | AggState::Sum(_) => 8,
+                    AggState::CountDistinct(h) => h.space_bytes(),
+                    AggState::Quantiles(q) => q.space_bytes(),
+                    AggState::TopK { sketch, .. } => sketch.space_bytes(),
+                })
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+// The `row!` macro expands to `vec![...]`, which tests also pass to
+// slice-taking query methods — that is fine here.
+#[allow(clippy::useless_vec)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new(
+            vec![0], // GROUP BY field 0
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum { field: 2 },
+                Aggregate::CountDistinct { field: 1 },
+                Aggregate::Quantiles { field: 2 },
+                Aggregate::TopK { field: 1, k: 3 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_group_by_pipeline() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        // Group "a": users 0..100 each with value = user index.
+        for u in 0..100u64 {
+            eng.process(&row!["a", u, u as f64]).unwrap();
+            eng.process(&row!["a", u, u as f64]).unwrap(); // duplicate user
+        }
+        // Group "b": single user, 10 rows.
+        for _ in 0..10 {
+            eng.process(&row!["b", 7u64, 1.0f64]).unwrap();
+        }
+        assert_eq!(eng.num_groups(), 2);
+        assert_eq!(eng.rows_processed(), 210);
+
+        let a = eng.report(&row!["a"]).unwrap().unwrap();
+        match &a[0] {
+            AggregateResult::Count(c) => assert_eq!(*c, 200),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &a[1] {
+            AggregateResult::Sum(s) => assert_eq!(*s, 2.0 * (0..100).sum::<u64>() as f64),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &a[2] {
+            AggregateResult::CountDistinct(d) => {
+                assert!((d - 100.0).abs() / 100.0 < 0.05, "distinct {d}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &a[3] {
+            AggregateResult::Quantiles { p50, p99, .. } => {
+                assert!((*p50 - 50.0).abs() < 8.0, "p50 {p50}");
+                assert!(*p99 > 90.0, "p99 {p99}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let b = eng.report(&row!["b"]).unwrap().unwrap();
+        match &b[4] {
+            AggregateResult::TopK(top) => {
+                assert_eq!(top[0].0, Value::U64(7));
+                assert_eq!(top[0].1, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(eng.report(&row!["zzz"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_short_rows_and_bad_types() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        assert!(eng.process(&row!["a"]).is_err());
+        assert!(eng.process(&row!["a", 1u64, "not-a-number"]).is_err());
+    }
+
+    #[test]
+    fn many_groups_space_stays_bounded_per_group() {
+        let mut eng = SketchEngine::new(
+            QuerySpec::new(vec![0], vec![Aggregate::CountDistinct { field: 1 }]).unwrap(),
+        )
+        .unwrap();
+        for g in 0..1_000u64 {
+            for u in 0..50u64 {
+                eng.process(&row![g, g * 1_000 + u]).unwrap();
+            }
+        }
+        assert_eq!(eng.num_groups(), 1_000);
+        let per_group = eng.state_bytes() / 1_000;
+        // Sparse HLL++ with 50 items ≈ hundreds of bytes, not the 4 KiB
+        // dense array (and certainly not 50 × 8-byte ids each).
+        assert!(per_group < 2_048, "per-group bytes {per_group}");
+    }
+
+    #[test]
+    fn merge_matches_single_engine() {
+        let spec = QuerySpec::new(
+            vec![0],
+            vec![Aggregate::Count, Aggregate::CountDistinct { field: 1 }],
+        )
+        .unwrap();
+        let mut whole = SketchEngine::new(spec.clone()).unwrap();
+        let mut shard_a = SketchEngine::new(spec.clone()).unwrap();
+        let mut shard_b = SketchEngine::new(spec).unwrap();
+        for i in 0..10_000u64 {
+            let r = row![i % 7, i % 1_000];
+            whole.process(&r).unwrap();
+            if i % 2 == 0 {
+                shard_a.process(&r).unwrap();
+            } else {
+                shard_b.process(&r).unwrap();
+            }
+        }
+        shard_a.merge(&shard_b).unwrap();
+        assert_eq!(shard_a.rows_processed(), whole.rows_processed());
+        for g in 0..7u64 {
+            let merged = shard_a.report(&row![g]).unwrap().unwrap();
+            let single = whole.report(&row![g]).unwrap().unwrap();
+            // Counts exact-equal; distinct estimates identical because the
+            // sketches share seeds.
+            assert_eq!(merged[0], single[0]);
+            assert_eq!(merged[1], single[1]);
+        }
+    }
+
+    #[test]
+    fn window_flush_resets() {
+        let mut eng = SketchEngine::new(
+            QuerySpec::new(vec![0], vec![Aggregate::Count]).unwrap(),
+        )
+        .unwrap();
+        eng.process(&row!["x"]).unwrap();
+        eng.process(&row!["y"]).unwrap();
+        let window = eng.flush_window().unwrap();
+        assert_eq!(window.len(), 2);
+        assert_eq!(eng.num_groups(), 0);
+        assert_eq!(eng.rows_processed(), 0);
+    }
+
+    #[test]
+    fn merge_rejects_spec_mismatch() {
+        let a = QuerySpec::new(vec![0], vec![Aggregate::Count]).unwrap();
+        let b = QuerySpec::new(vec![1], vec![Aggregate::Count]).unwrap();
+        let mut ea = SketchEngine::new(a).unwrap();
+        let eb = SketchEngine::new(b).unwrap();
+        assert!(ea.merge(&eb).is_err());
+    }
+
+    #[test]
+    fn topk_k_exceeding_counters_rejected() {
+        let spec =
+            QuerySpec::new(vec![0], vec![Aggregate::TopK { field: 1, k: 1000 }]).unwrap();
+        assert!(SketchEngine::new(spec).is_err());
+    }
+}

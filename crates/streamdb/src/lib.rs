@@ -1,0 +1,26 @@
+//! A Gigascope-style mini stream-aggregation engine.
+//!
+//! §3 of the survey describes the ISP-era systems (Gigascope at AT&T,
+//! CMON at Sprint) whose defining need was "not to build one sketch, but
+//! to maintain huge numbers of sketches in parallel (i.e., to support
+//! GROUP BY aggregate queries over many groups)". This crate is that
+//! substrate:
+//!
+//! * [`value`] — a small dynamic value/row model (u64, i64, f64, string).
+//! * [`query`] — the aggregate specification: GROUP BY some fields,
+//!   compute {COUNT, SUM, COUNT DISTINCT, QUANTILES, TOP-K} per group.
+//! * [`engine`] — [`engine::SketchEngine`]: per-group sketch state
+//!   (HLL++ / KLL / SpaceSaving), with memory accounting, tumbling
+//!   windows, and engine-level merge (distributed GROUP BY).
+//! * [`exact`] — [`exact::ExactEngine`]: the same query model over exact
+//!   per-group state, the baseline of experiment E16.
+
+pub mod engine;
+pub mod exact;
+pub mod query;
+pub mod value;
+
+pub use engine::SketchEngine;
+pub use exact::ExactEngine;
+pub use query::{Aggregate, AggregateResult, QuerySpec};
+pub use value::{Row, Value};

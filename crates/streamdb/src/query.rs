@@ -1,0 +1,131 @@
+//! The aggregate-query specification the engines execute.
+
+use sketches_core::{SketchError, SketchResult};
+
+/// One aggregate over a field of the input rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)` — rows in the group.
+    Count,
+    /// `SUM(field)` over a numeric field.
+    Sum {
+        /// Index of the summed field.
+        field: usize,
+    },
+    /// `COUNT(DISTINCT field)` — HLL++ in the sketch engine, a hash set in
+    /// the exact engine.
+    CountDistinct {
+        /// Index of the counted field.
+        field: usize,
+    },
+    /// Quantiles of a numeric field — KLL vs a full sorted buffer.
+    Quantiles {
+        /// Index of the measured field.
+        field: usize,
+    },
+    /// The `k` most frequent values of a field — SpaceSaving vs a full
+    /// hash map.
+    TopK {
+        /// Index of the keyed field.
+        field: usize,
+        /// How many top values to report.
+        k: usize,
+    },
+}
+
+/// A GROUP BY query: grouping fields plus aggregate list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Indices of the grouping fields.
+    pub group_by: Vec<usize>,
+    /// Aggregates computed per group.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl QuerySpec {
+    /// Creates a spec, validating there is at least one aggregate.
+    ///
+    /// # Errors
+    /// Returns an error if `aggregates` is empty or a `TopK` has `k == 0`.
+    pub fn new(group_by: Vec<usize>, aggregates: Vec<Aggregate>) -> SketchResult<Self> {
+        if aggregates.is_empty() {
+            return Err(SketchError::invalid("aggregates", "need at least one"));
+        }
+        for a in &aggregates {
+            if let Aggregate::TopK { k, .. } = a {
+                if *k == 0 {
+                    return Err(SketchError::invalid("k", "TopK needs k >= 1"));
+                }
+            }
+        }
+        Ok(Self {
+            group_by,
+            aggregates,
+        })
+    }
+
+    /// Largest field index the query touches (for arity validation).
+    #[must_use]
+    pub fn max_field(&self) -> usize {
+        let agg_max = self
+            .aggregates
+            .iter()
+            .filter_map(|a| match a {
+                Aggregate::Count => None,
+                Aggregate::Sum { field }
+                | Aggregate::CountDistinct { field }
+                | Aggregate::Quantiles { field }
+                | Aggregate::TopK { field, .. } => Some(*field),
+            })
+            .max()
+            .unwrap_or(0);
+        self.group_by.iter().copied().max().unwrap_or(0).max(agg_max)
+    }
+}
+
+/// The result of one aggregate for one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateResult {
+    /// Row count.
+    Count(u64),
+    /// Field sum.
+    Sum(f64),
+    /// (Approximate) distinct count.
+    CountDistinct(f64),
+    /// Median / p95 / p99 of the field.
+    Quantiles {
+        /// 50th percentile.
+        p50: f64,
+        /// 95th percentile.
+        p95: f64,
+        /// 99th percentile.
+        p99: f64,
+    },
+    /// Top values with (approximate) counts, descending.
+    TopK(Vec<(crate::value::Value, u64)>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_aggregates() {
+        assert!(QuerySpec::new(vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_topk() {
+        assert!(QuerySpec::new(vec![0], vec![Aggregate::TopK { field: 1, k: 0 }]).is_err());
+    }
+
+    #[test]
+    fn max_field_spans_groupby_and_aggregates() {
+        let q = QuerySpec::new(
+            vec![0, 3],
+            vec![Aggregate::Count, Aggregate::Sum { field: 5 }],
+        )
+        .unwrap();
+        assert_eq!(q.max_field(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! The dynamic value and row model of the mini engine.
+
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (ids, ports, counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (measurements). Hashed/compared via bit pattern.
+    F64(f64),
+    /// String (names, labels).
+    Str(String),
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Self::U64(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Self::I64(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Self::F64(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Self::Str(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Numeric view as `f64` (strings yield `None`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::U64(v) => Some(*v as f64),
+            Self::I64(v) => Some(*v as f64),
+            Self::F64(v) => Some(*v),
+            Self::Str(_) => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+/// A row: a fixed-arity tuple of values.
+pub type Row = Vec<Value>;
+
+/// Builds a row from anything convertible to values.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn values_hash_and_compare() {
+        let mut set = HashSet::new();
+        set.insert(Value::U64(1));
+        set.insert(Value::U64(1));
+        set.insert(Value::Str("a".into()));
+        set.insert(Value::F64(1.5));
+        set.insert(Value::F64(1.5));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn distinct_types_are_distinct_values() {
+        assert_ne!(Value::U64(1), Value::I64(1));
+        let mut set = HashSet::new();
+        set.insert(Value::U64(1));
+        set.insert(Value::I64(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn row_macro() {
+        let r: Row = row![1u64, "label", 2.5f64];
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], Value::U64(1));
+        assert_eq!(r[1], Value::Str("label".into()));
+    }
+}

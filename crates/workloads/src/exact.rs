@@ -1,0 +1,193 @@
+//! Exact baselines: the "highly performant data warehouse" of §3's
+//! advertising story, reduced to its essentials — hash sets and hash maps
+//! with deterministic hashing and honest space accounting.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use sketches_core::{CardinalityEstimator, Clear, SpaceUsage, Update};
+use sketches_hash::SeededBuildHasher;
+
+/// Exact distinct counting via a hash set.
+#[derive(Debug, Clone, Default)]
+pub struct ExactDistinct<T> {
+    set: HashSet<T, SeededBuildHasher>,
+}
+
+impl<T: Hash + Eq + Clone> ExactDistinct<T> {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            set: HashSet::with_hasher(SeededBuildHasher::default()),
+        }
+    }
+
+    /// The exact count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.set.len() as u64
+    }
+
+    /// Whether `item` was seen.
+    #[must_use]
+    pub fn contains(&self, item: &T) -> bool {
+        self.set.contains(item)
+    }
+}
+
+impl<T: Hash + Eq + Clone> Update<T> for ExactDistinct<T> {
+    fn update(&mut self, item: &T) {
+        self.set.insert(item.clone());
+    }
+}
+
+impl<T: Hash + Eq + Clone> CardinalityEstimator for ExactDistinct<T> {
+    fn estimate(&self) -> f64 {
+        self.set.len() as f64
+    }
+}
+
+impl<T> Clear for ExactDistinct<T> {
+    fn clear(&mut self) {
+        self.set.clear();
+    }
+}
+
+impl<T> SpaceUsage for ExactDistinct<T> {
+    fn space_bytes(&self) -> usize {
+        // Hash-set buckets: key + ~1.75 load-factor overhead + control byte.
+        (self.set.capacity().max(self.set.len()))
+            * (std::mem::size_of::<T>() + 2)
+    }
+}
+
+/// Exact frequency counting via a hash map.
+#[derive(Debug, Clone, Default)]
+pub struct ExactFrequency<T> {
+    map: HashMap<T, u64, SeededBuildHasher>,
+    total: u64,
+}
+
+impl<T: Hash + Eq + Clone> ExactFrequency<T> {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::with_hasher(SeededBuildHasher::default()),
+            total: 0,
+        }
+    }
+
+    /// Adds `weight` occurrences.
+    pub fn update_weighted(&mut self, item: &T, weight: u64) {
+        *self.map.entry(item.clone()).or_insert(0) += weight;
+        self.total += weight;
+    }
+
+    /// Exact count of `item`.
+    #[must_use]
+    pub fn count(&self, item: &T) -> u64 {
+        self.map.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total stream weight.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact heavy hitters above `phi · n`, sorted descending.
+    #[must_use]
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(T, u64)> {
+        let threshold = ((phi * self.total as f64).ceil() as u64).max(1);
+        let mut out: Vec<(T, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(t, &c)| (t.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Number of distinct items tracked.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(item, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.map.iter().map(|(t, &c)| (t, c))
+    }
+}
+
+impl<T: Hash + Eq + Clone> Update<T> for ExactFrequency<T> {
+    fn update(&mut self, item: &T) {
+        self.update_weighted(item, 1);
+    }
+}
+
+impl<T> Clear for ExactFrequency<T> {
+    fn clear(&mut self) {
+        self.map.clear();
+        self.total = 0;
+    }
+}
+
+impl<T> SpaceUsage for ExactFrequency<T> {
+    fn space_bytes(&self) -> usize {
+        (self.map.capacity().max(self.map.len()))
+            * (std::mem::size_of::<T>() + std::mem::size_of::<u64>() + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_counts_exactly() {
+        let mut d = ExactDistinct::new();
+        for i in 0..1000u32 {
+            d.update(&(i % 100));
+        }
+        assert_eq!(d.count(), 100);
+        assert!(d.contains(&5));
+        assert!(!d.contains(&200));
+        d.clear();
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn frequency_counts_exactly() {
+        let mut f = ExactFrequency::new();
+        for i in 0..1000u32 {
+            f.update(&(i % 10));
+        }
+        for item in 0..10u32 {
+            assert_eq!(f.count(&item), 100);
+        }
+        assert_eq!(f.total(), 1000);
+        assert_eq!(f.distinct(), 10);
+    }
+
+    #[test]
+    fn heavy_hitters_exact() {
+        let mut f = ExactFrequency::new();
+        f.update_weighted(&"big", 900);
+        f.update_weighted(&"small", 100);
+        let hh = f.heavy_hitters(0.5);
+        assert_eq!(hh, vec![("big", 900)]);
+    }
+
+    #[test]
+    fn space_grows_linearly() {
+        let mut d = ExactDistinct::new();
+        for i in 0..10_000u64 {
+            d.update(&i);
+        }
+        assert!(d.space_bytes() >= 10_000 * 8);
+    }
+}

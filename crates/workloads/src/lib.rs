@@ -1,0 +1,31 @@
+//! Deterministic workload generators and exact baselines.
+//!
+//! Every experiment in this workspace runs on synthetic data generated
+//! here (the substitution table in `DESIGN.md` maps each generator to the
+//! production data source it stands in for):
+//!
+//! * [`zipf`] — Zipf-distributed item streams via Hörmann
+//!   rejection-inversion (`O(1)` memory, any exponent ≥ 0).
+//! * [`streams`] — uniform/sequential/Gaussian/sorted/shuffled streams
+//!   for cardinality and quantile experiments.
+//! * [`flows`] — synthetic IP 5-tuple flow records (the Gigascope/CMON
+//!   network-monitoring workload of experiment E16).
+//! * [`ads`] — synthetic ad-impression logs with user ids, campaigns, and
+//!   demographic slices (the reach-measurement workload of E8).
+//! * [`exact`] — hash-set / hash-map exact baselines for distinct counts,
+//!   frequencies, and heavy hitters.
+//! * [`stats`] — mean/stddev/percentile helpers for aggregating trial
+//!   errors in EXPERIMENTS.md tables.
+
+pub mod ads;
+pub mod exact;
+pub mod flows;
+pub mod stats;
+pub mod streams;
+pub mod zipf;
+
+pub use ads::{AdImpression, AdWorkload};
+pub use exact::{ExactDistinct, ExactFrequency};
+pub use flows::{FlowRecord, FlowWorkload};
+pub use stats::{mean, percentile, relative_error, stddev};
+pub use zipf::ZipfGenerator;

@@ -1,0 +1,93 @@
+//! Small statistics helpers for aggregating experiment results.
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than 2 values).
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Nearest-rank percentile `p ∈ [0, 100]` (panics on empty input).
+///
+/// # Panics
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+/// `|actual − expected| / max(|expected|, tiny)`.
+#[must_use]
+pub fn relative_error(expected: f64, actual: f64) -> f64 {
+    (actual - expected).abs() / expected.abs().max(1e-12)
+}
+
+/// Root-mean-square of relative errors over (expected, actual) pairs.
+#[must_use]
+pub fn rms_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = pairs
+        .iter()
+        .map(|&(e, a)| {
+            let r = relative_error(e, a);
+            r * r
+        })
+        .sum();
+    (sq / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn relative_errors() {
+        assert_eq!(relative_error(100.0, 110.0), 0.1);
+        assert!(relative_error(0.0, 1.0) > 1e10);
+        let rms = rms_relative_error(&[(100.0, 110.0), (100.0, 90.0)]);
+        assert!((rms - 0.1).abs() < 1e-12);
+        assert_eq!(rms_relative_error(&[]), 0.0);
+    }
+}

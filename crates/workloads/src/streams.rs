@@ -1,0 +1,121 @@
+//! Generic stream generators for cardinality and quantile experiments.
+
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// `n` distinct `u64` ids drawn without locality (each id is a hash of its
+/// index, so sketches can't exploit sequential structure).
+#[must_use]
+pub fn distinct_ids(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| sketches_hash::mix::mix64_seeded(i, seed))
+        .collect()
+}
+
+/// A stream of `len` draws from `universe` uniform ids — duplicates
+/// expected once `len` approaches `universe`.
+#[must_use]
+pub fn uniform_stream(len: usize, universe: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    (0..len).map(|_| rng.gen_range(universe)).collect()
+}
+
+/// `n` standard-normal values (location `mu`, scale `sigma`).
+#[must_use]
+pub fn gaussian_values(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    (0..n).map(|_| mu + sigma * rng.gauss()).collect()
+}
+
+/// `n` uniform values in `[0, scale)`.
+#[must_use]
+pub fn uniform_values(n: usize, scale: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    (0..n).map(|_| scale * rng.next_f64()).collect()
+}
+
+/// Exponentially distributed values (rate 1, scaled) — heavy upper tail
+/// for the E19 tail-quantile experiment.
+#[must_use]
+pub fn exponential_values(n: usize, scale: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    (0..n).map(|_| scale * rng.exp()).collect()
+}
+
+/// Orderings a quantile stream can arrive in — sorted inputs are the
+/// classic adversarial case for early quantile summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// Ascending.
+    Sorted,
+    /// Descending.
+    Reversed,
+    /// Random permutation.
+    Shuffled,
+}
+
+/// The values `0..n` as `f64`, in the requested arrival order.
+#[must_use]
+pub fn ordered_values(n: usize, ordering: Ordering, seed: u64) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    match ordering {
+        Ordering::Sorted => {}
+        Ordering::Reversed => v.reverse(),
+        Ordering::Shuffled => {
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            rng.shuffle(&mut v);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_ids_are_distinct() {
+        let ids = distinct_ids(100_000, 1);
+        let set: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 100_000);
+    }
+
+    #[test]
+    fn uniform_stream_within_universe() {
+        let s = uniform_stream(10_000, 50, 2);
+        assert!(s.iter().all(|&x| x < 50));
+        let set: HashSet<u64> = s.iter().copied().collect();
+        assert!(set.len() > 40, "most of the universe should appear");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let v = gaussian_values(100_000, 5.0, 2.0, 3);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn orderings() {
+        let sorted = ordered_values(100, Ordering::Sorted, 0);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let reversed = ordered_values(100, Ordering::Reversed, 0);
+        assert!(reversed.windows(2).all(|w| w[0] >= w[1]));
+        let shuffled = ordered_values(100, Ordering::Shuffled, 7);
+        assert_ne!(shuffled, sorted);
+        let mut sorted_back = shuffled.clone();
+        sorted_back.sort_by(f64::total_cmp);
+        assert_eq!(sorted_back, sorted);
+    }
+
+    #[test]
+    fn exponential_is_positive_and_skewed() {
+        let v = exponential_values(50_000, 1.0, 4);
+        assert!(v.iter().all(|&x| x >= 0.0));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let mut sorted = v.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[v.len() / 2];
+        assert!(mean > median, "exponential mean should exceed median");
+    }
+}

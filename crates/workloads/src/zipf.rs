@@ -1,0 +1,227 @@
+//! Zipf-distributed sampling by rejection inversion (Hörmann & Derflinger,
+//! 1996) — constant memory, constant expected time per sample, any
+//! exponent `s >= 0` and any universe size.
+//!
+//! `Pr[X = k] ∝ 1/k^s` over `k ∈ {1, …, n}`. The skew parameter is the
+//! axis of experiment E4 (Count-Min vs Count-Sketch crossover).
+
+use sketches_core::{SketchError, SketchResult};
+use sketches_hash::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// A Zipf(n, s) sampler.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    n: u64,
+    s: f64,
+    // Precomputed rejection-inversion constants (Apache Commons' layout).
+    s_const: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl ZipfGenerator {
+    /// Creates a sampler over `{1, …, n}` with exponent `s >= 0`.
+    ///
+    /// # Errors
+    /// Returns an error for `n == 0` or a negative/non-finite exponent.
+    pub fn new(n: u64, s: f64, seed: u64) -> SketchResult<Self> {
+        if n == 0 {
+            return Err(SketchError::invalid("n", "universe must be non-empty"));
+        }
+        if s.is_nan() || s < 0.0 || !s.is_finite() {
+            return Err(SketchError::invalid("s", "exponent must be finite and >= 0"));
+        }
+        let mut g = Self {
+            n,
+            s,
+            s_const: 0.0,
+            h_integral_x1: 0.0,
+            h_integral_n: 0.0,
+            rng: Xoshiro256PlusPlus::new(seed),
+        };
+        // The −1 (= −h(1)) extends the majorizer to cover rank 1.
+        g.h_integral_x1 = g.h_integral(1.5) - 1.0;
+        g.h_integral_n = g.h_integral(n as f64 + 0.5);
+        g.s_const = 2.0 - g.h_integral_inverse(g.h_integral(2.5) - g.h(2.0));
+        Ok(g)
+    }
+
+    /// `H(x) = ∫ x^{-s} dx`, the smooth majorizer's antiderivative.
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^{-s}`.
+    fn h(&self, x: f64) -> f64 {
+        (-self.s * x.ln()).exp()
+    }
+
+    /// Inverse of [`Self::h_integral`].
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.s);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draws one sample in `{1, …, n}`.
+    pub fn sample(&mut self) -> u64 {
+        loop {
+            let u = self.h_integral_n
+                + self.rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let x = self.h_integral_inverse(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Acceptance test (Hörmann–Derflinger shortcut then exact).
+            if k - x <= self.s_const
+                || u >= self.h_integral(k + 0.5) - self.h(k)
+            {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Fills a vector with `len` samples.
+    pub fn stream(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.sample()).collect()
+    }
+
+    /// The universe size.
+    #[must_use]
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact expected probability of rank `k` (for test/report use; `O(n)`
+    /// the first call would be — this computes the normalizer each call,
+    /// so use sparingly).
+    #[must_use]
+    pub fn probability(&self, k: u64) -> f64 {
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x − 1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ZipfGenerator::new(0, 1.0, 0).is_err());
+        assert!(ZipfGenerator::new(10, -1.0, 0).is_err());
+        assert!(ZipfGenerator::new(10, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let mut g = ZipfGenerator::new(100, 1.2, 1).unwrap();
+        for _ in 0..10_000 {
+            let k = g.sample();
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn empirical_matches_theory_for_top_ranks() {
+        let n = 1000;
+        let s = 1.0;
+        let mut g = ZipfGenerator::new(n, s, 2).unwrap();
+        let samples = 400_000;
+        let mut counts = [0u64; 11];
+        for _ in 0..samples {
+            let k = g.sample();
+            if k <= 10 {
+                counts[k as usize] += 1;
+            }
+        }
+        for k in 1..=10u64 {
+            let expected = g.probability(k) * samples as f64;
+            let got = counts[k as usize] as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.05, "rank {k}: {got} vs {expected:.0} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let mut g = ZipfGenerator::new(50, 0.0, 3).unwrap();
+        let samples = 250_000;
+        let mut counts = vec![0u64; 51];
+        for _ in 0..samples {
+            counts[g.sample() as usize] += 1;
+        }
+        let expected = samples as f64 / 50.0;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() / expected < 0.05,
+                "rank {k}: {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let head_mass = |s: f64| -> f64 {
+            let mut g = ZipfGenerator::new(10_000, s, 4).unwrap();
+            let n = 100_000;
+            let head = (0..n).filter(|_| g.sample() <= 10).count();
+            head as f64 / n as f64
+        };
+        let flat = head_mass(0.5);
+        let skewed = head_mass(1.5);
+        assert!(
+            skewed > 2.0 * flat,
+            "skew 1.5 head mass {skewed:.3} vs 0.5 head mass {flat:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfGenerator::new(100, 1.1, 7).unwrap();
+        let mut b = ZipfGenerator::new(100, 1.1, 7).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn s_equal_one_works() {
+        // s = 1 exercises the stable-limit branches of helper1/helper2.
+        let mut g = ZipfGenerator::new(1000, 1.0, 8).unwrap();
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            if g.sample() > 100 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high, "tail never sampled at s=1");
+    }
+}

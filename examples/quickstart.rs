@@ -1,0 +1,90 @@
+//! Quickstart: the three bread-and-butter sketch queries — distinct
+//! counts, heavy hitters, and quantiles — on one synthetic event stream,
+//! with exact answers alongside for comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::{HashMap, HashSet};
+
+use sketches::prelude::*;
+
+fn main() -> SketchResult<()> {
+    // A synthetic "page view" stream: 200k events, Zipf-ish page
+    // popularity, 30k distinct users, log-normal-ish latencies.
+    let mut hll = HyperLogLog::new(12, 42)?;
+    let mut topk: SpaceSaving<u64> = SpaceSaving::new(64)?;
+    let mut latency = KllSketch::new(200, 42)?;
+
+    let mut exact_users: HashSet<u64> = HashSet::new();
+    let mut exact_pages: HashMap<u64, u64> = HashMap::new();
+    let mut exact_latencies: Vec<f64> = Vec::new();
+
+    let mut state = 0x5EED_u64;
+    let mut next = || {
+        // A tiny inline SplitMix64 so the example is self-contained.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    for _ in 0..200_000 {
+        let user = next() % 30_000;
+        // Skewed page popularity: cube a uniform so low page ids dominate.
+        let page = {
+            let u = (next() % 1_000) as f64 / 1_000.0;
+            (u * u * u * 99.0) as u64
+        };
+        let latency_ms = 5.0 + (next() % 1000) as f64 / 10.0
+            + if next() % 100 == 0 { 500.0 } else { 0.0 }; // rare slow tail
+
+        hll.update(&user);
+        topk.update(&page);
+        latency.update(&latency_ms);
+
+        exact_users.insert(user);
+        *exact_pages.entry(page).or_insert(0) += 1;
+        exact_latencies.push(latency_ms);
+    }
+
+    exact_latencies.sort_by(f64::total_cmp);
+    let exact_p99 = exact_latencies[(exact_latencies.len() * 99) / 100];
+
+    println!("== Distinct users (HyperLogLog, {} bytes) ==", hll.space_bytes());
+    println!("  exact   : {}", exact_users.len());
+    println!("  estimate: {:.0}", hll.estimate());
+
+    println!("\n== Top pages (SpaceSaving, 64 counters) ==");
+    let mut exact_top: Vec<(u64, u64)> = exact_pages.iter().map(|(&p, &c)| (p, c)).collect();
+    exact_top.sort_by_key(|e| std::cmp::Reverse(e.1));
+    for (i, (page, est)) in topk.top_k(5).into_iter().enumerate() {
+        println!(
+            "  #{}  page {:>3}  est {:>7}   (exact top-{}: page {:>3} = {})",
+            i + 1,
+            page,
+            est,
+            i + 1,
+            exact_top[i].0,
+            exact_top[i].1
+        );
+    }
+
+    println!("\n== Latency quantiles (KLL, {} values retained) ==", latency.retained());
+    for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let idx = ((q * exact_latencies.len() as f64) as usize).min(exact_latencies.len() - 1);
+        println!(
+            "  {label}: estimate {:>7.1} ms   exact {:>7.1} ms",
+            latency.quantile(q)?,
+            exact_latencies[idx]
+        );
+    }
+    println!("  (exact p99 kept for the curious: {exact_p99:.1} ms)");
+
+    println!(
+        "\nSketch memory: {} bytes total vs {} exact-state bytes",
+        hll.space_bytes() + topk.space_bytes() + latency.space_bytes(),
+        exact_users.len() * 8 + exact_pages.len() * 16 + exact_latencies.len() * 8
+    );
+    Ok(())
+}

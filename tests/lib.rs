@@ -1,0 +1,34 @@
+//! Helper library for the workspace integration tests.
+//!
+//! The actual integration tests live in `tests/tests/*.rs`; this crate only
+//! exists to give them a package to hang off and a couple of shared
+//! assertion helpers.
+
+/// Asserts that `actual` is within `tol` relative error of `expected`.
+///
+/// # Panics
+/// Panics with a diagnostic message when the relative error exceeds `tol`.
+pub fn assert_rel_err(expected: f64, actual: f64, tol: f64, context: &str) {
+    let denom = expected.abs().max(1e-12);
+    let rel = (actual - expected).abs() / denom;
+    assert!(
+        rel <= tol,
+        "{context}: expected {expected}, got {actual} (relative error {rel:.4} > {tol})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_passes_within_tolerance() {
+        assert_rel_err(100.0, 104.0, 0.05, "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn rel_err_fails_outside_tolerance() {
+        assert_rel_err(100.0, 120.0, 0.05, "bad");
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration: a distributed analytics pipeline — shard a stream across
+//! "workers", sketch locally, merge centrally, and check every answer
+//! against the exact baselines. This is the mergeable-summaries contract
+//! exercised across four sketch families at once.
+
+use sketches::prelude::*;
+use sketches_integration_tests::assert_rel_err;
+use sketches_workloads::exact::{ExactDistinct, ExactFrequency};
+use sketches_workloads::zipf::ZipfGenerator;
+
+const WORKERS: usize = 16;
+
+#[test]
+fn sharded_sketches_match_central_answers() {
+    // One Zipf event stream: (user_id, value) pairs.
+    let n = 320_000;
+    let mut gen = ZipfGenerator::new(200_000, 1.05, 99).unwrap();
+    let stream: Vec<u64> = gen.stream(n);
+
+    // Exact references.
+    let mut exact_distinct = ExactDistinct::new();
+    let mut exact_freq = ExactFrequency::new();
+    let mut exact_values: Vec<f64> = Vec::with_capacity(n);
+    for (i, x) in stream.iter().enumerate() {
+        exact_distinct.update(x);
+        exact_freq.update(x);
+        exact_values.push((i % 10_000) as f64);
+    }
+    exact_values.sort_by(f64::total_cmp);
+
+    // Workers: each sketches its shard.
+    let mut hlls = Vec::new();
+    let mut cms = Vec::new();
+    let mut klls = Vec::new();
+    let mut blooms = Vec::new();
+    for w in 0..WORKERS {
+        let mut hll = HyperLogLog::new(12, 5).unwrap();
+        let mut cm = CountMinSketch::new(2048, 5, 5).unwrap();
+        let mut kll = KllSketch::new(200, w as u64).unwrap();
+        let mut bloom = BloomFilter::new(1 << 21, 7, 5).unwrap();
+        for (i, x) in stream.iter().enumerate() {
+            if i % WORKERS == w {
+                hll.update(x);
+                cm.update(x);
+                kll.update(&((i % 10_000) as f64));
+                bloom.update(x);
+            }
+        }
+        hlls.push(hll);
+        cms.push(cm);
+        klls.push(kll);
+        blooms.push(bloom);
+    }
+
+    // Central merge.
+    let hll = MergeSketch::merge_all(hlls).unwrap().unwrap();
+    let cm = MergeSketch::merge_all(cms).unwrap().unwrap();
+    let kll = MergeSketch::merge_all(klls).unwrap().unwrap();
+    let bloom = MergeSketch::merge_all(blooms).unwrap().unwrap();
+
+    // Distinct count within HLL tolerance.
+    assert_rel_err(
+        exact_distinct.count() as f64,
+        hll.estimate(),
+        0.07,
+        "merged HLL distinct count",
+    );
+
+    // Count-Min: never underestimates, within eps*n of truth for heavy items.
+    let bound = cm.error_bound().ceil() as u64;
+    let mut top: Vec<(u64, u64)> = exact_freq.iter().map(|(&k, c)| (k, c)).collect();
+    top.sort_by_key(|e| std::cmp::Reverse(e.1));
+    for &(item, truth) in top.iter().take(50) {
+        let est = FrequencyEstimator::estimate(&cm, &item);
+        assert!(est >= truth, "CM underestimated {item}");
+        assert!(est - truth <= bound, "CM over bound for {item}");
+    }
+
+    // KLL quantiles within 2% rank error.
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        let est = kll.quantile(q).unwrap();
+        let est_rank =
+            exact_values.partition_point(|&x| x <= est) as f64 / exact_values.len() as f64;
+        assert!((est_rank - q).abs() < 0.02, "KLL q={q}: rank {est_rank}");
+    }
+
+    // Bloom: every seen item present, unseen FPR sane.
+    for x in stream.iter().take(5_000) {
+        assert!(bloom.contains(x));
+    }
+    let fps = (1_000_000u64..1_050_000)
+        .filter(|p| bloom.contains(p))
+        .count();
+    assert!(
+        (fps as f64 / 50_000.0) < 0.05,
+        "merged Bloom FPR too high: {fps}"
+    );
+}
+
+#[test]
+fn merge_order_does_not_matter() {
+    let streams: Vec<Vec<u64>> = (0..8)
+        .map(|w| (0..20_000u64).map(|i| i * 8 + w).collect())
+        .collect();
+    let build = |order: &[usize]| -> HyperLogLog {
+        let mut acc = HyperLogLog::new(11, 3).unwrap();
+        for &w in order {
+            let mut h = HyperLogLog::new(11, 3).unwrap();
+            for x in &streams[w] {
+                h.update(x);
+            }
+            acc.merge(&h).unwrap();
+        }
+        acc
+    };
+    let forward = build(&[0, 1, 2, 3, 4, 5, 6, 7]);
+    let backward = build(&[7, 6, 5, 4, 3, 2, 1, 0]);
+    let shuffled = build(&[3, 0, 6, 1, 7, 2, 5, 4]);
+    assert_eq!(forward, backward);
+    assert_eq!(forward, shuffled);
+}

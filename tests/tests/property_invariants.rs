@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) over cross-cutting sketch invariants:
+//! merge ≡ concatenation, no-underestimate guarantees, bounds ordering,
+//! and determinism — on arbitrary streams, not hand-picked ones.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sketches::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HLL: sketch(A) merged with sketch(B) equals sketch(A ++ B) exactly.
+    #[test]
+    fn hll_merge_is_concat(a in vec(any::<u64>(), 0..500), b in vec(any::<u64>(), 0..500)) {
+        let mut sa = HyperLogLog::new(8, 1).unwrap();
+        let mut sb = HyperLogLog::new(8, 1).unwrap();
+        let mut sab = HyperLogLog::new(8, 1).unwrap();
+        for x in &a { sa.update(x); sab.update(x); }
+        for x in &b { sb.update(x); sab.update(x); }
+        sa.merge(&sb).unwrap();
+        prop_assert_eq!(sa, sab);
+    }
+
+    /// Count-Min never underestimates any item on any stream.
+    #[test]
+    fn count_min_never_underestimates(stream in vec(0u16..256, 1..2000)) {
+        let mut cm = CountMinSketch::new(64, 4, 7).unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for x in &stream {
+            cm.update(x);
+            *exact.entry(*x).or_insert(0u64) += 1;
+        }
+        for (item, &truth) in &exact {
+            prop_assert!(FrequencyEstimator::estimate(&cm, item) >= truth);
+        }
+        prop_assert_eq!(cm.total(), stream.len() as u64);
+    }
+
+    /// SpaceSaving bounds always sandwich the truth.
+    #[test]
+    fn space_saving_bounds_sandwich(stream in vec(0u8..50, 1..1500)) {
+        let mut ss = SpaceSaving::new(10).unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for x in &stream {
+            ss.update(x);
+            *exact.entry(*x).or_insert(0u64) += 1;
+        }
+        for (item, count, err) in ss.entries() {
+            let truth = exact.get(item).copied().unwrap_or(0);
+            prop_assert!(count >= truth, "upper bound violated");
+            prop_assert!(count - err <= truth, "lower bound violated");
+        }
+        // Untracked items must be below the minimum counter.
+        for (item, &truth) in &exact {
+            if ss.estimate(item) == 0 {
+                prop_assert!(truth <= ss.min_count());
+            }
+        }
+    }
+
+    /// KLL quantiles are within the value range and monotone in q.
+    #[test]
+    fn kll_quantiles_monotone(values in vec(-1e6f64..1e6, 1..3000)) {
+        let mut kll = KllSketch::new(64, 3).unwrap();
+        for v in &values {
+            kll.update(v);
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = lo;
+        for qi in 0..=10 {
+            let q = f64::from(qi) / 10.0;
+            let est = kll.quantile(q).unwrap();
+            prop_assert!(est >= lo && est <= hi, "quantile outside value range");
+            prop_assert!(est >= last, "quantiles must be monotone in q");
+            last = est;
+        }
+    }
+
+    /// Bloom filters have no false negatives, ever.
+    #[test]
+    fn bloom_no_false_negatives(keys in vec(any::<u64>(), 0..800)) {
+        let mut f = BloomFilter::new(8192, 5, 11).unwrap();
+        for k in &keys {
+            f.update(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Cuckoo filters: inserted keys are found; deleting them removes them
+    /// without disturbing the rest.
+    #[test]
+    fn cuckoo_insert_delete_roundtrip(keys in prop::collection::hash_set(any::<u64>(), 0..300)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut f = CuckooFilter::with_capacity(keys.len().max(8) * 2, 13).unwrap();
+        for k in &keys {
+            prop_assert!(f.insert(k).is_ok());
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+        let (del, keep) = keys.split_at(keys.len() / 2);
+        for k in del {
+            prop_assert!(f.remove(k));
+        }
+        for k in keep {
+            prop_assert!(f.contains(k), "false negative after unrelated delete");
+        }
+    }
+
+    /// Misra-Gries error never exceeds n/k on any stream.
+    #[test]
+    fn misra_gries_error_bound(stream in vec(0u16..300, 1..2000)) {
+        let k = 12;
+        let mut mg = MisraGries::new(k).unwrap();
+        for x in &stream {
+            mg.update(x);
+        }
+        prop_assert!(mg.error_bound() <= stream.len() as u64 / k as u64);
+    }
+
+    /// The distinct sampler never exceeds k and never invents items.
+    #[test]
+    fn distinct_sampler_sound(stream in vec(0u32..200, 0..1000)) {
+        let mut s = DistinctSampler::new(16, 17).unwrap();
+        for x in &stream {
+            s.update(x);
+        }
+        prop_assert!(s.retained() <= 16);
+        for item in s.sample() {
+            prop_assert!(stream.contains(item), "sampled item never appeared");
+        }
+    }
+
+    /// Reservoir sample is always a sub-multiset of the stream.
+    #[test]
+    fn reservoir_subset(stream in vec(any::<u32>(), 0..500)) {
+        let mut r = ReservoirR::new(20, 23).unwrap();
+        for x in &stream {
+            r.update(x);
+        }
+        prop_assert_eq!(r.sample().len(), stream.len().min(20));
+        for item in r.sample() {
+            prop_assert!(stream.contains(item));
+        }
+    }
+
+    /// Morris counters stay within 6 theoretical standard errors.
+    #[test]
+    fn morris_within_sigma(n in 1_000u64..50_000, seed in any::<u64>()) {
+        let mut c = MorrisCounter::new(256.0, seed).unwrap();
+        c.observe_many(n);
+        let rel = (c.estimate() - n as f64).abs() / n as f64;
+        prop_assert!(rel < 6.0 * c.theoretical_rse(), "rel err {rel}");
+    }
+}

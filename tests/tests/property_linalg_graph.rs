@@ -1,0 +1,110 @@
+//! Property tests for the linear-sketch laws (linearity of transforms,
+//! merge-equals-concat for AMS), graph-sketch agreement with exact
+//! connectivity, and engine-vs-exact-engine agreement on random rows.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sketches::core::MergeSketch;
+use sketches::graph::{AgmGraphSketch, UnionFind};
+use sketches::linalg::{AmsSketch, CountSketchTransform, DenseJl, JlKind};
+use sketches::streamdb::{Aggregate, AggregateResult, ExactEngine, QuerySpec, SketchEngine, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense JL is a linear map: P(a + b) = P(a) + P(b), exactly (same
+    /// matrix, plain f64 arithmetic).
+    #[test]
+    fn dense_jl_is_linear(a in vec(-100.0f64..100.0, 16), b in vec(-100.0f64..100.0, 16)) {
+        let jl = DenseJl::new(16, 8, JlKind::Rademacher, 3).unwrap();
+        let pa = jl.project(&a).unwrap();
+        let pb = jl.project(&b).unwrap();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let psum = jl.project(&sum).unwrap();
+        for i in 0..8 {
+            prop_assert!((psum[i] - (pa[i] + pb[i])).abs() < 1e-9);
+        }
+    }
+
+    /// The CountSketch transform is linear too (it is a sparse matrix).
+    #[test]
+    fn countsketch_transform_is_linear(a in vec(-100.0f64..100.0, 24), b in vec(-100.0f64..100.0, 24)) {
+        let cs = CountSketchTransform::new(24, 8, 5).unwrap();
+        let pa = cs.project(&a).unwrap();
+        let pb = cs.project(&b).unwrap();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let psum = cs.project(&sum).unwrap();
+        for i in 0..8 {
+            prop_assert!((psum[i] - (pa[i] + pb[i])).abs() < 1e-9);
+        }
+    }
+
+    /// AMS merge equals the concatenated-stream sketch, counter for counter.
+    #[test]
+    fn ams_merge_is_concat(a in vec(any::<u32>(), 0..300), b in vec(any::<u32>(), 0..300)) {
+        let mut sa = AmsSketch::new(32, 3, 7).unwrap();
+        let mut sb = AmsSketch::new(32, 3, 7).unwrap();
+        let mut sab = AmsSketch::new(32, 3, 7).unwrap();
+        for x in &a { sa.update_weighted(x, 1); sab.update_weighted(x, 1); }
+        for x in &b { sb.update_weighted(x, 1); sab.update_weighted(x, 1); }
+        sa.merge(&sb).unwrap();
+        prop_assert!((sa.f2_estimate() - sab.f2_estimate()).abs() < 1e-9);
+    }
+
+    /// AGM component structure agrees with exact union-find on random
+    /// insert-only graphs.
+    #[test]
+    fn agm_matches_union_find(edges in vec((0usize..12, 0usize..12), 0..25)) {
+        let n = 12;
+        let rounds = 8;
+        let mut g = AgmGraphSketch::new(n, rounds, 8, 99).unwrap();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            if a != b {
+                g.insert_edge(a, b).unwrap();
+                uf.union(a, b);
+            }
+        }
+        let (_, mut sketch_uf) = g.spanning_forest();
+        prop_assert_eq!(sketch_uf.num_components(), uf.num_components());
+        for a in 0..n {
+            for b in (a + 1)..n {
+                prop_assert_eq!(sketch_uf.connected(a, b), uf.connected(a, b),
+                    "pair ({}, {})", a, b);
+            }
+        }
+    }
+
+    /// The sketch engine's COUNT/SUM agree exactly with the exact engine on
+    /// arbitrary row streams (only the approximate aggregates may differ).
+    #[test]
+    fn engines_agree_on_exact_aggregates(rows in vec((0u64..5, 0u64..50, -100i64..100), 1..300)) {
+        let spec = QuerySpec::new(
+            vec![0],
+            vec![Aggregate::Count, Aggregate::Sum { field: 2 }],
+        ).unwrap();
+        let mut sketchy = SketchEngine::new(spec.clone()).unwrap();
+        let mut exact = ExactEngine::new(spec);
+        for &(g, u, v) in &rows {
+            let row = vec![Value::U64(g), Value::U64(u), Value::I64(v)];
+            sketchy.process(&row).unwrap();
+            exact.process(&row).unwrap();
+        }
+        prop_assert_eq!(sketchy.num_groups(), exact.num_groups());
+        for g in 0u64..5 {
+            let key = vec![Value::U64(g)];
+            let a = sketchy.report(&key).unwrap();
+            let b = exact.report(&key);
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(&a[0], &b[0], "COUNT differs for group {}", g);
+                    if let (AggregateResult::Sum(x), AggregateResult::Sum(y)) = (&a[1], &b[1]) {
+                        prop_assert!((x - y).abs() < 1e-9, "SUM differs for group {}", g);
+                    }
+                }
+                _ => prop_assert!(false, "group presence differs for {}", g),
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the quantile summaries and similarity sketches:
+//! order statistics stay inside the data, merge commutes, signatures
+//! behave like the set operations they summarize.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sketches::core::{MergeSketch, QuantileSketch, Update};
+use sketches::lsh::MinHasher;
+use sketches::prelude::{GreenwaldKhanna, KmvSketch, QDigest, TDigest};
+use sketches::core::CardinalityEstimator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// GK quantile answers always fall within [min, max] and the rank of
+    /// the answer is within eps*n + 1 of the target.
+    #[test]
+    fn gk_rank_error_bounded(values in vec(-1e9f64..1e9, 2..2000)) {
+        let eps = 0.05;
+        let mut gk = GreenwaldKhanna::new(eps).unwrap();
+        for v in &values {
+            gk.update(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        for qi in 0..=4 {
+            let q = f64::from(qi) / 4.0;
+            let est = gk.quantile(q).unwrap();
+            prop_assert!(est >= sorted[0] && est <= sorted[sorted.len() - 1]);
+            let est_rank = sorted.partition_point(|&x| x <= est) as f64;
+            let target = (q * n).ceil().max(1.0);
+            prop_assert!(
+                (est_rank - target).abs() <= eps * n + 1.0,
+                "q={}: rank {} vs target {}", q, est_rank, target
+            );
+        }
+    }
+
+    /// t-digest total weight is exact and quantiles stay inside the data.
+    #[test]
+    fn tdigest_weight_conserved(values in vec(-1e6f64..1e6, 1..3000)) {
+        let mut td = TDigest::new(100.0).unwrap();
+        for v in &values {
+            td.update(v);
+        }
+        prop_assert_eq!(td.count(), values.len() as u64);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let est = td.quantile(q).unwrap();
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "q={} est {} outside [{}, {}]", q, est, lo, hi);
+        }
+        // Centroid weights sum to n.
+        let mut td2 = td.clone();
+        let total: f64 = td2.centroids().iter().map(|c| c.weight).sum();
+        prop_assert!((total - values.len() as f64).abs() < 1e-6);
+    }
+
+    /// q-digest counts are conserved under compression and merge.
+    #[test]
+    fn qdigest_mass_conserved(values in vec(0u64..1024, 1..1500)) {
+        let mut a = QDigest::new(10, 16).unwrap();
+        let mut b = QDigest::new(10, 16).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(*v, 1).unwrap();
+            } else {
+                b.update(*v, 1).unwrap();
+            }
+        }
+        a.compress();
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a.count(), values.len() as u64);
+        // Quantile answers live in the domain.
+        let med = a.quantile(0.5).unwrap();
+        prop_assert!(med < 1024);
+    }
+
+    /// KMV merge equals the union-stream sketch, bit for bit.
+    #[test]
+    fn kmv_merge_is_union(a in vec(any::<u64>(), 0..800), b in vec(any::<u64>(), 0..800)) {
+        let mut sa = KmvSketch::new(64, 9).unwrap();
+        let mut sb = KmvSketch::new(64, 9).unwrap();
+        let mut su = KmvSketch::new(64, 9).unwrap();
+        for x in &a { sa.update(x); su.update(x); }
+        for x in &b { sb.update(x); su.update(x); }
+        sa.merge(&sb).unwrap();
+        prop_assert_eq!(sa, su);
+    }
+
+    /// KMV is exact below k.
+    #[test]
+    fn kmv_exact_below_k(items in prop::collection::hash_set(any::<u64>(), 0..60)) {
+        let mut s = KmvSketch::new(64, 10).unwrap();
+        for x in &items {
+            s.update(x);
+            s.update(x); // duplicates free
+        }
+        prop_assert_eq!(s.estimate(), items.len() as f64);
+    }
+
+    /// MinHash signature agreement is symmetric and equals 1 iff the
+    /// hashed sets are equal (on the tested universes).
+    #[test]
+    fn minhash_symmetry(a in prop::collection::hash_set(0u32..500, 1..100),
+                        b in prop::collection::hash_set(0u32..500, 1..100)) {
+        let mut ma = MinHasher::new(64, 4).unwrap();
+        let mut mb = MinHasher::new(64, 4).unwrap();
+        for x in &a { ma.update(x); }
+        for x in &b { mb.update(x); }
+        let ab = ma.jaccard(&mb).unwrap();
+        let ba = mb.jaccard(&ma).unwrap();
+        prop_assert_eq!(ab, ba);
+        if a == b {
+            prop_assert_eq!(ab, 1.0);
+        }
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// MinHash merge computes the union signature.
+    #[test]
+    fn minhash_merge_is_union(a in vec(any::<u32>(), 0..300), b in vec(any::<u32>(), 0..300)) {
+        let mut ma = MinHasher::new(32, 5).unwrap();
+        let mut mb = MinHasher::new(32, 5).unwrap();
+        let mut mu = MinHasher::new(32, 5).unwrap();
+        for x in &a { ma.update(x); mu.update(x); }
+        for x in &b { mb.update(x); mu.update(x); }
+        ma.merge(&mb).unwrap();
+        prop_assert_eq!(ma.signature(), mu.signature());
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration: the survey's application scenarios end-to-end — the ad
+//! reach story (§3 advertising), the network GROUP BY story (§3 ISP era),
+//! and the private-collection story (§3 privacy) — each on its synthetic
+//! workload with exact ground truth.
+
+use std::collections::HashSet;
+
+use sketches::prelude::*;
+use sketches::privacy::{PrivateCmsClient, PrivateCmsServer};
+use sketches::streamdb::{Aggregate, AggregateResult, QuerySpec, SketchEngine, Value};
+use sketches::hash::rng::Xoshiro256PlusPlus;
+use sketches_integration_tests::assert_rel_err;
+use sketches_workloads::ads::AdWorkload;
+use sketches_workloads::flows::FlowWorkload;
+
+#[test]
+fn ad_reach_slice_and_dice() {
+    let mut w = AdWorkload::new(100_000, 3, 5);
+    let imps = w.stream(400_000);
+
+    // Per-campaign sketches + exact sets.
+    let mut sketches: Vec<HyperLogLog> =
+        (0..3).map(|_| HyperLogLog::new(12, 9).unwrap()).collect();
+    let mut exact: Vec<HashSet<u64>> = vec![HashSet::new(); 3];
+    for imp in &imps {
+        sketches[imp.campaign_id as usize].update(&imp.user_id);
+        exact[imp.campaign_id as usize].insert(imp.user_id);
+    }
+    for c in 0..3 {
+        assert_rel_err(
+            exact[c].len() as f64,
+            sketches[c].estimate(),
+            0.08,
+            &format!("campaign {c} reach"),
+        );
+    }
+    // Total reach via merge (no double counting across campaigns).
+    let mut total = sketches[0].clone();
+    total.merge(&sketches[1]).unwrap();
+    total.merge(&sketches[2]).unwrap();
+    let exact_total: HashSet<u64> = exact.iter().flatten().copied().collect();
+    assert_rel_err(
+        exact_total.len() as f64,
+        total.estimate(),
+        0.08,
+        "deduplicated total reach",
+    );
+    // Merged estimate must not be the naive sum (that's the whole point).
+    let naive_sum: f64 = sketches.iter().map(CardinalityEstimator::estimate).sum();
+    assert!(total.estimate() < 0.8 * naive_sum, "union should dedupe");
+}
+
+#[test]
+fn network_group_by_with_window_rotation() {
+    let spec = QuerySpec::new(
+        vec![0],
+        vec![Aggregate::Count, Aggregate::CountDistinct { field: 1 }],
+    )
+    .unwrap();
+    let mut engine = SketchEngine::new(spec).unwrap();
+    let mut workload = FlowWorkload::new(5_000, 3);
+
+    // Two tumbling windows.
+    for _window in 0..2 {
+        for f in workload.stream(100_000) {
+            engine
+                .process(&vec![
+                    Value::U64(u64::from(f.src_ip)),
+                    Value::U64(u64::from(f.dst_ip)),
+                ])
+                .unwrap();
+        }
+        let results = engine.flush_window().unwrap();
+        assert!(results.len() > 500, "expected many groups per window");
+        let total: u64 = results
+            .iter()
+            .map(|(_, aggs)| match aggs[0] {
+                AggregateResult::Count(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 100_000, "window counts must partition the stream");
+        // Distinct counts are positive and at most the group count.
+        for (_, aggs) in &results {
+            if let (AggregateResult::Count(c), AggregateResult::CountDistinct(d)) =
+                (&aggs[0], &aggs[1])
+            {
+                assert!(*d > 0.0);
+                assert!(*d <= *c as f64 * 1.1 + 2.0);
+            }
+        }
+        assert_eq!(engine.num_groups(), 0, "window flush must reset");
+    }
+}
+
+#[test]
+fn private_collection_end_to_end() {
+    // 50k users report one of 32 values under epsilon = 3 local DP.
+    let eps = 3.0;
+    let client = PrivateCmsClient::new(16, 512, eps, 21).unwrap();
+    let mut server = PrivateCmsServer::new(16, 512, eps, 21).unwrap();
+    let mut rng = Xoshiro256PlusPlus::new(77);
+    let mut truth = vec![0u64; 32];
+    for i in 0..50_000u64 {
+        let value = (i % 32).min(i % 7 * 5); // lumpy distribution
+        truth[value as usize] += 1;
+        server.collect(&client.report(&value, &mut rng)).unwrap();
+    }
+    // The top value should be recovered within 15%.
+    let top = (0..32).max_by_key(|&v| truth[v]).unwrap();
+    let est = server.estimate(&(top as u64));
+    assert_rel_err(truth[top] as f64, est, 0.15, "top value under LDP");
+    assert_eq!(server.reports(), 50_000);
+}
+
+#[test]
+fn facade_reexports_are_consistent() {
+    // The same type must be reachable through the facade and the prelude.
+    fn takes_hll(_: &sketches::cardinality::HyperLogLog) {}
+    let h: HyperLogLog = HyperLogLog::new(8, 0).unwrap();
+    takes_hll(&h);
+}
