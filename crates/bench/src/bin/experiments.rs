@@ -1,4 +1,4 @@
-//! The experiments driver: regenerates every experiment table (E1–E20).
+//! The experiments driver: regenerates every experiment table (E1–E21).
 //!
 //! Usage:
 //! ```text

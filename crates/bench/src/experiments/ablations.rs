@@ -6,9 +6,9 @@ use sketches::cardinality::{HyperLogLog, HyperLogLogPlusPlus};
 use sketches::concurrent::BufferedConcurrent;
 use sketches::core::{CardinalityEstimator, FrequencyEstimator, SpaceUsage, Update};
 use sketches::frequency::CountMinSketch;
+use sketches::hash::rng::{Rng64, Xoshiro256PlusPlus};
 use sketches::linalg::{exact_least_squares, residual_norm, sketched_least_squares, Matrix};
 use sketches::membership::CuckooFilter;
-use sketches::hash::rng::{Rng64, Xoshiro256PlusPlus};
 use sketches_workloads::stats::mean;
 use sketches_workloads::streams::distinct_ids;
 use sketches_workloads::zipf::ZipfGenerator;
@@ -17,8 +17,18 @@ use crate::{fmt_bytes, header, trow};
 
 /// A1: what the HLL++ sparse representation buys at small cardinalities.
 pub fn a1() {
-    header("A1", "Ablation: HLL++ sparse mode vs dense-only HLL (p = 14)");
-    trow!("n distinct", "HLL bytes", "HLL err", "HLL++ bytes", "HLL++ err", "HLL++ mode");
+    header(
+        "A1",
+        "Ablation: HLL++ sparse mode vs dense-only HLL (p = 14)",
+    );
+    trow!(
+        "n distinct",
+        "HLL bytes",
+        "HLL err",
+        "HLL++ bytes",
+        "HLL++ err",
+        "HLL++ mode"
+    );
     for n in [50usize, 500, 2_000, 8_000, 50_000] {
         let trials = 8u64;
         let mut err_hll = Vec::new();
@@ -47,12 +57,17 @@ pub fn a1() {
             if sparse { "sparse" } else { "dense" }
         );
     }
-    println!("(sparse mode: near-exact linear counting at 2^25 resolution in a fraction of the memory)");
+    println!(
+        "(sparse mode: near-exact linear counting at 2^25 resolution in a fraction of the memory)"
+    );
 }
 
 /// A2: Count-Min shape — same counter budget, varying depth.
 pub fn a2() {
-    header("A2", "Ablation: Count-Min width x depth at a fixed 4096-counter budget");
+    header(
+        "A2",
+        "Ablation: Count-Min width x depth at a fixed 4096-counter budget",
+    );
     let budget = 4096usize;
     let mut gen = ZipfGenerator::new(100_000, 1.1, 3).unwrap();
     let stream = gen.stream(400_000);
@@ -62,7 +77,13 @@ pub fn a2() {
     }
     let mut top: Vec<(u64, u64)> = exact.iter().map(|(&k, &c)| (k, c)).collect();
     top.sort_by_key(|e| std::cmp::Reverse(e.1));
-    trow!("depth d", "width w", "delta = e^-d", "mean err (top100)", "max err (top100)");
+    trow!(
+        "depth d",
+        "width w",
+        "delta = e^-d",
+        "mean err (top100)",
+        "max err (top100)"
+    );
     for depth in [1usize, 2, 4, 8] {
         let width = budget / depth;
         let mut cm = CountMinSketch::new(width, depth, 9).unwrap();
@@ -87,7 +108,10 @@ pub fn a2() {
 
 /// A3: Cuckoo filter load factor vs achievable occupancy.
 pub fn a3() {
-    header("A3", "Ablation: cuckoo filter fill limit vs slots per bucket design");
+    header(
+        "A3",
+        "Ablation: cuckoo filter fill limit vs slots per bucket design",
+    );
     trow!("capacity", "inserted before full", "achieved load");
     for capacity in [1_000usize, 10_000, 100_000] {
         let mut f = CuckooFilter::with_capacity(capacity, 5).unwrap();
@@ -98,18 +122,19 @@ pub fn a3() {
             }
             inserted += 1;
         }
-        trow!(
-            capacity,
-            inserted,
-            format!("{:.3}", f.load_factor())
-        );
+        trow!(capacity, inserted, format!("{:.3}", f.load_factor()));
     }
-    println!("(4-slot buckets + 500-kick eviction sustain ~95%+ load, as the cuckoo paper reports)");
+    println!(
+        "(4-slot buckets + 500-kick eviction sustain ~95%+ load, as the cuckoo paper reports)"
+    );
 }
 
 /// A4: sketch-and-solve least squares — residual vs sketch rows.
 pub fn a4() {
-    header("A4", "Ablation: sketched least squares, residual vs sketch size");
+    header(
+        "A4",
+        "Ablation: sketched least squares, residual vs sketch size",
+    );
     let (n, d) = (8_000usize, 16usize);
     let mut rng = Xoshiro256PlusPlus::new(11);
     let x_true: Vec<f64> = (0..d).map(|_| rng.gauss()).collect();
@@ -138,7 +163,10 @@ pub fn a4() {
 
 /// A5: buffered-concurrency buffer size — merge overhead vs staleness.
 pub fn a5() {
-    header("A5", "Ablation: buffered concurrent sketch, flush interval trade-off");
+    header(
+        "A5",
+        "Ablation: buffered concurrent sketch, flush interval trade-off",
+    );
     let updates = 4_000_000u64;
     trow!("buffer size", "updates/s", "max staleness (updates)");
     for buffer in [16usize, 256, 4096, 65_536] {

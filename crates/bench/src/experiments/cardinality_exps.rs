@@ -17,8 +17,17 @@ pub fn e1() {
         "HLL error ~ 1.04/sqrt(m); LogLog ~ 1.30/sqrt(m); FM/PCSA ~ 0.78/sqrt(m)",
     );
     let n = 1_000_000usize;
-    let trials = 12u64;
-    trow!("sketch (m=4096)", "mean |rel err|", "RSE (measured)", "RSE (theory)");
+    // The RSE of an RSE estimated from k trials is ~ 1/sqrt(2k); 12 trials
+    // (the original setting) gave a +/-20% noise band, wide enough to put
+    // LogLog spuriously *below* HLL. 192 trials narrows it to ~5%, which
+    // resolves the 1.30/sqrt(m) vs 1.04/sqrt(m) ordering reliably.
+    let trials = 192u64;
+    trow!(
+        "sketch (m=4096)",
+        "mean |rel err|",
+        "RSE (measured)",
+        "RSE (theory)"
+    );
     // Per-sketch: measure relative error across trials at n distinct items.
     let mut errs_hll = Vec::new();
     let mut errs_ll = Vec::new();
@@ -44,13 +53,39 @@ pub fn e1() {
     }
     let rse = |errs: &[f64]| (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
     let m_abs = |errs: &[f64]| mean(&errs.iter().map(|e| e.abs()).collect::<Vec<_>>());
-    trow!("HyperLogLog", format!("{:.4}", m_abs(&errs_hll)), format!("{:.4}", rse(&errs_hll)), format!("{:.4}", 1.04 / 64.0));
-    trow!("LogLog", format!("{:.4}", m_abs(&errs_ll)), format!("{:.4}", rse(&errs_ll)), format!("{:.4}", 1.30 / 64.0));
-    trow!("FM / PCSA", format!("{:.4}", m_abs(&errs_fm)), format!("{:.4}", rse(&errs_fm)), format!("{:.4}", 0.78 / 64.0));
-    trow!("KMV (k=4096)", format!("{:.4}", m_abs(&errs_kmv)), format!("{:.4}", rse(&errs_kmv)), format!("{:.4}", 1.0 / (4094f64).sqrt()));
+    trow!(
+        "HyperLogLog",
+        format!("{:.4}", m_abs(&errs_hll)),
+        format!("{:.4}", rse(&errs_hll)),
+        format!("{:.4}", 1.04 / 64.0)
+    );
+    trow!(
+        "LogLog",
+        format!("{:.4}", m_abs(&errs_ll)),
+        format!("{:.4}", rse(&errs_ll)),
+        format!("{:.4}", 1.30 / 64.0)
+    );
+    trow!(
+        "FM / PCSA",
+        format!("{:.4}", m_abs(&errs_fm)),
+        format!("{:.4}", rse(&errs_fm)),
+        format!("{:.4}", 0.78 / 64.0)
+    );
+    trow!(
+        "KMV (k=4096)",
+        format!("{:.4}", m_abs(&errs_kmv)),
+        format!("{:.4}", rse(&errs_kmv)),
+        format!("{:.4}", 1.0 / (4094f64).sqrt())
+    );
 
     println!("\nHLL error scaling with precision (n = 10^6, one trial each):");
-    trow!("precision p", "registers m", "space", "rel err", "1.04/sqrt(m)");
+    trow!(
+        "precision p",
+        "registers m",
+        "space",
+        "rel err",
+        "1.04/sqrt(m)"
+    );
     for p in [8u32, 10, 12, 14] {
         let mut hll = HyperLogLog::new(p, 99).unwrap();
         for id in distinct_ids(n, 555) {
@@ -70,9 +105,17 @@ pub fn e1() {
 
 /// E2: bias near the small/mid-range transition, raw HLL vs HLL++.
 pub fn e2() {
-    header("E2", "HLL++ (sparse + improved estimator) removes raw-HLL bias");
+    header(
+        "E2",
+        "HLL++ (sparse + improved estimator) removes raw-HLL bias",
+    );
     let trials = 24u64;
-    trow!("n", "raw-HLL mean bias", "HLL raw est. bias", "HLL++ mean bias");
+    trow!(
+        "n",
+        "raw-HLL mean bias",
+        "HLL raw est. bias",
+        "HLL++ mean bias"
+    );
     // m = 4096 (p=12): the classic bias hump is around n = 2.5m ~ 10k.
     for n in [500usize, 2_000, 5_000, 10_000, 15_000, 40_000] {
         let mut bias_corrected = Vec::new(); // plain HLL with its linear-counting fallback
@@ -104,7 +147,14 @@ pub fn e2() {
 /// E3: Morris counter space.
 pub fn e3() {
     header("E3", "Morris counts n events in O(log log n) bits");
-    trow!("events n", "exact bits", "register", "register bits", "estimate", "rel err");
+    trow!(
+        "events n",
+        "exact bits",
+        "register",
+        "register bits",
+        "estimate",
+        "rel err"
+    );
     for exp in [3u32, 4, 5, 6, 7] {
         let n = 10u64.pow(exp);
         let mut c = MorrisCounter::new(64.0, 11).unwrap();
@@ -123,13 +173,23 @@ pub fn e3() {
 
 /// E8: ad reach — sketch vs exact warehouse, including the crossover.
 pub fn e8() {
-    header("E8", "Reach slice-and-dice with HLL; exact hash sets as the warehouse");
+    header(
+        "E8",
+        "Reach slice-and-dice with HLL; exact hash sets as the warehouse",
+    );
     let users = 400_000u64;
     let mut w = AdWorkload::new(users, 4, 2026);
     let imps = w.stream(1_500_000);
 
     // Per-campaign reach: sketch vs exact, with space and build time.
-    trow!("campaign", "exact reach", "HLL estimate", "rel err", "build s/e", "HLL/exact bytes");
+    trow!(
+        "campaign",
+        "exact reach",
+        "HLL estimate",
+        "rel err",
+        "build s/e",
+        "HLL/exact bytes"
+    );
     for c in 0..4u32 {
         let (hll, hll_secs) = timed(|| {
             let mut h = HyperLogLog::new(13, 5).unwrap();
@@ -153,7 +213,11 @@ pub fn e8() {
             format!("{est:.0}"),
             format!("{:.4}", (est - truth).abs() / truth),
             format!("{:.0}/{:.0}ms", hll_secs * 1e3, exact_secs * 1e3),
-            format!("{}/{}", fmt_bytes(hll.space_bytes()), fmt_bytes(exact.space_bytes()))
+            format!(
+                "{}/{}",
+                fmt_bytes(hll.space_bytes()),
+                fmt_bytes(exact.space_bytes())
+            )
         );
     }
 
@@ -165,9 +229,9 @@ pub fn e8() {
         std::collections::HashMap::new();
     for imp in &imps {
         let key = (imp.campaign_id, imp.age_group, imp.region);
-        let entry = slices.entry(key).or_insert_with(|| {
-            (HyperLogLog::new(13, 5).unwrap(), ExactDistinct::new())
-        });
+        let entry = slices
+            .entry(key)
+            .or_insert_with(|| (HyperLogLog::new(13, 5).unwrap(), ExactDistinct::new()));
         entry.0.update(&imp.user_id);
         entry.1.update(&imp.user_id);
     }
@@ -176,7 +240,12 @@ pub fn e8() {
         exact_total += e.space_bytes();
     }
     trow!("", "slices", "sketch total", "exact total");
-    trow!("", slices.len(), fmt_bytes(sketch_total), fmt_bytes(exact_total));
+    trow!(
+        "",
+        slices.len(),
+        fmt_bytes(sketch_total),
+        fmt_bytes(exact_total)
+    );
     println!(
         "\nThe survey's caveat holds too: at {} users the exact warehouse is only {}x\n\
          larger — 'computer systems eventually scaled faster than advertising clicks'.",
@@ -187,7 +256,10 @@ pub fn e8() {
 
 /// E20: the Morris accuracy/space frontier.
 pub fn e20() {
-    header("E20", "Approximate counting frontier: error vs register bits (base sweep)");
+    header(
+        "E20",
+        "Approximate counting frontier: error vs register bits (base sweep)",
+    );
     let n = 1_000_000u64;
     let trials = 24u64;
     trow!("base a", "theory RSE", "measured RSE", "mean register bits");
@@ -209,4 +281,3 @@ pub fn e20() {
         );
     }
 }
-

@@ -14,7 +14,10 @@ fn throughput(updates: u64, secs: f64) -> String {
 /// E14: update throughput scaling with writer threads for the three
 /// concurrency designs.
 pub fn e14() {
-    header("E14", "Concurrent sketch throughput vs threads (HLL p=12 / CM 2048x5)");
+    header(
+        "E14",
+        "Concurrent sketch throughput vs threads (HLL p=12 / CM 2048x5)",
+    );
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!("host parallelism: {cores} core(s) — aggregate scaling requires > 1");
     let per_thread = 2_000_000u64;

@@ -36,16 +36,12 @@ pub fn e4() {
         let top100 = &top[..100.min(top.len())];
         let cm_err: f64 = top100
             .iter()
-            .map(|&(k, c)| {
-                (FrequencyEstimator::estimate(&cm, &k) as f64 - c as f64).abs()
-            })
+            .map(|&(k, c)| (FrequencyEstimator::estimate(&cm, &k) as f64 - c as f64).abs())
             .sum::<f64>()
             / top100.len() as f64;
         let cu_err: f64 = top100
             .iter()
-            .map(|&(k, c)| {
-                (FrequencyEstimator::estimate(&cm_cu, &k) as f64 - c as f64).abs()
-            })
+            .map(|&(k, c)| (FrequencyEstimator::estimate(&cm_cu, &k) as f64 - c as f64).abs())
             .sum::<f64>()
             / top100.len() as f64;
         let cs_err: f64 = top100
@@ -73,7 +69,10 @@ pub fn e4() {
 
 /// E5: deterministic heavy hitters — precision/recall vs phi.
 pub fn e5() {
-    header("E5", "Misra-Gries & SpaceSaving heavy hitters, recall/precision vs phi");
+    header(
+        "E5",
+        "Misra-Gries & SpaceSaving heavy hitters, recall/precision vs phi",
+    );
     let n = 500_000usize;
     let mut gen = ZipfGenerator::new(50_000, 1.1, 7).unwrap();
     let stream = gen.stream(n);
@@ -81,7 +80,14 @@ pub fn e5() {
     for x in &stream {
         exact.update(x);
     }
-    trow!("phi", "k", "MG recall", "MG precision", "SS recall", "SS precision");
+    trow!(
+        "phi",
+        "k",
+        "MG recall",
+        "MG precision",
+        "SS recall",
+        "SS precision"
+    );
     for phi in [0.001, 0.002, 0.005, 0.01, 0.02] {
         let k = (2.0 / phi) as usize; // counters sized at 2/phi
         let mut mg = MisraGries::new(k).unwrap();

@@ -9,8 +9,18 @@ use crate::{fmt_bytes, header, trow};
 /// E11: connectivity success rate and space vs an exact edge list, with
 /// insert+delete churn.
 pub fn e11() {
-    header("E11", "AGM sketches: dynamic connectivity in o(edges) space");
-    trow!("n vertices", "edges (ins+del)", "components exact", "sketch agrees", "sketch space", "edge-list space");
+    header(
+        "E11",
+        "AGM sketches: dynamic connectivity in o(edges) space",
+    );
+    trow!(
+        "n vertices",
+        "edges (ins+del)",
+        "components exact",
+        "sketch agrees",
+        "sketch space",
+        "edge-list space"
+    );
     let mut rng = Xoshiro256PlusPlus::new(17);
     for n in [32usize, 64, 128] {
         let rounds = (usize::BITS - n.leading_zeros()) as usize + 3;

@@ -24,17 +24,26 @@ pub fn e9() {
         trow!(
             "dense Gaussian",
             k,
-            format!("{:.4}", max_pairwise_distortion(&points, |p| gauss.project(p).unwrap()))
+            format!(
+                "{:.4}",
+                max_pairwise_distortion(&points, |p| gauss.project(p).unwrap())
+            )
         );
         trow!(
             "dense Rademacher",
             k,
-            format!("{:.4}", max_pairwise_distortion(&points, |p| rade.project(p).unwrap()))
+            format!(
+                "{:.4}",
+                max_pairwise_distortion(&points, |p| rade.project(p).unwrap())
+            )
         );
         trow!(
             "sparse JL (s=4)",
             k,
-            format!("{:.4}", max_pairwise_distortion(&points, |p| sparse.project(p).unwrap()))
+            format!(
+                "{:.4}",
+                max_pairwise_distortion(&points, |p| sparse.project(p).unwrap())
+            )
         );
     }
 

@@ -6,7 +6,10 @@ use crate::{header, trow};
 
 /// E10: empirical banding candidate rate vs the theoretical S-curve.
 pub fn e10() {
-    header("E10", "MinHash banding S-curve: Pr[candidate] = 1-(1-j^r)^b");
+    header(
+        "E10",
+        "MinHash banding S-curve: Pr[candidate] = 1-(1-j^r)^b",
+    );
     let bands = 16;
     let rows = 4;
     let trials = 300u64;
@@ -20,7 +23,10 @@ pub fn e10() {
         for t in 0..trials {
             let mut idx = MinHashIndex::new(bands, rows, 9_000 + t).unwrap();
             let offset = t * 100_000;
-            let a: Vec<u64> = (0..inter).chain(union..union + solo).map(|x| x + offset).collect();
+            let a: Vec<u64> = (0..inter)
+                .chain(union..union + solo)
+                .map(|x| x + offset)
+                .collect();
             let b: Vec<u64> = (0..inter)
                 .chain(union + solo..union + 2 * solo)
                 .map(|x| x + offset)

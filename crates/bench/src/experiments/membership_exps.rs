@@ -9,24 +9,36 @@ use crate::{fmt_bytes, header, trow};
 /// E7: measured vs theoretical Bloom FPR across bits-per-key; blocked and
 /// cuckoo comparison at equal space.
 pub fn e7() {
-    header("E7", "Bloom FPR vs theory (1-e^{-kn/m})^k; blocked & cuckoo at equal space");
+    header(
+        "E7",
+        "Bloom FPR vs theory (1-e^{-kn/m})^k; blocked & cuckoo at equal space",
+    );
     let n = 100_000usize;
     let keys = distinct_ids(n, 1);
     let probes = distinct_ids(200_000, 2); // disjoint wp 1 (different hash stream)
-    trow!("bits/key", "k", "theory FPR", "bloom FPR", "blocked FPR", "space");
+    trow!(
+        "bits/key",
+        "k",
+        "theory FPR",
+        "bloom FPR",
+        "blocked FPR",
+        "space"
+    );
     for bits_per_key in [6usize, 8, 10, 12, 16] {
         let m = n * bits_per_key;
-        let k = ((bits_per_key as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        let k = ((bits_per_key as f64) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
         let mut bloom = BloomFilter::new(m, k, 3).unwrap();
         let mut blocked = BlockedBloomFilter::with_capacity(n, bits_per_key, 3).unwrap();
         for key in &keys {
             bloom.update(key);
             blocked.update(key);
         }
-        let fp_bloom = probes.iter().filter(|p| bloom.contains(*p)).count() as f64
-            / probes.len() as f64;
-        let fp_blocked = probes.iter().filter(|p| blocked.contains(*p)).count() as f64
-            / probes.len() as f64;
+        let fp_bloom =
+            probes.iter().filter(|p| bloom.contains(*p)).count() as f64 / probes.len() as f64;
+        let fp_blocked =
+            probes.iter().filter(|p| blocked.contains(*p)).count() as f64 / probes.len() as f64;
         trow!(
             bits_per_key,
             k,
@@ -44,7 +56,14 @@ pub fn e7() {
     }
     let fp_cuckoo =
         probes.iter().filter(|p| cuckoo.contains(*p)).count() as f64 / probes.len() as f64;
-    trow!("cuckoo", "", "", format!("{fp_cuckoo:.6}"), "", fmt_bytes(cuckoo.space_bytes()));
+    trow!(
+        "cuckoo",
+        "",
+        "",
+        format!("{fp_cuckoo:.6}"),
+        "",
+        fmt_bytes(cuckoo.space_bytes())
+    );
     println!(
         "(cuckoo: ~{} bits/key for ~0.01% FPR — beats Bloom below ~3% target FPR, plus deletes)",
         cuckoo.space_bytes() * 8 / n

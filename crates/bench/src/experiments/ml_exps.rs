@@ -1,21 +1,28 @@
 //! E15 — sketched federated learning.
 
-use sketches::ml::{
-    FedSgdTrainer, FetchSgdConfig, FetchSgdTrainer, LogisticModel, SyntheticTask,
-};
+use sketches::ml::{FedSgdTrainer, FetchSgdConfig, FetchSgdTrainer, LogisticModel, SyntheticTask};
 
 use crate::{fmt_bytes, header, trow};
 
 /// E15: accuracy vs uplink bytes, FedSGD vs FetchSGD at several sketch
 /// sizes.
 pub fn e15() {
-    header("E15", "FetchSGD: communication vs accuracy (logistic regression, d=16384)");
+    header(
+        "E15",
+        "FetchSGD: communication vs accuracy (logistic regression, d=16384)",
+    );
     let d = 16_384;
     let task = SyntheticTask::generate_with_sparsity(1_200, d, 96, 0.02, 3).unwrap();
     let shards = task.shard(8);
     let rounds = 40;
 
-    trow!("method", "uplink bytes/round/client", "compression", "accuracy", "log-loss");
+    trow!(
+        "method",
+        "uplink bytes/round/client",
+        "compression",
+        "accuracy",
+        "log-loss"
+    );
 
     let mut dense_model = LogisticModel::new(d);
     let dense = FedSgdTrainer { lr: 1.0 }

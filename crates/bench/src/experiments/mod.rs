@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E20), each
+//! The experiment suite: one function per experiment id (E1–E21), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -24,31 +24,136 @@ pub mod streamdb_exps;
 #[must_use]
 pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
     vec![
-        ("e1", "HLL relative error tracks 1.04/sqrt(m); LogLog trails at 1.30/sqrt(m)", cardinality_exps::e1 as fn()),
-        ("e2", "HLL++ removes the small/mid-range bias of raw HLL", cardinality_exps::e2),
-        ("e3", "Morris counts n events in O(log log n) bits", cardinality_exps::e3),
-        ("e4", "Count-Min (L1) vs Count-Sketch (L2): skew decides the winner", frequency_exps::e4),
-        ("e5", "Misra-Gries / SpaceSaving heavy hitters: perfect recall above n/k", frequency_exps::e5),
-        ("e6", "Mergeable quantile summaries lose little accuracy under 64-way merge", quantile_exps::e6),
-        ("e7", "Bloom FPR matches (1-e^{-kn/m})^k; cuckoo wins at low FPR", membership_exps::e7),
-        ("e8", "Ad-reach slice-and-dice with sketches; exact wins once RAM is cheap", cardinality_exps::e8),
-        ("e9", "JL transforms preserve pairwise distances; AMS preserves norms", linalg_exps::e9),
-        ("e10", "MinHash banding yields the S-curve 1-(1-j^r)^b", lsh_exps::e10),
-        ("e11", "AGM sketches answer connectivity in o(edges) space", graph_exps::e11),
-        ("e12", "DP noise is less disruptive on sketches than on full histograms", privacy_exps::e12),
-        ("e13", "Adaptive adversaries break vanilla AMS; sketch switching survives", robust_exps::e13),
-        ("e14", "Buffered concurrent sketches scale with threads; a mutex does not", concurrent_exps::e14),
-        ("e15", "FetchSGD cuts uplink bytes at comparable accuracy", ml_exps::e15),
-        ("e16", "Per-group sketches tame GROUP BY memory at Gigascope scale", streamdb_exps::e16),
-        ("e17", "Lp samplers draw items proportional to f_i^p", sampling_exps::e17),
-        ("e18", "Quantile error vs space across GK -> MRL -> q-digest -> KLL -> t-digest", quantile_exps::e18),
-        ("e19", "Tail quantiles: t-digest's relative error vs KLL's uniform rank error", quantile_exps::e19),
-        ("e20", "Morris accuracy/space frontier: error halves per extra bit", cardinality_exps::e20),
-        ("a1", "Ablation: HLL++ sparse mode vs dense-only HLL", ablations::a1),
-        ("a2", "Ablation: Count-Min width x depth at fixed budget", ablations::a2),
-        ("a3", "Ablation: cuckoo filter achievable load", ablations::a3),
-        ("a4", "Ablation: sketched least squares residual vs sketch rows", ablations::a4),
-        ("a5", "Ablation: concurrent buffer size trade-off", ablations::a5),
+        (
+            "e1",
+            "HLL relative error tracks 1.04/sqrt(m); LogLog trails at 1.30/sqrt(m)",
+            cardinality_exps::e1 as fn(),
+        ),
+        (
+            "e2",
+            "HLL++ removes the small/mid-range bias of raw HLL",
+            cardinality_exps::e2,
+        ),
+        (
+            "e3",
+            "Morris counts n events in O(log log n) bits",
+            cardinality_exps::e3,
+        ),
+        (
+            "e4",
+            "Count-Min (L1) vs Count-Sketch (L2): skew decides the winner",
+            frequency_exps::e4,
+        ),
+        (
+            "e5",
+            "Misra-Gries / SpaceSaving heavy hitters: perfect recall above n/k",
+            frequency_exps::e5,
+        ),
+        (
+            "e6",
+            "Mergeable quantile summaries lose little accuracy under 64-way merge",
+            quantile_exps::e6,
+        ),
+        (
+            "e7",
+            "Bloom FPR matches (1-e^{-kn/m})^k; cuckoo wins at low FPR",
+            membership_exps::e7,
+        ),
+        (
+            "e8",
+            "Ad-reach slice-and-dice with sketches; exact wins once RAM is cheap",
+            cardinality_exps::e8,
+        ),
+        (
+            "e9",
+            "JL transforms preserve pairwise distances; AMS preserves norms",
+            linalg_exps::e9,
+        ),
+        (
+            "e10",
+            "MinHash banding yields the S-curve 1-(1-j^r)^b",
+            lsh_exps::e10,
+        ),
+        (
+            "e11",
+            "AGM sketches answer connectivity in o(edges) space",
+            graph_exps::e11,
+        ),
+        (
+            "e12",
+            "DP noise is less disruptive on sketches than on full histograms",
+            privacy_exps::e12,
+        ),
+        (
+            "e13",
+            "Adaptive adversaries break vanilla AMS; sketch switching survives",
+            robust_exps::e13,
+        ),
+        (
+            "e14",
+            "Buffered concurrent sketches scale with threads; a mutex does not",
+            concurrent_exps::e14,
+        ),
+        (
+            "e15",
+            "FetchSGD cuts uplink bytes at comparable accuracy",
+            ml_exps::e15,
+        ),
+        (
+            "e16",
+            "Per-group sketches tame GROUP BY memory at Gigascope scale",
+            streamdb_exps::e16,
+        ),
+        (
+            "e17",
+            "Lp samplers draw items proportional to f_i^p",
+            sampling_exps::e17,
+        ),
+        (
+            "e18",
+            "Quantile error vs space across GK -> MRL -> q-digest -> KLL -> t-digest",
+            quantile_exps::e18,
+        ),
+        (
+            "e19",
+            "Tail quantiles: t-digest's relative error vs KLL's uniform rank error",
+            quantile_exps::e19,
+        ),
+        (
+            "e20",
+            "Morris accuracy/space frontier: error halves per extra bit",
+            cardinality_exps::e20,
+        ),
+        (
+            "e21",
+            "Sharded GROUP BY ingest scales with shards; results stay identical",
+            streamdb_exps::e21,
+        ),
+        (
+            "a1",
+            "Ablation: HLL++ sparse mode vs dense-only HLL",
+            ablations::a1,
+        ),
+        (
+            "a2",
+            "Ablation: Count-Min width x depth at fixed budget",
+            ablations::a2,
+        ),
+        (
+            "a3",
+            "Ablation: cuckoo filter achievable load",
+            ablations::a3,
+        ),
+        (
+            "a4",
+            "Ablation: sketched least squares residual vs sketch rows",
+            ablations::a4,
+        ),
+        (
+            "a5",
+            "Ablation: concurrent buffer size trade-off",
+            ablations::a5,
+        ),
     ]
 }
 

@@ -12,7 +12,10 @@ use crate::{fmt_bytes, header, trow};
 /// E12: error vs epsilon for the LDP systems, and the central-DP
 /// sketch-vs-histogram space story.
 pub fn e12() {
-    header("E12", "Privacy with sketches: error vs epsilon, space vs domain");
+    header(
+        "E12",
+        "Privacy with sketches: error vs epsilon, space vs domain",
+    );
     let population = 100_000usize;
     let mut zipf = ZipfGenerator::new(64, 1.2, 3).unwrap();
     let values: Vec<u64> = (0..population).map(|_| zipf.sample() - 1).collect();
@@ -34,7 +37,9 @@ pub fn e12() {
         let mut cms = PrivateCmsServer::new(16, 1024, eps, 51).unwrap();
         for &v in &values {
             let label = format!("value-{v}");
-            rappor.collect(&rappor_client.report(&label, &mut rng)).unwrap();
+            rappor
+                .collect(&rappor_client.report(&label, &mut rng))
+                .unwrap();
             cms.collect(&cms_client.report(&label, &mut rng)).unwrap();
         }
         let mut rappor_err = 0.0;
@@ -53,7 +58,13 @@ pub fn e12() {
     }
 
     println!("\nCentral DP at eps = 1: noisy Count-Min vs noisy full histogram");
-    trow!("domain", "DP-CMS err", "DP-CMS space", "DP-hist err", "DP-hist space");
+    trow!(
+        "domain",
+        "DP-CMS err",
+        "DP-CMS space",
+        "DP-hist err",
+        "DP-hist space"
+    );
     for domain in [10_000usize, 1_000_000] {
         let mut zipf = ZipfGenerator::new(domain as u64, 1.3, 5).unwrap();
         let stream: Vec<u64> = (0..200_000).map(|_| zipf.sample() - 1).collect();

@@ -20,7 +20,10 @@ fn max_rank_error<Q: QuantileSketch>(q: &Q, sorted: &[f64]) -> f64 {
 
 /// E6: 64-way merge vs single-stream accuracy for the mergeable summaries.
 pub fn e6() {
-    header("E6", "Mergeable summaries: 64-way merged vs single-stream rank error");
+    header(
+        "E6",
+        "Mergeable summaries: 64-way merged vs single-stream rank error",
+    );
     let n = 640_000usize;
     let values = uniform_values(n, 1e6, 3);
     let mut sorted = values.clone();
@@ -35,8 +38,9 @@ pub fn e6() {
         s
     };
     let kll_merged = {
-        let mut parts: Vec<KllSketch> =
-            (0..64).map(|i| KllSketch::new(200, 100 + i).unwrap()).collect();
+        let mut parts: Vec<KllSketch> = (0..64)
+            .map(|i| KllSketch::new(200, 100 + i).unwrap())
+            .collect();
         for (i, v) in values.iter().enumerate() {
             parts[i % 64].update(v);
         }
@@ -116,17 +120,45 @@ pub fn e6() {
         (rank_err(&single), rank_err(&merged))
     };
 
-    trow!("summary", "single-stream err", "64-way merged err", "merged space");
-    trow!("KLL (k=200)", format!("{:.4}", max_rank_error(&kll_single, &sorted)), format!("{:.4}", max_rank_error(&kll_merged, &sorted)), fmt_bytes(kll_merged.space_bytes()));
-    trow!("t-digest (d=200)", format!("{:.4}", max_rank_error(&td_single, &sorted)), format!("{:.4}", max_rank_error(&td_merged, &sorted)), fmt_bytes(td_merged.space_bytes()));
-    trow!("MRL (b=256)", format!("{:.4}", max_rank_error(&mrl_single, &sorted)), format!("{:.4}", max_rank_error(&mrl_merged, &sorted)), fmt_bytes(mrl_merged.space_bytes()));
-    trow!("q-digest (k=512)", format!("{:.4}", qd_err.0), format!("{:.4}", qd_err.1), "-");
+    trow!(
+        "summary",
+        "single-stream err",
+        "64-way merged err",
+        "merged space"
+    );
+    trow!(
+        "KLL (k=200)",
+        format!("{:.4}", max_rank_error(&kll_single, &sorted)),
+        format!("{:.4}", max_rank_error(&kll_merged, &sorted)),
+        fmt_bytes(kll_merged.space_bytes())
+    );
+    trow!(
+        "t-digest (d=200)",
+        format!("{:.4}", max_rank_error(&td_single, &sorted)),
+        format!("{:.4}", max_rank_error(&td_merged, &sorted)),
+        fmt_bytes(td_merged.space_bytes())
+    );
+    trow!(
+        "MRL (b=256)",
+        format!("{:.4}", max_rank_error(&mrl_single, &sorted)),
+        format!("{:.4}", max_rank_error(&mrl_merged, &sorted)),
+        fmt_bytes(mrl_merged.space_bytes())
+    );
+    trow!(
+        "q-digest (k=512)",
+        format!("{:.4}", qd_err.0),
+        format!("{:.4}", qd_err.1),
+        "-"
+    );
     println!("(GK omitted: it has no merge rule — the gap mergeable summaries filled)");
 }
 
 /// E18: rank error vs space across the lineage at fixed stream size.
 pub fn e18() {
-    header("E18", "Quantile error vs retained space, n = 500k uniform values");
+    header(
+        "E18",
+        "Quantile error vs retained space, n = 500k uniform values",
+    );
     let n = 500_000usize;
     let values = uniform_values(n, 1e6, 9);
     let mut sorted = values.clone();
@@ -181,7 +213,10 @@ pub fn e18() {
 
 /// E19: tail quantiles on heavy-tailed data — the relative-error story.
 pub fn e19() {
-    header("E19", "Extreme quantiles of exponential data: value-relative error");
+    header(
+        "E19",
+        "Extreme quantiles of exponential data: value-relative error",
+    );
     let n = 1_000_000usize;
     let values = exponential_values(n, 1.0, 13);
     let mut sorted = values.clone();
@@ -192,7 +227,14 @@ pub fn e19() {
         kll.update(v);
         td.update(v);
     }
-    trow!("quantile", "exact", "KLL est", "KLL rel err", "t-digest est", "t-digest rel err");
+    trow!(
+        "quantile",
+        "exact",
+        "KLL est",
+        "KLL rel err",
+        "t-digest est",
+        "t-digest rel err"
+    );
     for q in [0.5, 0.9, 0.99, 0.999, 0.9999, 0.99999] {
         let idx = ((q * n as f64).ceil() as usize).min(n) - 1;
         let truth = sorted[idx];
@@ -207,5 +249,7 @@ pub fn e19() {
             format!("{:.4}", (t_est - truth).abs() / truth)
         );
     }
-    println!("(uniform rank error lets KLL drift at q -> 1; t-digest's tail-shrinking clusters hold)");
+    println!(
+        "(uniform rank error lets KLL drift at q -> 1; t-digest's tail-shrinking clusters hold)"
+    );
 }

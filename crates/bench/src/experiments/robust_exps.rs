@@ -8,9 +8,18 @@ use crate::{header, trow};
 /// E13: the adaptive attack against vanilla AMS vs the sketch-switching
 /// defense, across seeds.
 pub fn e13() {
-    header("E13", "Adaptive adversary vs AMS; sketch-switching defense (PODS'20)");
+    header(
+        "E13",
+        "Adaptive adversary vs AMS; sketch-switching defense (PODS'20)",
+    );
     let attack = AdaptiveF2Attack::default();
-    trow!("seed", "vanilla truth", "vanilla estimate", "ratio", "robust ratio");
+    trow!(
+        "seed",
+        "vanilla truth",
+        "vanilla estimate",
+        "ratio",
+        "robust ratio"
+    );
     let mut vanilla_mean = 0.0;
     let mut robust_mean = 0.0;
     let trials = 6u64;

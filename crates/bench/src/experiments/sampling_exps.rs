@@ -8,10 +8,15 @@ use crate::{header, trow};
 
 /// E17: empirical sampling distribution vs the f_i^p target, p in {0,1,2}.
 pub fn e17() {
-    header("E17", "Lp samplers: Pr[i] ~ f_i^p / F_p (PODS'11 test of time)");
+    header(
+        "E17",
+        "Lp samplers: Pr[i] ~ f_i^p / F_p (PODS'11 test of time)",
+    );
     // Small support so the empirical distribution is measurable:
     // item i in 0..8 has frequency (i+1)^2 to spread the Lp masses.
-    let freqs: Vec<(u64, f64)> = (0..8u64).map(|i| (i * 31 + 3, ((i + 1) * (i + 1)) as f64)).collect();
+    let freqs: Vec<(u64, f64)> = (0..8u64)
+        .map(|i| (i * 31 + 3, ((i + 1) * (i + 1)) as f64))
+        .collect();
     let trials = 600u64;
 
     for p in [0.0, 1.0, 2.0] {

@@ -11,8 +11,8 @@ use sketches_core::{
     CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
 };
 use sketches_hash::bits::BitVec;
-use sketches_hash::mix::{fastrange64, mix64_seeded};
 use sketches_hash::hash_item;
+use sketches_hash::mix::{fastrange64, mix64_seeded};
 use std::hash::Hash;
 
 /// A Linear Counting sketch over `m` bits.

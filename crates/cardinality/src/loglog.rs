@@ -161,6 +161,30 @@ mod tests {
     }
 
     #[test]
+    fn rse_matches_durand_flajolet_theory() {
+        // Pins the estimator's error to the 1.30/sqrt(m) law from BOTH
+        // sides: an RSE far below theory is as much a bug (a broken
+        // measurement, or an estimator that is not LogLog's geometric
+        // mean) as one far above it. p=8 -> m=256, theory RSE ~ 0.0813.
+        let trials = 60u64;
+        let n = 20_000u64;
+        let mut errs = Vec::new();
+        for t in 0..trials {
+            let mut ll = LogLog::new(8, 0xE1_00 + t).unwrap();
+            for i in 0..n {
+                ll.update(&(t * n + i));
+            }
+            errs.push((ll.estimate() - n as f64) / n as f64);
+        }
+        let rse = (errs.iter().map(|e| e * e).sum::<f64>() / trials as f64).sqrt();
+        let theory = 1.30 / 16.0;
+        assert!(
+            rse > 0.55 * theory && rse < 1.5 * theory,
+            "measured RSE {rse:.4} deviates from theory {theory:.4}"
+        );
+    }
+
+    #[test]
     fn merge_rejects_mismatch() {
         let mut a = LogLog::new(8, 0).unwrap();
         assert!(a.merge(&LogLog::new(9, 0).unwrap()).is_err());

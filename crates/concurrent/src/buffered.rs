@@ -22,21 +22,30 @@ pub struct BufferedConcurrent<S> {
 }
 
 impl<S: MergeSketch + Clear + Clone> BufferedConcurrent<S> {
-    /// Wraps an empty sketch; locals flush every `buffer_size` updates.
+    /// Wraps a sketch; locals flush every `buffer_size` updates.
+    ///
+    /// If `sketch` is non-empty its contents are **retained as the global
+    /// baseline** — they appear in every [`snapshot`](Self::snapshot), as
+    /// if they had been flushed by a writer before the wrapper was built.
+    /// This is deliberate (it lets a checkpointed sketch resume under
+    /// concurrent writers). The writer template is cleared here, so
+    /// [`writer`](Self::writer) handles always start empty and never
+    /// re-merge the baseline.
     #[must_use]
     pub fn new(sketch: S, buffer_size: usize) -> Self {
+        let mut template = sketch.clone();
+        template.clear();
         Self {
-            template: sketch.clone(),
+            template,
             global: Arc::new(RwLock::new(sketch)),
             buffer_size: buffer_size.max(1),
         }
     }
 
-    /// Mints a writer handle with its own local sketch.
+    /// Mints a writer handle with its own (empty) local sketch.
     #[must_use]
     pub fn writer(&self) -> WriterHandle<S> {
-        let mut local = self.template.clone();
-        local.clear();
+        let local = self.template.clone();
         WriterHandle {
             global: Arc::clone(&self.global),
             local,
@@ -115,8 +124,8 @@ mod tests {
     use super::*;
     use sketches_cardinality::HyperLogLog;
     use sketches_core::CardinalityEstimator;
-    use sketches_frequency::CountMinSketch;
     use sketches_core::FrequencyEstimator;
+    use sketches_frequency::CountMinSketch;
 
     #[test]
     fn single_writer_roundtrip() {
@@ -182,6 +191,39 @@ mod tests {
             );
         }
         assert_eq!(snap.total(), threads * u64::from(per_thread));
+    }
+
+    #[test]
+    fn pre_seeded_sketch_is_baseline_not_writer_state() {
+        // A non-empty input sketch must be retained in the global (it shows
+        // up in snapshots) but must NOT leak into writer locals — before the
+        // template was cleared in `new`, each writer handle depended on
+        // `writer()` remembering to clear, and the merged result would
+        // double-count the baseline if that clear were ever dropped.
+        let mut seeded = HyperLogLog::new(10, 7).unwrap();
+        for i in 0..5_000u64 {
+            sketches_core::Update::update(&mut seeded, &i);
+        }
+        let baseline = seeded.clone();
+        let conc = BufferedConcurrent::new(seeded, 64);
+        // Snapshot reflects the baseline before any writer activity.
+        assert_eq!(conc.snapshot(), baseline);
+        // A writer flushing nothing new leaves the global bit-identical:
+        // its local started empty, so merging it is a no-op.
+        let mut w = conc.writer();
+        for i in 0..5_000u64 {
+            w.update(&i);
+        }
+        w.flush().unwrap();
+        assert_eq!(conc.snapshot(), baseline);
+        // Genuinely new items still land on top of the baseline.
+        for i in 5_000..6_000u64 {
+            w.update(&i);
+        }
+        w.flush().unwrap();
+        let est = conc.snapshot().estimate();
+        let rel = (est - 6_000.0).abs() / 6_000.0;
+        assert!(rel < 0.15, "estimate {est} should cover baseline + new");
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod traits;
 
 pub use error::{SketchError, SketchResult};
 pub use traits::{
-    CardinalityEstimator, Clear, FrequencyEstimator, MembershipTester, MergeSketch,
-    QuantileSketch, SpaceUsage, Update,
+    CardinalityEstimator, Clear, FrequencyEstimator, MembershipTester, MergeSketch, QuantileSketch,
+    SpaceUsage, Update,
 };
 
 /// Validates that a parameter is within an inclusive range, with a readable

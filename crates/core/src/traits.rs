@@ -21,6 +21,19 @@ pub trait Update<T: ?Sized> {
             self.update(item);
         }
     }
+
+    /// Absorbs a contiguous batch of items — the entry point batch-oriented
+    /// ingest layers (e.g. the sharded GROUP BY engine) drive. The default
+    /// just loops; sketches whose update amortizes over a batch (bulk
+    /// register writes, sorted inserts) may override.
+    fn update_slice(&mut self, items: &[T])
+    where
+        T: Sized,
+    {
+        for item in items {
+            self.update(item);
+        }
+    }
 }
 
 /// A mergeable summary: two sketches built over disjoint substreams can be
@@ -140,6 +153,13 @@ mod tests {
         let items = [1u64, 2, 3, 4];
         c.extend_from(items.iter());
         assert_eq!(c.n, 4);
+    }
+
+    #[test]
+    fn update_slice_default_walks_all_items() {
+        let mut c = ToyCounter::default();
+        c.update_slice(&[5u64, 6, 7]);
+        assert_eq!(c.n, 3);
     }
 
     #[test]

@@ -15,8 +15,8 @@
 use std::hash::Hash;
 
 use sketches_core::{
-    check_open_unit, Clear, FrequencyEstimator, MergeSketch, SketchError, SketchResult,
-    SpaceUsage, Update,
+    check_open_unit, Clear, FrequencyEstimator, MergeSketch, SketchError, SketchResult, SpaceUsage,
+    Update,
 };
 use sketches_hash::hash_item;
 use sketches_hash::mix::{fastrange64, mix64_seeded};
@@ -431,7 +431,10 @@ mod tests {
             }
         }
         // δ = 1% per item; allow a few.
-        assert!(violations <= 4, "{violations} items exceeded the ε‖f‖₁ bound");
+        assert!(
+            violations <= 4,
+            "{violations} items exceeded the ε‖f‖₁ bound"
+        );
     }
 
     #[test]
@@ -581,6 +584,8 @@ mod tests {
         a.merge(&b).unwrap();
         let est = a.range_count(0, 255);
         assert!((200..=220).contains(&est), "merged range {est}");
-        assert!(a.merge(&CmRangeSketch::new(9, 256, 4, 10).unwrap()).is_err());
+        assert!(a
+            .merge(&CmRangeSketch::new(9, 256, 4, 10).unwrap())
+            .is_err());
     }
 }

@@ -10,9 +10,7 @@
 
 use std::hash::Hash;
 
-use sketches_core::{
-    Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
-};
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
 use sketches_hash::family::{KWiseHash, SignHash};
 use sketches_hash::hash_item;
 use sketches_hash::rng::SplitMix64;
@@ -71,8 +69,7 @@ impl CountSketch {
     pub fn estimate_hash(&self, hash: u64) -> i64 {
         let mut row_estimates: Vec<i64> = (0..self.depth)
             .map(|row| {
-                let bucket =
-                    self.bucket_hashes[row].hash_range(hash, self.width as u64) as usize;
+                let bucket = self.bucket_hashes[row].hash_range(hash, self.width as u64) as usize;
                 self.sign_hashes[row].sign(hash) * self.counters[row * self.width + bucket]
             })
             .collect();

@@ -225,39 +225,42 @@ impl<T: Hash + Eq + Clone> MergeSketch for SpaceSaving<T> {
         }
         let min_self = self.min_count();
         let min_other = other.min_count();
-        let mut merged: HashMap<T, Slot<T>> = HashMap::new();
+        // Accumulate into a Vec in deterministic insertion order (self's
+        // slots, then other's unseen slots) with a map only as an index:
+        // iterating a RandomState HashMap here made the tie order after
+        // `rebuild_from`'s sort vary run to run, breaking the workspace's
+        // bit-reproducibility contract. The stable sort in `rebuild_from`
+        // keeps insertion order among equal counts.
+        let mut merged: Vec<Slot<T>> = Vec::with_capacity(self.slots.len() + other.slots.len());
+        let mut index: HashMap<T, usize> = HashMap::with_capacity(merged.capacity());
         for s in &self.slots {
-            merged.insert(
-                s.item.clone(),
-                Slot {
-                    item: s.item.clone(),
-                    count: s.count + min_other,
-                    err: s.err + min_other,
-                },
-            );
+            index.insert(s.item.clone(), merged.len());
+            merged.push(Slot {
+                item: s.item.clone(),
+                count: s.count + min_other,
+                err: s.err + min_other,
+            });
         }
         for s in &other.slots {
-            match merged.get_mut(&s.item) {
-                Some(m) => {
+            match index.get(&s.item) {
+                Some(&i) => {
                     // Present in both: true counts add; replace the charged
                     // minimum with the real counter.
-                    m.count = m.count - min_other + s.count;
-                    m.err = m.err - min_other + s.err;
+                    merged[i].count = merged[i].count - min_other + s.count;
+                    merged[i].err = merged[i].err - min_other + s.err;
                 }
                 None => {
-                    merged.insert(
-                        s.item.clone(),
-                        Slot {
-                            item: s.item.clone(),
-                            count: s.count + min_self,
-                            err: s.err + min_self,
-                        },
-                    );
+                    index.insert(s.item.clone(), merged.len());
+                    merged.push(Slot {
+                        item: s.item.clone(),
+                        count: s.count + min_self,
+                        err: s.err + min_self,
+                    });
                 }
             }
         }
         let items_seen = self.items_seen + other.items_seen;
-        self.rebuild_from(merged.into_values().collect(), items_seen);
+        self.rebuild_from(merged, items_seen);
         Ok(())
     }
 }

@@ -125,11 +125,7 @@ impl AgmGraphSketch {
 
     /// Borůvka restricted to sampler rounds `[start, end)` — lets the
     /// k-connectivity certificate give each layer disjoint randomness.
-    fn spanning_forest_rounds(
-        &self,
-        start: usize,
-        end: usize,
-    ) -> (Vec<(usize, usize)>, UnionFind) {
+    fn spanning_forest_rounds(&self, start: usize, end: usize) -> (Vec<(usize, usize)>, UnionFind) {
         let mut uf = UnionFind::new(self.n);
         let mut forest = Vec::new();
         for round in &self.samplers[start.min(self.rounds)..end.min(self.rounds)] {
@@ -199,10 +195,7 @@ impl AgmGraphSketch {
     /// # Errors
     /// Propagates edge-update errors (impossible for edges the sketch
     /// itself produced).
-    pub fn k_connectivity_certificate(
-        &self,
-        k: usize,
-    ) -> SketchResult<Vec<(usize, usize)>> {
+    pub fn k_connectivity_certificate(&self, k: usize) -> SketchResult<Vec<(usize, usize)>> {
         if k == 0 {
             return Ok(Vec::new());
         }

@@ -198,10 +198,7 @@ mod tests {
         // Against a direct (slow) computation.
         for i in 0..1000u128 {
             let x = i * 0x0123_4567_89AB_CDEF_u128 + i;
-            assert_eq!(
-                u128::from(mod_mersenne_128(x)),
-                x % u128::from(MERSENNE_61)
-            );
+            assert_eq!(u128::from(mod_mersenne_128(x)), x % u128::from(MERSENNE_61));
         }
     }
 

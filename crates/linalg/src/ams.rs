@@ -9,9 +9,7 @@
 
 use std::hash::Hash;
 
-use sketches_core::{
-    Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
-};
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
 use sketches_hash::family::SignHash;
 use sketches_hash::hash_item;
 use sketches_hash::rng::SplitMix64;
@@ -38,7 +36,9 @@ impl AmsSketch {
         }
         sketches_core::check_range("depth", depth, 1, 32)?;
         let mut rng = SplitMix64::new(seed ^ 0xA4B5_70FF);
-        let signs = (0..width * depth).map(|_| SignHash::random(&mut rng)).collect();
+        let signs = (0..width * depth)
+            .map(|_| SignHash::random(&mut rng))
+            .collect();
         Ok(Self {
             counters: vec![0i64; width * depth],
             width,

@@ -250,13 +250,13 @@ mod tests {
                 diff[(i, j)] = ata[(i, j)] - btb[(i, j)];
             }
         }
-        let frob_sq: f64 = rows
-            .iter()
-            .map(|r| crate::matrix::dot(r, r))
-            .sum();
+        let frob_sq: f64 = rows.iter().map(|r| crate::matrix::dot(r, r)).sum();
         let bound = frob_sq / l as f64;
         let err = diff.spectral_norm();
-        assert!(err <= bound * 1.05, "spectral err {err:.2} vs bound {bound:.2}");
+        assert!(
+            err <= bound * 1.05,
+            "spectral err {err:.2} vs bound {bound:.2}"
+        );
         // PSD check: smallest eigenvalue of diff is ≥ -tiny.
         let (vals, _) = diff.symmetric_eigen().unwrap();
         let min = vals.last().copied().unwrap_or(0.0);
@@ -300,7 +300,11 @@ mod tests {
         for _ in 0..200 {
             let c = 10.0 + rng.gauss();
             let noise: Vec<f64> = (0..d).map(|_| rng.gauss() * 0.05).collect();
-            let row: Vec<f64> = dir.iter().zip(&noise).map(|(&dv, &nv)| c * dv + nv).collect();
+            let row: Vec<f64> = dir
+                .iter()
+                .zip(&noise)
+                .map(|(&dv, &nv)| c * dv + nv)
+                .collect();
             rows.push(row);
         }
         for r in &rows {
@@ -309,11 +313,8 @@ mod tests {
         fd.compact();
         let b = fd.sketch();
         // The energy of B along `dir` should be close to A's.
-        let energy = |m: &[Vec<f64>]| -> f64 {
-            m.iter()
-                .map(|r| crate::matrix::dot(r, &dir).powi(2))
-                .sum()
-        };
+        let energy =
+            |m: &[Vec<f64>]| -> f64 { m.iter().map(|r| crate::matrix::dot(r, &dir).powi(2)).sum() };
         let b_rows: Vec<Vec<f64>> = (0..b.rows()).map(|r| b.row(r).to_vec()).collect();
         let ea = energy(&rows);
         let eb = energy(&b_rows);
@@ -352,7 +353,9 @@ mod tests {
         let frob_sq: f64 = rows.iter().map(|r| crate::matrix::dot(r, r)).sum();
         // Merged FD guarantee is 2·‖A‖_F²/ℓ in the worst case.
         assert!(diff.spectral_norm() <= 2.0 * frob_sq / l as f64 * 1.05);
-        assert!(a.merge(&FrequentDirections::new(l, d + 1).unwrap()).is_err());
+        assert!(a
+            .merge(&FrequentDirections::new(l, d + 1).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl DenseJl {
     /// Returns an error if `k == 0` or `d == 0`.
     pub fn new(d: usize, k: usize, kind: JlKind, seed: u64) -> SketchResult<Self> {
         if d == 0 || k == 0 {
-            return Err(SketchError::invalid("dimensions", "d and k must be positive"));
+            return Err(SketchError::invalid(
+                "dimensions",
+                "d and k must be positive",
+            ));
         }
         let mut rng = Xoshiro256PlusPlus::new(seed ^ 0x71_1984);
         let scale = 1.0 / (k as f64).sqrt();
@@ -104,10 +107,7 @@ impl SpaceUsage for DenseJl {
 /// Measures the worst pairwise-distance distortion
 /// `max |‖Px−Py‖/‖x−y‖ − 1|` over all pairs of `points` under the map
 /// `project`.
-pub fn max_pairwise_distortion<F: Fn(&[f64]) -> Vec<f64>>(
-    points: &[Vec<f64>],
-    project: F,
-) -> f64 {
+pub fn max_pairwise_distortion<F: Fn(&[f64]) -> Vec<f64>>(points: &[Vec<f64>], project: F) -> f64 {
     let projected: Vec<Vec<f64>> = points.iter().map(|p| project(p)).collect();
     let mut worst: f64 = 0.0;
     for i in 0..points.len() {

@@ -131,9 +131,7 @@ impl Matrix {
         let mut norm = 0.0;
         for _ in 0..200 {
             // w = Aᵀ(Av)
-            let av: Vec<f64> = (0..self.rows)
-                .map(|r| dot(self.row(r), &v))
-                .collect();
+            let av: Vec<f64> = (0..self.rows).map(|r| dot(self.row(r), &v)).collect();
             let mut w = vec![0.0; self.cols];
             for (r, &avr) in av.iter().enumerate() {
                 for (wc, &m) in w.iter_mut().zip(self.row(r)) {
@@ -292,7 +290,10 @@ mod tests {
         let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]).unwrap()
+        );
         assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
     }
 
@@ -308,7 +309,11 @@ mod tests {
     fn norms() {
         let m = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
-        assert!((m.spectral_norm() - 4.0).abs() < 1e-9, "{}", m.spectral_norm());
+        assert!(
+            (m.spectral_norm() - 4.0).abs() < 1e-9,
+            "{}",
+            m.spectral_norm()
+        );
         assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
         assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
         assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
@@ -323,10 +328,7 @@ mod tests {
         assert!((vals[1] - 1.0).abs() < 1e-10);
         // Check A·v = λ·v for the top eigenvector.
         let v0 = [vecs[(0, 0)], vecs[(1, 0)]];
-        let av0 = [
-            2.0 * v0[0] + 1.0 * v0[1],
-            1.0 * v0[0] + 2.0 * v0[1],
-        ];
+        let av0 = [2.0 * v0[0] + 1.0 * v0[1], 1.0 * v0[0] + 2.0 * v0[1]];
         assert!((av0[0] - 3.0 * v0[0]).abs() < 1e-9);
         assert!((av0[1] - 3.0 * v0[1]).abs() < 1e-9);
     }

@@ -34,7 +34,10 @@ impl CountSketchTransform {
     /// Returns an error if `d == 0` or `k == 0`.
     pub fn new(d: usize, k: usize, seed: u64) -> SketchResult<Self> {
         if d == 0 || k == 0 {
-            return Err(SketchError::invalid("dimensions", "d and k must be positive"));
+            return Err(SketchError::invalid(
+                "dimensions",
+                "d and k must be positive",
+            ));
         }
         let mut rng = SplitMix64::new(seed ^ 0xC5_7F0);
         Ok(Self {

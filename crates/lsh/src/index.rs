@@ -117,10 +117,7 @@ impl SpaceUsage for MinHashIndex {
     fn space_bytes(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| {
-                t.values().map(|v| 8 + v.len() * 8)
-                    .sum::<usize>()
-            })
+            .map(|t| t.values().map(|v| 8 + v.len() * 8).sum::<usize>())
             .sum()
     }
 }

@@ -20,12 +20,7 @@ impl MinHashSignature {
         if self.0.len() != other.0.len() {
             return Err(SketchError::incompatible("signature lengths differ"));
         }
-        let agree = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         Ok(agree as f64 / self.0.len() as f64)
     }
 
@@ -68,7 +63,10 @@ impl MinHasher {
     /// Absorbs a pre-hashed element.
     pub fn update_hash(&mut self, hash: u64) {
         for (i, m) in self.mins.iter_mut().enumerate() {
-            let h = mix64_seeded(hash, self.seed ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let h = mix64_seeded(
+                hash,
+                self.seed ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            );
             if h < *m {
                 *m = h;
             }
@@ -228,9 +226,7 @@ mod tests {
         let inter = (j * size as f64 / (1.0 + j) * 2.0).round() as u64;
         let rest = size as u64 - inter;
         let a: Vec<u64> = (0..inter).chain(inter..inter + rest / 2).collect();
-        let b: Vec<u64> = (0..inter)
-            .chain(inter + rest / 2..inter + rest)
-            .collect();
+        let b: Vec<u64> = (0..inter).chain(inter + rest / 2..inter + rest).collect();
         (a, b)
     }
 

@@ -74,16 +74,16 @@ impl PStableHasher {
 pub fn libm_erfc(x: f64) -> f64 {
     let ax = x.abs();
     let t = 1.0 / (1.0 + 0.5 * ax);
-    let y = t * (-ax * ax - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-    .exp();
+    let y = t
+        * (-ax * ax - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         y
     } else {
@@ -173,7 +173,9 @@ mod tests {
             }
         }
         let emp = f64::from(collisions) / f64::from(trials);
-        let theory = PStableHasher::new(d, w, 0).unwrap().collision_probability(dist);
+        let theory = PStableHasher::new(d, w, 0)
+            .unwrap()
+            .collision_probability(dist);
         assert!(
             (emp - theory).abs() < 0.03,
             "empirical {emp:.3} vs theory {theory:.3}"

@@ -53,7 +53,11 @@ impl BlockedBloomFilter {
     ///
     /// # Errors
     /// Returns an error if parameters produce zero blocks or invalid `k`.
-    pub fn with_capacity(expected_items: usize, bits_per_key: usize, seed: u64) -> SketchResult<Self> {
+    pub fn with_capacity(
+        expected_items: usize,
+        bits_per_key: usize,
+        seed: u64,
+    ) -> SketchResult<Self> {
         let total_bits = expected_items.max(1) * bits_per_key.max(1);
         let blocks = total_bits.div_ceil(512).max(1);
         // k ≈ bits_per_key · ln2, the classic optimum.
@@ -196,7 +200,9 @@ mod tests {
     #[test]
     fn merge_rejects_mismatch() {
         let mut a = BlockedBloomFilter::new(8, 4, 0).unwrap();
-        assert!(a.merge(&BlockedBloomFilter::new(16, 4, 0).unwrap()).is_err());
+        assert!(a
+            .merge(&BlockedBloomFilter::new(16, 4, 0).unwrap())
+            .is_err());
         assert!(a.merge(&BlockedBloomFilter::new(8, 5, 0).unwrap()).is_err());
         assert!(a.merge(&BlockedBloomFilter::new(8, 4, 7).unwrap()).is_err());
     }

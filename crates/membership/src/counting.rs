@@ -201,7 +201,10 @@ mod tests {
         for _ in 0..300 {
             f.remove("hot");
         }
-        assert!(f.contains("hot"), "saturated counter must not be decremented");
+        assert!(
+            f.contains("hot"),
+            "saturated counter must not be decremented"
+        );
     }
 
     #[test]
@@ -223,9 +226,15 @@ mod tests {
     #[test]
     fn merge_rejects_mismatch() {
         let mut a = CountingBloomFilter::new(128, 3, 0).unwrap();
-        assert!(a.merge(&CountingBloomFilter::new(256, 3, 0).unwrap()).is_err());
-        assert!(a.merge(&CountingBloomFilter::new(128, 2, 0).unwrap()).is_err());
-        assert!(a.merge(&CountingBloomFilter::new(128, 3, 9).unwrap()).is_err());
+        assert!(a
+            .merge(&CountingBloomFilter::new(256, 3, 0).unwrap())
+            .is_err());
+        assert!(a
+            .merge(&CountingBloomFilter::new(128, 2, 0).unwrap())
+            .is_err());
+        assert!(a
+            .merge(&CountingBloomFilter::new(128, 3, 9).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -9,9 +9,7 @@
 
 use std::hash::Hash;
 
-use sketches_core::{
-    Clear, MembershipTester, SketchError, SketchResult, SpaceUsage, Update,
-};
+use sketches_core::{Clear, MembershipTester, SketchError, SketchResult, SpaceUsage, Update};
 use sketches_hash::hash_item;
 use sketches_hash::mix::{mix64, mix64_seeded};
 use sketches_hash::rng::{Rng64, SplitMix64};

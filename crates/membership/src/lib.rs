@@ -31,9 +31,9 @@
 
 pub mod blocked;
 pub mod bloom;
-pub(crate) mod util;
 pub mod counting;
 pub mod cuckoo;
+pub(crate) mod util;
 
 pub use blocked::BlockedBloomFilter;
 pub use bloom::{BloomFilter, PartitionedBloomFilter};

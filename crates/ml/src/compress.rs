@@ -114,8 +114,7 @@ impl GradientSketch {
         let mut ests: Vec<f64> = (0..self.rows)
             .map(|row| {
                 let b = self.bucket_hashes[row].hash_range(i as u64, self.cols as u64) as usize;
-                self.sign_hashes[row].sign(i as u64) as f64
-                    * self.counters[row * self.cols + b]
+                self.sign_hashes[row].sign(i as u64) as f64 * self.counters[row * self.cols + b]
             })
             .collect();
         sketches_core::median_f64(&mut ests)
@@ -125,9 +124,8 @@ impl GradientSketch {
     /// the largest |estimate|, all others zero.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<f64> {
-        let mut scored: Vec<(f64, usize)> = (0..self.dim)
-            .map(|i| (self.estimate(i).abs(), i))
-            .collect();
+        let mut scored: Vec<(f64, usize)> =
+            (0..self.dim).map(|i| (self.estimate(i).abs(), i)).collect();
         scored.sort_by(|a, b| f64::total_cmp(&b.0, &a.0));
         let mut out = vec![0.0; self.dim];
         for &(_, i) in scored.iter().take(k) {

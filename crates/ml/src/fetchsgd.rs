@@ -141,8 +141,7 @@ impl FetchSgdTrainer {
             let mut round_sketch = GradientSketch::new(d, c.rows, c.cols, c.seed)?;
             for shard in shards {
                 let g = model.gradient(shard)?;
-                let scaled: Vec<f64> =
-                    g.iter().map(|&x| x / shards.len() as f64).collect();
+                let scaled: Vec<f64> = g.iter().map(|&x| x / shards.len() as f64).collect();
                 let mut client = GradientSketch::new(d, c.rows, c.cols, c.seed)?;
                 client.accumulate(&scaled)?;
                 bytes += client.transmitted_bytes() as u64;
@@ -278,9 +277,7 @@ mod tests {
     #[test]
     fn empty_shards_rejected() {
         let mut model = LogisticModel::new(4);
-        assert!(FedSgdTrainer { lr: 0.1 }
-            .train(&mut model, &[], 1)
-            .is_err());
+        assert!(FedSgdTrainer { lr: 0.1 }.train(&mut model, &[], 1).is_err());
         assert!(FetchSgdTrainer {
             config: FetchSgdConfig::default()
         }
@@ -288,4 +285,3 @@ mod tests {
         .is_err());
     }
 }
-

@@ -112,7 +112,10 @@ mod tests {
             model.apply_update(&g, 1.0);
         }
         let final_loss = model.loss(&task).unwrap();
-        assert!(final_loss < initial_loss / 2.0, "{initial_loss} → {final_loss}");
+        assert!(
+            final_loss < initial_loss / 2.0,
+            "{initial_loss} → {final_loss}"
+        );
         let acc = model.accuracy(&task).unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
     }

@@ -112,7 +112,10 @@ impl DpCountMin {
 impl SpaceUsage for DpCountMin {
     fn space_bytes(&self) -> usize {
         self.sketch.space_bytes()
-            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+            + self
+                .noise
+                .as_ref()
+                .map_or(0, |n| n.len() * std::mem::size_of::<f64>())
     }
 }
 
@@ -204,7 +207,10 @@ impl DpCountSketch {
 impl SpaceUsage for DpCountSketch {
     fn space_bytes(&self) -> usize {
         self.sketch.space_bytes()
-            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+            + self
+                .noise
+                .as_ref()
+                .map_or(0, |n| n.len() * std::mem::size_of::<f64>())
     }
 }
 
@@ -283,7 +289,10 @@ impl DpHistogram {
 impl SpaceUsage for DpHistogram {
     fn space_bytes(&self) -> usize {
         self.counts.len() * std::mem::size_of::<u64>()
-            + self.noise.as_ref().map_or(0, |n| n.len() * std::mem::size_of::<f64>())
+            + self
+                .noise
+                .as_ref()
+                .map_or(0, |n| n.len() * std::mem::size_of::<f64>())
     }
 }
 

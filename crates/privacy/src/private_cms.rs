@@ -183,10 +183,7 @@ mod tests {
         for &(v, n) in &counts {
             let est = server.estimate(v);
             let tol = 0.10 * n as f64 + 600.0;
-            assert!(
-                (est - n as f64).abs() < tol,
-                "{v}: est {est:.0} vs {n}"
-            );
+            assert!((est - n as f64).abs() < tol, "{v}: est {est:.0} vs {n}");
         }
         let ghost = server.estimate("durian");
         assert!(ghost.abs() < 1_500.0, "ghost {ghost:.0}");

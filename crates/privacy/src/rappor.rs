@@ -342,8 +342,7 @@ mod longitudinal_tests {
         for &(value, n) in &counts {
             for _ in 0..n {
                 // Each simulated user reports once.
-                let reporter =
-                    LongitudinalReporter::new(&client, value, p, q, &mut rng).unwrap();
+                let reporter = LongitudinalReporter::new(&client, value, p, q, &mut rng).unwrap();
                 agg.collect(&reporter.report(&mut rng)).unwrap();
             }
         }

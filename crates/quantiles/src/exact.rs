@@ -161,6 +161,9 @@ mod tests {
         for i in [5.0, 1.0, 3.0, 2.0, 4.0] {
             e.update(&i);
         }
-        assert_eq!(e.quantile(0.5).unwrap(), e.clone().exact_quantile(0.5).unwrap());
+        assert_eq!(
+            e.quantile(0.5).unwrap(),
+            e.clone().exact_quantile(0.5).unwrap()
+        );
     }
 }

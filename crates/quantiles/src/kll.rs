@@ -86,8 +86,7 @@ impl KllSketch {
                 let mut items = std::mem::take(&mut self.compactors[level]);
                 items.sort_by(f64::total_cmp);
                 let offset = (self.rng.next_u64() & 1) as usize;
-                let promoted: Vec<f64> =
-                    items.iter().skip(offset).step_by(2).copied().collect();
+                let promoted: Vec<f64> = items.iter().skip(offset).step_by(2).copied().collect();
                 self.compactors[level + 1].extend_from_slice(&promoted);
             }
             level += 1;
@@ -204,8 +203,8 @@ impl MergeSketch for KllSketch {
         // Compact until every level is within capacity (capacities shrink
         // as new levels appear, so one pass may not be enough).
         loop {
-            let over = (0..self.compactors.len())
-                .any(|l| self.compactors[l].len() >= self.capacity(l));
+            let over =
+                (0..self.compactors.len()).any(|l| self.compactors[l].len() >= self.capacity(l));
             if !over {
                 break;
             }

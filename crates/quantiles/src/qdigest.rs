@@ -277,10 +277,7 @@ mod tests {
             let q = f64::from(qi) / 10.0;
             let est = qd.quantile(q).unwrap();
             let est_rank = values.partition_point(|&x| x <= est) as f64 / n;
-            assert!(
-                (est_rank - q).abs() < 0.08,
-                "q={q}: est rank {est_rank:.3}"
-            );
+            assert!((est_rank - q).abs() < 0.08, "q={q}: est rank {est_rank:.3}");
         }
     }
 

@@ -251,8 +251,7 @@ impl Clear for TDigest {
 
 impl SpaceUsage for TDigest {
     fn space_bytes(&self) -> usize {
-        (self.centroids.capacity() * 2 + self.buffer.capacity())
-            * std::mem::size_of::<f64>()
+        (self.centroids.capacity() * 2 + self.buffer.capacity()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -310,10 +309,7 @@ mod tests {
         for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let est = td.quantile(q).unwrap();
             let est_rank = data.partition_point(|&x| x <= est) as f64 / n;
-            assert!(
-                (est_rank - q).abs() < 0.01,
-                "q={q}: est rank {est_rank:.4}"
-            );
+            assert!((est_rank - q).abs() < 0.01, "q={q}: est rank {est_rank:.4}");
         }
     }
 
@@ -332,7 +328,10 @@ mod tests {
             let idx = ((q * data.len() as f64).ceil() as usize).min(data.len()) - 1;
             let truth = data[idx];
             let rel = (est - truth).abs() / truth;
-            assert!(rel < 0.05, "q={q}: est {est:.4} vs {truth:.4} (rel {rel:.4})");
+            assert!(
+                rel < 0.05,
+                "q={q}: est {est:.4} vs {truth:.4} (rel {rel:.4})"
+            );
         }
     }
 
@@ -428,4 +427,3 @@ mod tests {
         assert_eq!(td.count(), 0);
     }
 }
-

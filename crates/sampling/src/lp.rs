@@ -181,7 +181,10 @@ impl Clear for LpSampler {
 
 impl SpaceUsage for LpSampler {
     fn space_bytes(&self) -> usize {
-        self.sketches.iter().map(FloatCountSketch::space_bytes).sum()
+        self.sketches
+            .iter()
+            .map(FloatCountSketch::space_bytes)
+            .sum()
     }
 }
 
@@ -291,7 +294,10 @@ mod tests {
                 }
             }
         }
-        assert!(close > 70, "only {close}/100 frequency estimates were close");
+        assert!(
+            close > 70,
+            "only {close}/100 frequency estimates were close"
+        );
     }
 
     #[test]

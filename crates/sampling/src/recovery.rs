@@ -379,4 +379,3 @@ mod tests {
         assert!(sr.recover().expect("empty").is_empty());
     }
 }
-

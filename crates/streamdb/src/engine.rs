@@ -20,7 +20,10 @@ enum AggState {
     Sum(f64),
     CountDistinct(HyperLogLogPlusPlus),
     Quantiles(KllSketch),
-    TopK { sketch: SpaceSaving<Value>, k: usize },
+    TopK {
+        sketch: SpaceSaving<Value>,
+        k: usize,
+    },
 }
 
 /// Tunable sketch parameters for the engine.
@@ -57,6 +60,11 @@ pub struct SketchEngine {
     /// each new group (cheaper and simpler than re-validating per group).
     template: Vec<AggState>,
     groups: HashMap<Vec<Value>, Vec<AggState>>,
+    /// Reusable key-projection buffer so the hot path can look up the
+    /// group by slice (`Vec<Value>: Borrow<[Value]>`) without allocating a
+    /// fresh key `Vec` per row; surrendered to the map only on the first
+    /// row of each new group.
+    key_scratch: Vec<Value>,
     rows_processed: u64,
 }
 
@@ -80,6 +88,7 @@ impl SketchEngine {
             config,
             template: Vec::new(),
             groups: HashMap::new(),
+            key_scratch: Vec::new(),
             rows_processed: 0,
         };
         engine.template = engine.fresh_state()?;
@@ -126,13 +135,41 @@ impl SketchEngine {
         if row.len() <= self.spec.max_field() {
             return Err(SketchError::invalid("row", "row shorter than query fields"));
         }
-        let key: Vec<Value> = self.spec.group_by.iter().map(|&i| row[i].clone()).collect();
-        let template = &self.template;
-        let state = self
-            .groups
-            .entry(key)
-            .or_insert_with(|| template.clone());
-        for (agg, st) in self.spec.aggregates.iter().zip(state.iter_mut()) {
+        // Project the key into the reusable scratch buffer and look the
+        // group up by slice: the steady state (group already known) does
+        // one hash lookup and zero allocations. Only the first row of a
+        // new group surrenders the scratch `Vec` to the map.
+        self.key_scratch.clear();
+        self.key_scratch
+            .extend(self.spec.group_by.iter().map(|&i| row[i].clone()));
+        if let Some(state) = self.groups.get_mut(self.key_scratch.as_slice()) {
+            Self::apply(&self.spec, state, row)?;
+        } else {
+            let key = std::mem::take(&mut self.key_scratch);
+            let template = &self.template;
+            let state = self.groups.entry(key).or_insert_with(|| template.clone());
+            Self::apply(&self.spec, state, row)?;
+        }
+        self.rows_processed += 1;
+        Ok(())
+    }
+
+    /// Processes a batch of rows in order — the unit of work the sharded
+    /// ingest layer ships to shard workers.
+    ///
+    /// # Errors
+    /// Stops at the first failing row (earlier rows of the batch remain
+    /// absorbed, exactly as with repeated [`process`](Self::process)).
+    pub fn process_batch(&mut self, rows: &[Row]) -> SketchResult<()> {
+        for row in rows {
+            self.process(row)?;
+        }
+        Ok(())
+    }
+
+    /// Folds one row into a group's aggregate states.
+    fn apply(spec: &QuerySpec, state: &mut [AggState], row: &Row) -> SketchResult<()> {
+        for (agg, st) in spec.aggregates.iter().zip(state.iter_mut()) {
             match (agg, st) {
                 (Aggregate::Count, AggState::Count(c)) => *c += 1,
                 (Aggregate::Sum { field }, AggState::Sum(s)) => {
@@ -156,7 +193,6 @@ impl SketchEngine {
                 _ => unreachable!("state vector built from the same spec"),
             }
         }
-        self.rows_processed += 1;
         Ok(())
     }
 
@@ -414,10 +450,8 @@ mod tests {
 
     #[test]
     fn window_flush_resets() {
-        let mut eng = SketchEngine::new(
-            QuerySpec::new(vec![0], vec![Aggregate::Count]).unwrap(),
-        )
-        .unwrap();
+        let mut eng =
+            SketchEngine::new(QuerySpec::new(vec![0], vec![Aggregate::Count]).unwrap()).unwrap();
         eng.process(&row!["x"]).unwrap();
         eng.process(&row!["y"]).unwrap();
         let window = eng.flush_window().unwrap();
@@ -437,8 +471,7 @@ mod tests {
 
     #[test]
     fn topk_k_exceeding_counters_rejected() {
-        let spec =
-            QuerySpec::new(vec![0], vec![Aggregate::TopK { field: 1, k: 1000 }]).unwrap();
+        let spec = QuerySpec::new(vec![0], vec![Aggregate::TopK { field: 1, k: 1000 }]).unwrap();
         assert!(SketchEngine::new(spec).is_err());
     }
 }

@@ -14,7 +14,10 @@ enum AggState {
     Sum(f64),
     CountDistinct(HashSet<Value>),
     Quantiles(Vec<f64>),
-    TopK { counts: HashMap<Value, u64>, k: usize },
+    TopK {
+        counts: HashMap<Value, u64>,
+        k: usize,
+    },
 }
 
 /// The exact GROUP BY engine (the "data warehouse" of experiment E16/E8).

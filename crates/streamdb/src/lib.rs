@@ -12,15 +12,20 @@
 //! * [`engine`] — [`engine::SketchEngine`]: per-group sketch state
 //!   (HLL++ / KLL / SpaceSaving), with memory accounting, tumbling
 //!   windows, and engine-level merge (distributed GROUP BY).
+//! * [`sharded`] — [`sharded::ShardedEngine`]: thread-parallel ingest over
+//!   N engine shards, routing rows by grouping-key hash; per-group results
+//!   identical to the sequential engine.
 //! * [`exact`] — [`exact::ExactEngine`]: the same query model over exact
 //!   per-group state, the baseline of experiment E16.
 
 pub mod engine;
 pub mod exact;
 pub mod query;
+pub mod sharded;
 pub mod value;
 
-pub use engine::SketchEngine;
+pub use engine::{EngineConfig, SketchEngine};
 pub use exact::ExactEngine;
 pub use query::{Aggregate, AggregateResult, QuerySpec};
+pub use sharded::ShardedEngine;
 pub use value::{Row, Value};

@@ -79,7 +79,12 @@ impl QuerySpec {
             })
             .max()
             .unwrap_or(0);
-        self.group_by.iter().copied().max().unwrap_or(0).max(agg_max)
+        self.group_by
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(agg_max)
     }
 }
 

@@ -1,0 +1,413 @@
+//! Sharded, thread-parallel GROUP BY ingest.
+//!
+//! The ISP-era systems the survey describes (§3) did not run one big
+//! aggregation loop: Gigascope pushed GROUP BY state across processors by
+//! *partitioning on the grouping key*, so every group lives in exactly one
+//! partition and partitions never contend. [`ShardedEngine`] is that
+//! design over [`SketchEngine`]:
+//!
+//! * N shards, each a complete [`SketchEngine`] with the same query spec
+//!   and [`EngineConfig`] (identical sketch seeds);
+//! * rows are routed by a deterministic hash of their grouping key, so a
+//!   group's rows always land on the same shard, in stream order;
+//! * during [`process_batch`](ShardedEngine::process_batch) each shard is
+//!   driven by its own scoped worker thread, fed row *indices* through a
+//!   bounded channel — workers borrow the caller's `&[Row]`, so nothing is
+//!   cloned on the ingest path.
+//!
+//! # Consistency model
+//!
+//! While a batch is in flight, a shard's state lags the router by at most
+//! `channel_depth` rows (the bounded-channel capacity) — but that window
+//! is internal: `process_batch` joins every worker before returning, so
+//! all public reads ([`report`](ShardedEngine::report),
+//! [`flush_window`](ShardedEngine::flush_window), …) observe a fully
+//! drained, quiescent engine.
+//!
+//! Because routing is per-group and each shard applies a group's rows in
+//! stream order with the same seeds as a sequential engine, every
+//! per-group report is **identical** (not merely statistically close) to
+//! what a single [`SketchEngine`] fed the same rows would produce.
+
+use crossbeam::channel;
+use crossbeam::thread as cb_thread;
+use sketches_core::{SketchError, SketchResult};
+use sketches_hash::{hash_item, mix64};
+
+use crate::engine::{EngineConfig, SketchEngine};
+use crate::query::{AggregateResult, QuerySpec};
+use crate::value::{Row, Value};
+
+/// Seed of the shard-routing hash. Distinct from every sketch seed so the
+/// placement of groups is independent of sketch randomness.
+const ROUTE_SEED: u64 = 0x0005_AAED_0C0D;
+
+/// Default bounded-channel capacity between the router and each shard
+/// worker (row indices, so 8 KiB per shard at the default).
+const DEFAULT_CHANNEL_DEPTH: usize = 1024;
+
+/// A sharded GROUP BY engine: N [`SketchEngine`] partitions driven in
+/// parallel, with per-group results identical to a single engine.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    shards: Vec<SketchEngine>,
+    spec: QuerySpec,
+    config: EngineConfig,
+    channel_depth: usize,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine with default sketch parameters and channel
+    /// depth.
+    ///
+    /// # Errors
+    /// Returns an error if `num_shards == 0` or the spec/config produce
+    /// invalid sketches.
+    pub fn new(spec: QuerySpec, num_shards: usize) -> SketchResult<Self> {
+        Self::with_config(
+            spec,
+            EngineConfig::default(),
+            num_shards,
+            DEFAULT_CHANNEL_DEPTH,
+        )
+    }
+
+    /// Creates a sharded engine with explicit sketch parameters and
+    /// router→worker channel capacity.
+    ///
+    /// # Errors
+    /// Returns an error if `num_shards == 0`, `channel_depth == 0`, or the
+    /// spec/config produce invalid sketches.
+    pub fn with_config(
+        spec: QuerySpec,
+        config: EngineConfig,
+        num_shards: usize,
+        channel_depth: usize,
+    ) -> SketchResult<Self> {
+        if num_shards == 0 {
+            return Err(SketchError::invalid(
+                "num_shards",
+                "need at least one shard",
+            ));
+        }
+        if channel_depth == 0 {
+            return Err(SketchError::invalid("channel_depth", "need capacity >= 1"));
+        }
+        let shards = (0..num_shards)
+            .map(|_| SketchEngine::with_config(spec.clone(), config))
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            spec,
+            config,
+            channel_depth,
+        })
+    }
+
+    /// Order-sensitive hash of a grouping-key value sequence.
+    fn key_hash<'a>(fields: impl Iterator<Item = &'a Value>) -> u64 {
+        let mut acc = ROUTE_SEED;
+        for v in fields {
+            acc = mix64(acc ^ hash_item(v, ROUTE_SEED));
+        }
+        acc
+    }
+
+    fn shard_of_key(&self, key: &[Value]) -> usize {
+        (Self::key_hash(key.iter()) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingests a batch of rows, driving every shard from its own worker
+    /// thread. Rows of the same group are applied in batch order.
+    ///
+    /// # Errors
+    /// Rows too short for the query are rejected up front, before any
+    /// shard mutates (the router must project the grouping key, so it
+    /// validates the whole batch first — stricter than the sequential
+    /// engine's row-at-a-time failure). Aggregation errors inside a shard
+    /// (e.g. SUM over a non-numeric field) stop that shard at the failing
+    /// row and are reported after all workers drain.
+    pub fn process_batch(&mut self, rows: &[Row]) -> SketchResult<()> {
+        let max_field = self.spec.max_field();
+        if rows.iter().any(|r| r.len() <= max_field) {
+            return Err(SketchError::invalid("row", "row shorter than query fields"));
+        }
+        let num = self.shards.len();
+        if num == 1 {
+            // One shard is exactly the sequential engine; skip the
+            // thread/channel machinery.
+            return self.shards[0].process_batch(rows);
+        }
+        let spec = &self.spec;
+        let depth = self.channel_depth;
+        let shards = &mut self.shards;
+        let worker_results: Vec<SketchResult<()>> = cb_thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(num);
+            let mut handles = Vec::with_capacity(num);
+            for shard in shards.iter_mut() {
+                let (tx, rx) = channel::bounded::<usize>(depth);
+                senders.push(tx);
+                handles.push(scope.spawn(move |_| -> SketchResult<()> {
+                    for idx in rx {
+                        shard.process(&rows[idx])?;
+                    }
+                    Ok(())
+                }));
+            }
+            for (idx, row) in rows.iter().enumerate() {
+                let fields = spec.group_by.iter().map(|&i| &row[i]);
+                let s = (Self::key_hash(fields) % num as u64) as usize;
+                if senders[s].send(idx).is_err() {
+                    // The worker hung up early — it hit an aggregation
+                    // error. Stop feeding; the join below reports it.
+                    break;
+                }
+            }
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope panicked");
+        for r in worker_results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Reports the aggregates of one group (`None` if never seen). The
+    /// group lives in exactly one shard, found by re-hashing the key.
+    ///
+    /// # Errors
+    /// Returns an error only for internal sketch query failures.
+    pub fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
+        self.shards[self.shard_of_key(key)].report(key)
+    }
+
+    /// Finishes a tumbling window: every group's report (shard by shard,
+    /// so ordering across groups is not meaningful) and a state reset.
+    ///
+    /// # Errors
+    /// Propagates report errors.
+    pub fn flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.flush_window()?);
+        }
+        Ok(out)
+    }
+
+    /// Merges another sharded engine's state (distributed GROUP BY over
+    /// sharded nodes). Shard counts must match: routing places each group
+    /// by `hash % num_shards`, so equal counts guarantee the two engines'
+    /// shards partition the key space identically.
+    ///
+    /// # Errors
+    /// Returns an error if shard counts, specs, or configs differ.
+    pub fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.shards.len() != other.shards.len() {
+            return Err(SketchError::incompatible("shard counts differ"));
+        }
+        for (a, b) in self.shards.iter_mut().zip(&other.shards) {
+            a.merge(b)?;
+        }
+        Ok(())
+    }
+
+    /// Collapses all shards into one sequential [`SketchEngine`] (for
+    /// global reporting, checkpointing, or re-sharding).
+    ///
+    /// # Errors
+    /// Propagates merge errors (impossible for shards minted by this
+    /// engine, which share spec and config).
+    pub fn collapse(&self) -> SketchResult<SketchEngine> {
+        let mut out = SketchEngine::with_config(self.spec.clone(), self.config)?;
+        for shard in &self.shards {
+            out.merge(shard)?;
+        }
+        Ok(out)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total groups tracked across shards (groups never straddle shards).
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.shards.iter().map(SketchEngine::num_groups).sum()
+    }
+
+    /// Total rows processed across shards.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        self.shards.iter().map(SketchEngine::rows_processed).sum()
+    }
+
+    /// All group keys currently tracked, shard by shard.
+    pub fn groups(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.shards.iter().flat_map(SketchEngine::groups)
+    }
+
+    /// Total sketch memory across shards.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        self.shards.iter().map(SketchEngine::state_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+// `row!` expands to `vec![...]`, which tests also pass to slice-taking
+// query methods — fine here.
+#[allow(clippy::useless_vec)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregate;
+    use crate::row;
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new(
+            vec![0],
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum { field: 2 },
+                Aggregate::CountDistinct { field: 1 },
+                Aggregate::Quantiles { field: 2 },
+                Aggregate::TopK { field: 1, k: 3 },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rows(n: u64, num_groups: u64) -> Vec<Row> {
+        (0..n)
+            .map(|i| row![i % num_groups, i % 97, (i % 1_000) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_at_every_shard_count() {
+        let data = rows(20_000, 23);
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&data).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let mut sharded = ShardedEngine::new(spec(), shards).unwrap();
+            sharded.process_batch(&data).unwrap();
+            assert_eq!(sharded.rows_processed(), seq.rows_processed());
+            assert_eq!(sharded.num_groups(), seq.num_groups());
+            for g in 0..23u64 {
+                assert_eq!(
+                    sharded.report(&row![g]).unwrap(),
+                    seq.report(&row![g]).unwrap(),
+                    "group {g} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_batches_keep_group_order() {
+        // Splitting the stream into many small batches must not change
+        // per-group results: routing is deterministic, so a group's rows
+        // stay on one shard in stream order.
+        let data = rows(9_000, 11);
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&data).unwrap();
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        for chunk in data.chunks(257) {
+            sharded.process_batch(chunk).unwrap();
+        }
+        for g in 0..11u64 {
+            assert_eq!(
+                sharded.report(&row![g]).unwrap(),
+                seq.report(&row![g]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn short_rows_rejected_before_ingest() {
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        let mut data = rows(100, 5);
+        data.push(row!["short"]);
+        assert!(sharded.process_batch(&data).is_err());
+        // Atomic at the batch level: nothing was ingested.
+        assert_eq!(sharded.rows_processed(), 0);
+    }
+
+    #[test]
+    fn aggregation_error_surfaces_from_workers() {
+        let mut sharded = ShardedEngine::new(spec(), 2).unwrap();
+        let mut data = rows(50, 3);
+        data.push(row![0u64, 1u64, "not-a-number"]);
+        assert!(sharded.process_batch(&data).is_err());
+    }
+
+    #[test]
+    fn flush_window_resets_all_shards() {
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        sharded.process_batch(&rows(1_000, 7)).unwrap();
+        let window = sharded.flush_window().unwrap();
+        assert_eq!(window.len(), 7);
+        assert_eq!(sharded.num_groups(), 0);
+        assert_eq!(sharded.rows_processed(), 0);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_streams() {
+        // Reference: the same split merged sequentially. (Merging is not
+        // identical to one engine over the concatenated stream for KLL /
+        // SpaceSaving, so the fair comparison is merge-vs-merge.)
+        let data = rows(12_000, 13);
+        let (left, right) = data.split_at(7_000);
+        let mut a = ShardedEngine::new(spec(), 4).unwrap();
+        let mut b = ShardedEngine::new(spec(), 4).unwrap();
+        a.process_batch(left).unwrap();
+        b.process_batch(right).unwrap();
+        a.merge(&b).unwrap();
+
+        let mut seq_a = SketchEngine::new(spec()).unwrap();
+        let mut seq_b = SketchEngine::new(spec()).unwrap();
+        seq_a.process_batch(left).unwrap();
+        seq_b.process_batch(right).unwrap();
+        seq_a.merge(&seq_b).unwrap();
+        assert_eq!(a.rows_processed(), seq_a.rows_processed());
+        for g in 0..13u64 {
+            assert_eq!(a.report(&row![g]).unwrap(), seq_a.report(&row![g]).unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_shard_count_mismatch() {
+        let mut a = ShardedEngine::new(spec(), 2).unwrap();
+        let b = ShardedEngine::new(spec(), 4).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn collapse_equals_sequential() {
+        let data = rows(8_000, 17);
+        let mut sharded = ShardedEngine::new(spec(), 8).unwrap();
+        sharded.process_batch(&data).unwrap();
+        let collapsed = sharded.collapse().unwrap();
+
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&data).unwrap();
+        assert_eq!(collapsed.num_groups(), seq.num_groups());
+        for g in 0..17u64 {
+            assert_eq!(
+                collapsed.report(&row![g]).unwrap(),
+                seq.report(&row![g]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_zero_depth() {
+        assert!(ShardedEngine::new(spec(), 0).is_err());
+        assert!(ShardedEngine::with_config(spec(), EngineConfig::default(), 2, 0).is_err());
+    }
+}

@@ -62,10 +62,7 @@ impl AdWorkload {
     #[must_use]
     pub fn demographics_of(&self, user_id: u64) -> (u8, u8) {
         let h = mix64_seeded(user_id, self.seed ^ 0xDE30);
-        (
-            (h & 3) as u8,
-            ((h >> 2) & 3) as u8,
-        )
+        ((h & 3) as u8, ((h >> 2) & 3) as u8)
     }
 
     /// Whether `user_id` is in `campaign`'s target segment (campaigns

@@ -57,8 +57,7 @@ impl<T> Clear for ExactDistinct<T> {
 impl<T> SpaceUsage for ExactDistinct<T> {
     fn space_bytes(&self) -> usize {
         // Hash-set buckets: key + ~1.75 load-factor overhead + control byte.
-        (self.set.capacity().max(self.set.len()))
-            * (std::mem::size_of::<T>() + 2)
+        (self.set.capacity().max(self.set.len())) * (std::mem::size_of::<T>() + 2)
     }
 }
 

@@ -58,7 +58,7 @@ impl FlowWorkload {
         // Pareto-ish byte counts: 64 · e^{3·Exp(1)} capped.
         let bytes = (64.0 * (3.0 * self.rng.exp()).exp()).min(1e9) as u64;
         FlowRecord {
-            src_ip: 0x0A00_0000 | src,          // 10.x.x.x
+            src_ip: 0x0A00_0000 | src,            // 10.x.x.x
             dst_ip: 0xC0A8_0000 | (dst & 0xFFFF), // 192.168.x.x
             src_port: 1024 + (self.rng.gen_range(60_000) as u16),
             dst_port: self.port_gen.sample() as u16,
@@ -110,8 +110,7 @@ mod tests {
     fn byte_counts_heavy_tailed() {
         let mut w = FlowWorkload::new(100, 3);
         let flows = w.stream(20_000);
-        let mean =
-            flows.iter().map(|f| f.bytes as f64).sum::<f64>() / flows.len() as f64;
+        let mean = flows.iter().map(|f| f.bytes as f64).sum::<f64>() / flows.len() as f64;
         let mut bytes: Vec<u64> = flows.iter().map(|f| f.bytes).collect();
         bytes.sort_unstable();
         let median = bytes[bytes.len() / 2] as f64;

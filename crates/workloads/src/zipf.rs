@@ -30,7 +30,10 @@ impl ZipfGenerator {
             return Err(SketchError::invalid("n", "universe must be non-empty"));
         }
         if s.is_nan() || s < 0.0 || !s.is_finite() {
-            return Err(SketchError::invalid("s", "exponent must be finite and >= 0"));
+            return Err(SketchError::invalid(
+                "s",
+                "exponent must be finite and >= 0",
+            ));
         }
         let mut g = Self {
             n,
@@ -70,14 +73,12 @@ impl ZipfGenerator {
     /// Draws one sample in `{1, …, n}`.
     pub fn sample(&mut self) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + self.rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u =
+                self.h_integral_n + self.rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = self.h_integral_inverse(u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
             // Acceptance test (Hörmann–Derflinger shortcut then exact).
-            if k - x <= self.s_const
-                || u >= self.h_integral(k + 0.5) - self.h(k)
-            {
+            if k - x <= self.s_const || u >= self.h_integral(k + 0.5) - self.h(k) {
                 return k as u64;
             }
         }
@@ -180,10 +181,7 @@ mod tests {
         let expected = samples as f64 / 50.0;
         for (k, &count) in counts.iter().enumerate().skip(1) {
             let got = count as f64;
-            assert!(
-                (got - expected).abs() / expected < 0.05,
-                "rank {k}: {got}"
-            );
+            assert!((got - expected).abs() / expected < 0.05, "rank {k}: {got}");
         }
     }
 

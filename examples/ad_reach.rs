@@ -40,7 +40,10 @@ fn main() -> SketchResult<()> {
     }
 
     println!("== Campaign reach by age group (estimate vs exact) ==");
-    println!("{:>10} {:>8} {:>10} {:>10} {:>7}", "campaign", "age", "estimate", "exact", "err%");
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>7}",
+        "campaign", "age", "estimate", "exact", "err%"
+    );
     for c in 0..campaigns {
         for (a, age) in AGE_GROUPS.iter().enumerate() {
             let key = (c, a as u8);
@@ -95,7 +98,10 @@ fn main() -> SketchResult<()> {
     println!("  estimate {overlap:.0}   exact {exact_overlap}");
 
     // Regions work the same way — show one merged slice for flavour.
-    println!("\n== Reach of campaign 0 in {} (recomputed from the raw log) ==", REGIONS[0]);
+    println!(
+        "\n== Reach of campaign 0 in {} (recomputed from the raw log) ==",
+        REGIONS[0]
+    );
     let mut na = HyperLogLog::new(13, 7)?;
     let mut na_exact = HashSet::new();
     for imp in &impressions {

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example federated_training`
 
-use sketches::ml::{
-    FedSgdTrainer, FetchSgdConfig, FetchSgdTrainer, LogisticModel, SyntheticTask,
-};
+use sketches::ml::{FedSgdTrainer, FetchSgdConfig, FetchSgdTrainer, LogisticModel, SyntheticTask};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = 16_384;
@@ -35,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let sketched = FetchSgdTrainer { config: cfg }.train(&mut sketch_model, &shards, rounds)?;
 
-    println!("{:>12} {:>10} {:>10} {:>16} {:>14}", "method", "accuracy", "log-loss", "uplink bytes", "bytes/round");
+    println!(
+        "{:>12} {:>10} {:>10} {:>16} {:>14}",
+        "method", "accuracy", "log-loss", "uplink bytes", "bytes/round"
+    );
     for (name, r) in [("FedSGD", dense), ("FetchSGD", sketched)] {
         println!(
             "{name:>12} {:>9.1}% {:>10.4} {:>16} {:>14}",

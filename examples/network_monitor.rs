@@ -81,8 +81,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  bytes p99              sketch {p99:>9.0}   exact {ep99:>9.0}");
     }
     if let (AggregateResult::TopK(a), AggregateResult::TopK(e)) = (&approx[3], &exact[3]) {
-        println!("  top destination ports  sketch {:?}", a.iter().map(|(v, c)| (format!("{v:?}"), *c)).collect::<Vec<_>>());
-        println!("                         exact  {:?}", e.iter().map(|(v, c)| (format!("{v:?}"), *c)).collect::<Vec<_>>());
+        println!(
+            "  top destination ports  sketch {:?}",
+            a.iter()
+                .map(|(v, c)| (format!("{v:?}"), *c))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "                         exact  {:?}",
+            e.iter()
+                .map(|(v, c)| (format!("{v:?}"), *c))
+                .collect::<Vec<_>>()
+        );
     }
 
     // The survey's point: the same engine state can also be merged from

@@ -6,11 +6,9 @@
 //!
 //! Run with: `cargo run --release --example private_telemetry`
 
-use sketches::privacy::{
-    PrivateCmsClient, PrivateCmsServer, RapporAggregator, RapporClient,
-};
-use sketches_workloads::zipf::ZipfGenerator;
 use sketches::hash::rng::Xoshiro256PlusPlus;
+use sketches::privacy::{PrivateCmsClient, PrivateCmsServer, RapporAggregator, RapporClient};
+use sketches_workloads::zipf::ZipfGenerator;
 
 const BROWSERS: [&str; 8] = [
     "chrome", "safari", "edge", "firefox", "opera", "brave", "vivaldi", "lynx",
@@ -41,13 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "== RAPPOR (ε ≈ {:.1} per one-time report) ==",
         rappor_client.epsilon()
     );
-    println!("{:>10} {:>10} {:>10} {:>7}", "browser", "estimate", "truth", "err%");
+    println!(
+        "{:>10} {:>10} {:>10} {:>7}",
+        "browser", "estimate", "truth", "err%"
+    );
     for (i, &b) in BROWSERS.iter().enumerate() {
         let est = rappor_server.estimate(b);
         let t = truth[i] as f64;
         println!(
             "{b:>10} {est:>10.0} {t:>10.0} {:>6.1}%",
-            if t > 0.0 { (est - t).abs() / t * 100.0 } else { 0.0 }
+            if t > 0.0 {
+                (est - t).abs() / t * 100.0
+            } else {
+                0.0
+            }
         );
     }
 
@@ -59,13 +64,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cms_server.collect(&cms_client.report(u, &mut rng))?;
     }
     println!("\n== Private Count-Mean-Sketch (ε = {epsilon}) ==");
-    println!("{:>10} {:>10} {:>10} {:>7}", "browser", "estimate", "truth", "err%");
+    println!(
+        "{:>10} {:>10} {:>10} {:>7}",
+        "browser", "estimate", "truth", "err%"
+    );
     for (i, &b) in BROWSERS.iter().enumerate() {
         let est = cms_server.estimate(b);
         let t = truth[i] as f64;
         println!(
             "{b:>10} {est:>10.0} {t:>10.0} {:>6.1}%",
-            if t > 0.0 { (est - t).abs() / t * 100.0 } else { 0.0 }
+            if t > 0.0 {
+                (est - t).abs() / t * 100.0
+            } else {
+                0.0
+            }
         );
     }
 

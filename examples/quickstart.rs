@@ -36,8 +36,8 @@ fn main() -> SketchResult<()> {
             let u = (next() % 1_000) as f64 / 1_000.0;
             (u * u * u * 99.0) as u64
         };
-        let latency_ms = 5.0 + (next() % 1000) as f64 / 10.0
-            + if next() % 100 == 0 { 500.0 } else { 0.0 }; // rare slow tail
+        let latency_ms =
+            5.0 + (next() % 1000) as f64 / 10.0 + if next() % 100 == 0 { 500.0 } else { 0.0 }; // rare slow tail
 
         hll.update(&user);
         topk.update(&page);
@@ -51,7 +51,10 @@ fn main() -> SketchResult<()> {
     exact_latencies.sort_by(f64::total_cmp);
     let exact_p99 = exact_latencies[(exact_latencies.len() * 99) / 100];
 
-    println!("== Distinct users (HyperLogLog, {} bytes) ==", hll.space_bytes());
+    println!(
+        "== Distinct users (HyperLogLog, {} bytes) ==",
+        hll.space_bytes()
+    );
     println!("  exact   : {}", exact_users.len());
     println!("  estimate: {:.0}", hll.estimate());
 
@@ -70,7 +73,10 @@ fn main() -> SketchResult<()> {
         );
     }
 
-    println!("\n== Latency quantiles (KLL, {} values retained) ==", latency.retained());
+    println!(
+        "\n== Latency quantiles (KLL, {} values retained) ==",
+        latency.retained()
+    );
     for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
         let idx = ((q * exact_latencies.len() as f64) as usize).min(exact_latencies.len() - 1);
         println!(

@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`: a small functional benchmark harness
+//! with the criterion 0.8 API surface this workspace's benches use
+//! (`benchmark_group`, `Throughput`, `BenchmarkId`, `b.iter`,
+//! `criterion_group!` / `criterion_main!`).
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations
+//! to cover a short measurement window; the mean per-iteration time (and
+//! element throughput, when declared) is printed to stdout. No statistics,
+//! plots, or baselines — this exists so `cargo bench` runs offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Duration,
+    iterations: u64,
+    warm_target: Duration,
+    measure_target: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`, keeping its output alive via
+    /// `black_box` so the optimizer cannot elide the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm target elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_target {
+                break;
+            }
+        }
+        // Measurement: batches of doubling size until the window is filled.
+        let mut iterations = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1u64;
+        while elapsed < self.measure_target {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iterations += batch;
+            batch = batch.saturating_mul(2);
+        }
+        self.measured = elapsed;
+        self.iterations = iterations;
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            measured: Duration::ZERO,
+            iterations: 0,
+            warm_target: self.criterion.warm_target,
+            measure_target: self.criterion.measure_target,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.measured
+                / u32::try_from(bencher.iterations.min(u64::from(u32::MAX))).unwrap_or(1)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:>10.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.3?} /iter ({} iters){rate}",
+            self.name, id.id, mean, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (printing nothing extra; present for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_target: Duration,
+    measure_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_target: Duration::from_millis(80),
+            measure_target: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_string(),
+            throughput: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion {
+            warm_target: Duration::from_millis(1),
+            measure_target: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

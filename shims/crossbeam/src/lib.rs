@@ -1,0 +1,15 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope` and MPSC channels over `std::sync::mpsc`.
+//!
+//! The API mirrors the crossbeam 0.8 call sites used in this workspace:
+//!
+//! * `crossbeam::scope(|scope| { scope.spawn(|_| ...); })` returning
+//!   `Result<R, Box<dyn Any + Send>>` (Err when any spawned thread
+//!   panicked).
+//! * `crossbeam::channel::{bounded, unbounded}` with cloneable senders and
+//!   iterable receivers.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,112 @@
+//! Scoped threads: the `crossbeam::scope` / `Scope::spawn` surface,
+//! implemented on `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of a scope run: `Err` carries the payload of the first panicking
+/// spawned thread (or of the scope closure itself).
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle for spawning scoped threads; passed to the scope closure and to
+/// every spawned thread (so children can spawn siblings, as in crossbeam).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (`Err` on
+    /// panic).
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives a `&Scope` so
+    /// it can spawn further threads; handles may be ignored — the scope
+    /// joins everything on exit.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let child = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&child)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing from the enclosing stack
+/// frame can be spawned; joins them all before returning. Returns `Err`
+/// with the panic payload if any spawned thread (or the closure) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..1000 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicU64::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("join");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let out = super::scope(|scope| {
+            let h = scope.spawn(|_| 41 + 1);
+            h.join().expect("child ok")
+        })
+        .expect("join");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,140 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for collection strategies: either exact or a
+/// half-open range (mirrors proptest's `SizeRange` conversions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a size spec.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing vectors of values from `element`, with length drawn
+/// from `size` (a `usize` for exact length, or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `HashSet<T>`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Bounded retries: small element domains may not be able to fill
+        // the target size; give up gracefully like proptest's rejection cap.
+        let mut attempts = 0usize;
+        let max_attempts = 20 * (target + 1);
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A strategy producing hash sets of values from `element`, with size drawn
+/// from `size` (collisions permitting).
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_len_in_range() {
+        let strat = vec(any::<u64>(), 3..7);
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_len() {
+        let strat = vec(0u32..5, 24);
+        let mut rng = TestRng::for_case(2, 0);
+        assert_eq!(strat.generate(&mut rng).len(), 24);
+    }
+
+    #[test]
+    fn hash_set_sized_when_domain_allows() {
+        let strat = hash_set(any::<u64>(), 10..11);
+        let mut rng = TestRng::for_case(3, 0);
+        assert_eq!(strat.generate(&mut rng).len(), 10);
+    }
+
+    #[test]
+    fn hash_set_saturates_small_domains() {
+        // Domain of 3 values but target of 50: must terminate.
+        let strat = hash_set(0u32..3, 50..51);
+        let mut rng = TestRng::for_case(4, 0);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 3);
+    }
+}

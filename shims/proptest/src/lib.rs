@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest`: deterministic randomized property
+//! testing implementing the subset of the proptest 1.x API this workspace
+//! uses.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `fn name(arg in strategy, ...) { body }` items;
+//! * strategies: primitive ranges (`0u16..256`, `-1e6f64..1e6`, …),
+//!   [`any`], tuples of strategies, [`collection::vec`],
+//!   [`collection::hash_set`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from real proptest: inputs are generated from a fixed seed
+//! derived from the test name (fully reproducible across runs and
+//! machines), and failing cases are reported but **not shrunk**.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// The prelude: everything a `proptest!`-based test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::seed_from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(base, u64::from(case));
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let run = || {
+                        $(let $arg = $arg;)+
+                        $body
+                    };
+                    run();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test (panics with the case
+/// context on failure, like real proptest after shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..100, y in -3i64..7, z in -1.5f64..2.5) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((-3..7).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&z));
+        }
+
+        #[test]
+        fn vecs_respect_size(v in prop::collection::vec(any::<u64>(), 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10, "len {}", v.len());
+        }
+
+        #[test]
+        fn fixed_len_vec(v in prop::collection::vec(0u32..9, 16)) {
+            prop_assert_eq!(v.len(), 16);
+        }
+
+        #[test]
+        fn hash_sets_respect_size(s in prop::collection::hash_set(0u32..500, 1..100)) {
+            prop_assert!(!s.is_empty() && s.len() < 100);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0usize..12, 0usize..12), trip in (0u64..5, 0u64..50, -100i64..100)) {
+            prop_assert!(pair.0 < 12 && pair.1 < 12);
+            prop_assert!(trip.2 >= -100 && trip.2 < 100);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(crate::any::<u64>(), 0..50);
+        let base = crate::test_runner::seed_from_name("determinism");
+        let mut r1 = crate::test_runner::TestRng::for_case(base, 3);
+        let mut r2 = crate::test_runner::TestRng::for_case(base, 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn values_vary_across_cases() {
+        use crate::strategy::Strategy;
+        let strat = crate::any::<u64>();
+        let base = crate::test_runner::seed_from_name("variation");
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_case(base, 0));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_case(base, 1));
+        assert_ne!(a, b);
+    }
+}

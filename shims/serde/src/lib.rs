@@ -1,0 +1,7 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` cargo features are **off by default** and cannot
+//! be enabled against this shim (it provides no derive macros). It exists
+//! only so the optional `serde = { workspace = true, optional = true }`
+//! dependency entries resolve without network access. Enable the real
+//! serde in `[workspace.dependencies]` to use the `serde` features.

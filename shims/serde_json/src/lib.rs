@@ -1,0 +1,5 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Only referenced by serde round-trip test files that are entirely
+//! `#![cfg(feature = "serde")]`-gated; with the feature off (the default,
+//! and the only mode supported offline) nothing in this crate is used.

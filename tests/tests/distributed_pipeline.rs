@@ -119,3 +119,54 @@ fn merge_order_does_not_matter() {
     assert_eq!(forward, backward);
     assert_eq!(forward, shuffled);
 }
+
+#[test]
+fn sharded_engine_matches_sequential_at_every_shard_count() {
+    use sketches::streamdb::{Aggregate, QuerySpec, Row, ShardedEngine, SketchEngine, Value};
+
+    // A Zipf-keyed GROUP BY stream: a few giant groups plus a long tail.
+    let spec = QuerySpec::new(
+        vec![0],
+        vec![
+            Aggregate::Count,
+            Aggregate::Sum { field: 2 },
+            Aggregate::CountDistinct { field: 1 },
+            Aggregate::Quantiles { field: 2 },
+            Aggregate::TopK { field: 1, k: 5 },
+        ],
+    )
+    .unwrap();
+    let mut zipf = ZipfGenerator::new(500, 1.2, 11).unwrap();
+    let rows: Vec<Row> = (0..60_000u64)
+        .map(|i| {
+            vec![
+                Value::U64(zipf.sample()),
+                Value::U64(i % 101),
+                Value::F64((i % 1_000) as f64),
+            ]
+        })
+        .collect();
+
+    let mut seq = SketchEngine::new(spec.clone()).unwrap();
+    seq.process_batch(&rows).unwrap();
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut sharded = ShardedEngine::new(spec.clone(), shards).unwrap();
+        // Feed in uneven batches to exercise the routing across calls.
+        for chunk in rows.chunks(1_777) {
+            sharded.process_batch(chunk).unwrap();
+        }
+        assert_eq!(sharded.rows_processed(), seq.rows_processed());
+        assert_eq!(sharded.num_groups(), seq.num_groups());
+        // Every group's report must be identical — not statistically
+        // close: routing is per-group, so each group's sketches see the
+        // same updates in the same order as the sequential engine.
+        for key in seq.groups() {
+            assert_eq!(
+                sharded.report(key).unwrap(),
+                seq.report(key).unwrap(),
+                "group {key:?} diverged at {shards} shards"
+            );
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! parameters, and answer empty-state queries sanely. One consolidated
 //! sweep so a regression in any crate's error discipline fails loudly.
 
-use sketches::core::{
-    CardinalityEstimator, MergeSketch, QuantileSketch, SketchError, Update,
-};
+use sketches::core::{CardinalityEstimator, MergeSketch, QuantileSketch, SketchError, Update};
 use sketches::prelude::*;
 
 /// Asserts the result is an `Incompatible` error (not Ok, not a panic).
@@ -21,19 +19,28 @@ fn expect_incompatible<T>(r: Result<T, SketchError>, what: &str) {
 fn incompatible_merges_are_typed_errors_everywhere() {
     // Different shapes.
     let mut hll = HyperLogLog::new(10, 0).unwrap();
-    expect_incompatible(hll.merge(&HyperLogLog::new(11, 0).unwrap()), "hll precision");
+    expect_incompatible(
+        hll.merge(&HyperLogLog::new(11, 0).unwrap()),
+        "hll precision",
+    );
     // Different seeds (same shape).
     expect_incompatible(hll.merge(&HyperLogLog::new(10, 1).unwrap()), "hll seed");
 
     let mut cm = CountMinSketch::new(64, 4, 0).unwrap();
-    expect_incompatible(cm.merge(&CountMinSketch::new(64, 5, 0).unwrap()), "cm depth");
+    expect_incompatible(
+        cm.merge(&CountMinSketch::new(64, 5, 0).unwrap()),
+        "cm depth",
+    );
     expect_incompatible(cm.merge(&CountMinSketch::new(64, 4, 9).unwrap()), "cm seed");
 
     let mut kll = KllSketch::new(100, 0).unwrap();
     expect_incompatible(kll.merge(&KllSketch::new(200, 0).unwrap()), "kll k");
 
     let mut bloom = BloomFilter::new(128, 3, 0).unwrap();
-    expect_incompatible(bloom.merge(&BloomFilter::new(128, 4, 0).unwrap()), "bloom k");
+    expect_incompatible(
+        bloom.merge(&BloomFilter::new(128, 4, 0).unwrap()),
+        "bloom k",
+    );
 
     let mut td = TDigest::new(100.0).unwrap();
     expect_incompatible(td.merge(&TDigest::new(200.0).unwrap()), "tdigest delta");
@@ -110,10 +117,7 @@ fn quantile_queries_validate_q() {
     let mut kll = KllSketch::new(64, 0).unwrap();
     kll.update(&1.0);
     for bad in [-0.1, 1.1, f64::NAN] {
-        assert!(
-            kll.quantile(bad).is_err(),
-            "q = {bad} should be rejected"
-        );
+        assert!(kll.quantile(bad).is_err(), "q = {bad} should be rejected");
     }
     let mut td = TDigest::new(100.0).unwrap();
     td.update(&1.0);

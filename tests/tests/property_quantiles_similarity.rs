@@ -4,10 +4,10 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use sketches::core::CardinalityEstimator;
 use sketches::core::{MergeSketch, QuantileSketch, Update};
 use sketches::lsh::MinHasher;
 use sketches::prelude::{GreenwaldKhanna, KmvSketch, QDigest, TDigest};
-use sketches::core::CardinalityEstimator;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]

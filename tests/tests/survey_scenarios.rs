@@ -5,10 +5,10 @@
 
 use std::collections::HashSet;
 
+use sketches::hash::rng::Xoshiro256PlusPlus;
 use sketches::prelude::*;
 use sketches::privacy::{PrivateCmsClient, PrivateCmsServer};
 use sketches::streamdb::{Aggregate, AggregateResult, QuerySpec, SketchEngine, Value};
-use sketches::hash::rng::Xoshiro256PlusPlus;
 use sketches_integration_tests::assert_rel_err;
 use sketches_workloads::ads::AdWorkload;
 use sketches_workloads::flows::FlowWorkload;
@@ -19,8 +19,7 @@ fn ad_reach_slice_and_dice() {
     let imps = w.stream(400_000);
 
     // Per-campaign sketches + exact sets.
-    let mut sketches: Vec<HyperLogLog> =
-        (0..3).map(|_| HyperLogLog::new(12, 9).unwrap()).collect();
+    let mut sketches: Vec<HyperLogLog> = (0..3).map(|_| HyperLogLog::new(12, 9).unwrap()).collect();
     let mut exact: Vec<HashSet<u64>> = vec![HashSet::new(); 3];
     for imp in &imps {
         sketches[imp.campaign_id as usize].update(&imp.user_id);
