@@ -1,5 +1,8 @@
 //! Update and estimate throughput for the cardinality sketches.
 
+// Fail-fast harness: setup errors are bugs in the benchmark itself.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sketches::cardinality::{HyperLogLog, HyperLogLogPlusPlus, KmvSketch, LogLog};
 use sketches::core::{CardinalityEstimator, Update};

@@ -1,5 +1,8 @@
 //! Update and point-query throughput for the frequency sketches.
 
+// Fail-fast harness: setup errors are bugs in the benchmark itself.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sketches::core::{FrequencyEstimator, Update};
 use sketches::frequency::{CountMinSketch, CountSketch, MisraGries, SpaceSaving};

@@ -1,5 +1,8 @@
 //! Insert and lookup throughput for the membership filters.
 
+// Fail-fast harness: setup errors are bugs in the benchmark itself.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sketches::core::{MembershipTester, Update};
 use sketches::membership::{BlockedBloomFilter, BloomFilter, CuckooFilter};

@@ -1,6 +1,9 @@
 //! Merge throughput — the operation the distributed ("mergeable
 //! summaries") deployments live on.
 
+// Fail-fast harness: setup errors are bugs in the benchmark itself.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sketches::core::{MergeSketch, Update};
 use sketches::frequency::CountMinSketch;

@@ -1,5 +1,8 @@
 //! Update and query throughput for the quantile summaries.
 
+// Fail-fast harness: setup errors are bugs in the benchmark itself.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sketches::core::{QuantileSketch, Update};
 use sketches::quantiles::{GreenwaldKhanna, KllSketch, MrlSketch, TDigest};

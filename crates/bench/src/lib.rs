@@ -1,5 +1,12 @@
 //! Support library for the experiments binary: table printing and timing.
 
+#![forbid(unsafe_code)]
+// The experiment harness is a fail-fast binary: a sketch-construction error
+// here is a bug in the experiment itself, and crashing with the site is the
+// desired behavior (the library crates, by contrast, must stay panic-free —
+// see sketches-lint L2).
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 pub mod experiments;

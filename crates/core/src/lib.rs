@@ -24,6 +24,8 @@
 //! stream-processing systems both conditions arrive from configuration and
 //! remote data, not from programmer error.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod traits;
 

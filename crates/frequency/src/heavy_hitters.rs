@@ -26,7 +26,7 @@ pub struct HeavyHittersTracker<T> {
     phi: f64,
 }
 
-impl<T: Hash + Eq + Clone> HeavyHittersTracker<T> {
+impl<T: Hash + Eq + Ord + Clone> HeavyHittersTracker<T> {
     /// Creates a tracker reporting items above `phi · n`, keeping at most
     /// `capacity` candidates, over a `(width, depth)` Count-Min sketch.
     ///
@@ -66,22 +66,30 @@ impl<T: Hash + Eq + Clone> HeavyHittersTracker<T> {
     }
 
     /// Drops candidates that have fallen below the (growing) threshold; if
-    /// still over capacity, drops the smallest.
+    /// still over capacity, drops the smallest — ties broken by item order,
+    /// so the surviving set never depends on hash order.
     fn evict_below_threshold(&mut self) {
         let threshold = (self.phi * self.sketch.total() as f64).floor().max(1.0) as u64;
         self.candidates.retain(|_, &mut est| est >= threshold);
         while self.candidates.len() > self.capacity {
             let weakest = self
                 .candidates
+                // lint: sorted-iteration-ok(min over the total order (estimate, item) is independent of iteration order)
                 .iter()
-                .min_by_key(|(_, &est)| est)
-                .map(|(t, _)| t.clone())
-                .expect("non-empty over capacity");
-            self.candidates.remove(&weakest);
+                .min_by(|a, b| a.1.cmp(b.1).then_with(|| a.0.cmp(b.0)))
+                .map(|(t, _)| t.clone());
+            match weakest {
+                Some(w) => self.candidates.remove(&w),
+                // Unreachable (len > capacity >= 1), but a clean exit beats
+                // a panic on an impossible state.
+                None => break,
+            };
         }
     }
 
-    /// All current heavy hitters `(item, estimate)`, sorted descending.
+    /// All current heavy hitters `(item, estimate)`, sorted by descending
+    /// estimate with ties broken by ascending item — a total order, so the
+    /// report is identical across runs regardless of hash-map state.
     ///
     /// Estimates are re-read from the sketch (they may have grown since the
     /// candidate was recorded) and items below `φ·n` are filtered out.
@@ -90,11 +98,12 @@ impl<T: Hash + Eq + Clone> HeavyHittersTracker<T> {
         let threshold = ((self.phi * self.sketch.total() as f64).floor() as u64).max(1);
         let mut out: Vec<(T, u64)> = self
             .candidates
+            // lint: sorted-iteration-ok(collected then fully sorted by the (count, item) total order below)
             .keys()
             .map(|t| (t.clone(), FrequencyEstimator::estimate(&self.sketch, t)))
             .filter(|(_, est)| *est >= threshold)
             .collect();
-        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 
@@ -117,7 +126,7 @@ impl<T: Hash + Eq + Clone> HeavyHittersTracker<T> {
     }
 }
 
-impl<T: Hash + Eq + Clone> Update<T> for HeavyHittersTracker<T> {
+impl<T: Hash + Eq + Ord + Clone> Update<T> for HeavyHittersTracker<T> {
     fn update(&mut self, item: &T) {
         self.update_weighted(item, 1);
     }
@@ -137,7 +146,7 @@ impl<T> SpaceUsage for HeavyHittersTracker<T> {
     }
 }
 
-impl<T: Hash + Eq + Clone> MergeSketch for HeavyHittersTracker<T> {
+impl<T: Hash + Eq + Ord + Clone> MergeSketch for HeavyHittersTracker<T> {
     /// Merges the backing sketches, unions the candidate sets, and
     /// re-filters against the combined threshold.
     fn merge(&mut self, other: &Self) -> SketchResult<()> {
@@ -145,6 +154,7 @@ impl<T: Hash + Eq + Clone> MergeSketch for HeavyHittersTracker<T> {
             return Err(SketchError::incompatible("phi or capacity differs"));
         }
         self.sketch.merge(&other.sketch)?;
+        // lint: sorted-iteration-ok(each key is inserted into a map keyed by itself; the result is iteration-order independent)
         for item in other.candidates.keys() {
             let est = FrequencyEstimator::estimate(&self.sketch, item);
             self.candidates.insert(item.clone(), est);

@@ -94,23 +94,41 @@ impl<T: Hash + Eq + Clone> MisraGries<T> {
         self.items_seen
     }
 
-    /// All tracked `(item, lower-bound count)` pairs, unordered.
-    pub fn entries(&self) -> impl Iterator<Item = (&T, u64)> {
-        self.counters.iter().map(|(t, &c)| (t, c))
+    /// All tracked `(item, lower-bound count)` pairs, sorted by descending
+    /// count with ties broken by ascending item — deterministic across runs
+    /// regardless of hash-map state.
+    pub fn entries(&self) -> impl Iterator<Item = (&T, u64)>
+    where
+        T: Ord,
+    {
+        let mut out: Vec<(&T, u64)> = self
+            .counters
+            // lint: sorted-iteration-ok(collected then fully sorted by the (count, item) total order below)
+            .iter()
+            .map(|(t, &c)| (t, c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out.into_iter()
     }
 
     /// Items whose estimated frequency is at least `phi · n` — guaranteed to
-    /// include every true heavy hitter above `(phi + 1/k) · n`.
+    /// include every true heavy hitter above `(phi + 1/k) · n`. Sorted by
+    /// descending count, ties by ascending item (a total order, so the
+    /// report never depends on hash order).
     #[must_use]
-    pub fn heavy_hitters(&self, phi: f64) -> Vec<(T, u64)> {
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(T, u64)>
+    where
+        T: Ord,
+    {
         let threshold = (phi * self.items_seen as f64).ceil() as u64;
         let mut out: Vec<(T, u64)> = self
             .counters
+            // lint: sorted-iteration-ok(collected then fully sorted by the (count, item) total order below)
             .iter()
             .filter(|(_, &c)| c + self.decrement_total >= threshold.max(1))
             .map(|(t, &c)| (t.clone(), c))
             .collect();
-        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 
@@ -152,12 +170,14 @@ impl<T: Hash + Eq + Clone> MergeSketch for MisraGries<T> {
                 self.k, other.k
             )));
         }
+        // lint: sorted-iteration-ok(pointwise entry-add into a map keyed by the iterated item is iteration-order independent)
         for (item, &c) in &other.counters {
             *self.counters.entry(item.clone()).or_insert(0) += c;
         }
         self.items_seen += other.items_seen;
         self.decrement_total += other.decrement_total;
         if self.counters.len() > self.k - 1 {
+            // lint: sorted-iteration-ok(values are fully sorted below; only the order-free k-th largest is used)
             let mut counts: Vec<u64> = self.counters.values().copied().collect();
             counts.sort_unstable_by(|a, b| b.cmp(a));
             // Subtract the k-th largest (0-indexed k-1) so at most k-1 stay

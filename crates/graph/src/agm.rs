@@ -132,10 +132,13 @@ impl AgmGraphSketch {
             if uf.num_components() == 1 {
                 break;
             }
-            // Aggregate each component's sketch for this round.
+            // Aggregate each component's sketch for this round. A BTreeMap
+            // keyed by component root makes the union order below a pure
+            // function of the graph — with a hash map the forest varied
+            // from run to run whenever two components' samples conflicted.
             let labels = uf.labels();
-            let mut agg: std::collections::HashMap<usize, L0Sampler> =
-                std::collections::HashMap::new();
+            let mut agg: std::collections::BTreeMap<usize, L0Sampler> =
+                std::collections::BTreeMap::new();
             for v in 0..self.n {
                 let root = labels[v];
                 match agg.get_mut(&root) {
@@ -143,6 +146,7 @@ impl AgmGraphSketch {
                         agg.insert(root, round[v].clone());
                     }
                     Some(s) => {
+                        // lint: panic-ok(all per-vertex samplers are built in new() from the same seed, so merge cannot fail)
                         s.merge(&round[v]).expect("same seed by construction");
                     }
                 }

@@ -22,6 +22,8 @@
 //!
 //! Experiment E9 reproduces the norm-preservation claims.
 
+#![forbid(unsafe_code)]
+
 pub mod ams;
 pub mod frequent_directions;
 pub mod jl;

@@ -1,0 +1,16 @@
+//! L1 fixture: the same merge path, suppressed with a justified escape.
+
+use std::collections::HashMap;
+
+struct Sketch {
+    counters: HashMap<u64, u64>,
+}
+
+impl Sketch {
+    fn merge(&mut self, other: &Sketch) {
+        // lint: sorted-iteration-ok(pointwise entry-add into a map keyed by the iterated item is order independent)
+        for (item, count) in &other.counters {
+            *self.counters.entry(*item).or_insert(0) += count;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! L1 fixture: hash-order iteration inside a merge path, no escape.
+
+use std::collections::HashMap;
+
+struct Sketch {
+    counters: HashMap<u64, u64>,
+}
+
+impl Sketch {
+    fn merge(&mut self, other: &Sketch) {
+        for (item, count) in &other.counters {
+            *self.counters.entry(*item).or_insert(0) += count;
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! L2 fixture: the same `expect`, with its structural invariant documented.
+
+fn kth(values: &[u64], k: usize) -> u64 {
+    // lint: panic-ok(the constructor rejects k >= len, so the index is always in range)
+    *values.get(k).expect("k in range")
+}

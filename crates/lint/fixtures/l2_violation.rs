@@ -1,0 +1,5 @@
+//! L2 fixture: `expect` in library non-test code, no documented invariant.
+
+fn kth(values: &[u64], k: usize) -> u64 {
+    *values.get(k).expect("k in range")
+}

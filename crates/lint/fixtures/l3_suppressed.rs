@@ -1,0 +1,8 @@
+//! L3 fixture: the sanctioned exception — `deny` plus an audit note.
+
+#![deny(unsafe_code)]
+// lint: unsafe-audited(SIMD kernels reviewed 2026-08; Miri-checked in the nightly CI job)
+
+fn private_helper() -> u64 {
+    7
+}

@@ -1,0 +1,5 @@
+//! L3 fixture: a crate root with no `unsafe_code` lint attribute at all.
+
+fn private_helper() -> u64 {
+    7
+}

@@ -1,0 +1,7 @@
+//! L4 fixture: the same wall-clock read, justified — it never feeds state.
+
+fn jitter() -> u64 {
+    // lint: nondeterminism-ok(latency metric for the operator log only; never reaches sketch state)
+    let t = std::time::Instant::now();
+    u64::from(t.elapsed().subsec_nanos())
+}

@@ -1,0 +1,6 @@
+//! L4 fixture: ambient wall-clock time in sketch-library code.
+
+fn jitter() -> u64 {
+    let t = std::time::Instant::now();
+    u64::from(t.elapsed().subsec_nanos())
+}

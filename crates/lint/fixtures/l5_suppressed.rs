@@ -1,0 +1,6 @@
+//! L5 fixture: the same public item, suppressed with a reason.
+
+// lint: undocumented-ok(internal experiment hook; stabilizing and documenting next release)
+pub fn estimate() -> f64 {
+    0.0
+}

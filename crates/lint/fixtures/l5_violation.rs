@@ -1,0 +1,5 @@
+//! L5 fixture: a public item with no doc comment.
+
+pub fn estimate() -> f64 {
+    0.0
+}

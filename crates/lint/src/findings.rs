@@ -1,0 +1,203 @@
+//! Finding model and the two output formats (human text, `--json`).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The five lint classes. See `DESIGN.md` §7 for the full policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered `HashMap`/`HashSet` iteration on a report path.
+    L1SortedIteration,
+    /// `unwrap()`/`expect()`/`panic!` in library non-test code.
+    L2PanicFree,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    L3ForbidUnsafe,
+    /// Ambient randomness or wall-clock time in a sketch crate.
+    L4SeededOnly,
+    /// Public item without a doc comment.
+    L5MissingDocs,
+}
+
+impl Rule {
+    /// Short stable identifier (`L1` … `L5`).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::L1SortedIteration => "L1",
+            Self::L2PanicFree => "L2",
+            Self::L3ForbidUnsafe => "L3",
+            Self::L4SeededOnly => "L4",
+            Self::L5MissingDocs => "L5",
+        }
+    }
+
+    /// Human name of the rule.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::L1SortedIteration => "sorted-iteration",
+            Self::L2PanicFree => "panic-free",
+            Self::L3ForbidUnsafe => "forbid-unsafe",
+            Self::L4SeededOnly => "seeded-only",
+            Self::L5MissingDocs => "missing-docs",
+        }
+    }
+
+    /// The escape-hatch tag that suppresses this rule, if any.
+    #[must_use]
+    pub fn escape_tag(self) -> Option<&'static str> {
+        match self {
+            Self::L1SortedIteration => Some("sorted-iteration-ok"),
+            Self::L2PanicFree => Some("panic-ok"),
+            Self::L3ForbidUnsafe => Some("unsafe-audited"),
+            Self::L4SeededOnly => Some("nondeterminism-ok"),
+            Self::L5MissingDocs => Some("undocumented-ok"),
+        }
+    }
+
+    /// One-line description shown by `sketches-lint rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Self::L1SortedIteration => {
+                "no unordered HashMap/HashSet iteration in merge/report/serialize/Hash/Eq paths \
+                 (use BTreeMap or collect-and-sort; escape: `// lint: sorted-iteration-ok(reason)`)"
+            }
+            Self::L2PanicFree => {
+                "no unwrap()/expect()/panic! in library non-test code \
+                 (return SketchResult or justify: `// lint: panic-ok(reason)`)"
+            }
+            Self::L3ForbidUnsafe => {
+                "every crate root carries #![forbid(unsafe_code)] \
+                 (audited exception: #![deny(unsafe_code)] + `// lint: unsafe-audited(reason)`)"
+            }
+            Self::L4SeededOnly => {
+                "no Instant::now/SystemTime/thread_rng/RandomState::new in sketch crates — \
+                 randomness and time flow through explicit seeds (sketches-hash); \
+                 escape: `// lint: nondeterminism-ok(reason)`"
+            }
+            Self::L5MissingDocs => {
+                "public items carry doc comments \
+                 (escape: `// lint: undocumented-ok(reason)`)"
+            }
+        }
+    }
+
+    /// All rules, in order.
+    pub const ALL: [Rule; 5] = [
+        Self::L1SortedIteration,
+        Self::L2PanicFree,
+        Self::L3ForbidUnsafe,
+        Self::L4SeededOnly,
+        Self::L5MissingDocs,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.id(), self.name())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the violation is in (workspace-relative where possible).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a machine-readable JSON document.
+///
+/// Shape: `{"findings": [{"rule", "name", "file", "line", "message"}...],
+/// "count": N, "ok": bool}` — stable across releases so CI can parse it.
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            f.rule.id(),
+            f.rule.name(),
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"count\": {},\n  \"ok\": {}\n}}\n",
+        findings.len(),
+        findings.is_empty()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_for_empty_and_nonempty() {
+        assert!(to_json(&[]).contains("\"ok\": true"));
+        let f = Finding {
+            rule: Rule::L2PanicFree,
+            file: PathBuf::from("a \"b\".rs"),
+            line: 3,
+            message: "say \"no\"\n".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains("\\\"b\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn every_rule_has_id_name_summary() {
+        for r in Rule::ALL {
+            assert!(!r.id().is_empty());
+            assert!(!r.name().is_empty());
+            assert!(!r.summary().is_empty());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `sketches-lint` — the workspace's determinism & panic-safety analyzer.
+//!
+//! A lightweight, dependency-free source scanner (hand-rolled lexer, no
+//! `syn`/`proc-macro2`, consistent with the offline-shim constraint in
+//! ROADMAP.md) enforcing five invariant classes over the library crates:
+//!
+//! * **L1 sorted-iteration** — no unordered `HashMap`/`HashSet` iteration
+//!   in `merge`/`report`/`serialize`/`Hash`/`Eq` paths (the seed's
+//!   `SpaceSaving::merge` bug class).
+//! * **L2 panic-free** — no `unwrap()`/`expect()`/`panic!` in library
+//!   non-test code without a documented invariant.
+//! * **L3 forbid-unsafe** — `#![forbid(unsafe_code)]` in every crate root.
+//! * **L4 seeded-only** — no ambient randomness or wall-clock time in
+//!   sketch crates; everything flows through explicit seeds.
+//! * **L5 missing-docs** — public items carry doc comments.
+//!
+//! Run as `cargo run -p sketches-lint -- check [--json]`; the process exits
+//! non-zero when any rule fires, which is how CI gates regressions. Every
+//! rule has an escape hatch of the form `// lint: <tag>(reason)` — the
+//! reason is mandatory, so each suppression is an auditable decision. See
+//! `DESIGN.md` §7 for the policy and `fixtures/` for canonical examples.
+
+#![forbid(unsafe_code)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use findings::{to_json, Finding, Rule};
+pub use rules::FileContext;
+pub use workspace::{discover, find_root, CrateKind, WorkspaceCrate};
+
+/// Lints one source string as a file of crate kind `kind`.
+///
+/// `is_crate_root` controls whether the crate-root rules (L3) apply. This
+/// is the entry point the fixture tests use; [`check_workspace`] is the
+/// filesystem-walking wrapper.
+#[must_use]
+pub fn check_source(path: &Path, src: &str, kind: CrateKind, is_crate_root: bool) -> Vec<Finding> {
+    let ctx = FileContext::new(path, src, kind, is_crate_root);
+    rules::run_all(&ctx)
+}
+
+/// Lints every crate under `<root>/crates/`.
+///
+/// # Errors
+/// Returns an error when the workspace layout cannot be read; individual
+/// unreadable files surface as findings rather than errors so one bad file
+/// cannot mask the rest.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for krate in discover(root)? {
+        for file in &krate.sources {
+            let rel = workspace::relative(root, file).to_path_buf();
+            match std::fs::read_to_string(file) {
+                Ok(src) => {
+                    let is_root = krate.roots.contains(file);
+                    out.extend(check_source(&rel, &src, krate.kind, is_root));
+                }
+                Err(e) => out.push(Finding {
+                    rule: Rule::L3ForbidUnsafe,
+                    file: rel,
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                }),
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}

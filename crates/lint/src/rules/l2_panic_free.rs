@@ -1,0 +1,102 @@
+//! L2 — no `unwrap()` / `expect()` / `panic!` in library non-test code.
+//!
+//! Sketch state arrives from configuration and remote data, so invalid
+//! input must surface as `SketchResult`, not a process abort. A panic that
+//! encodes a *structural invariant* (not an input condition) may stay, but
+//! it must say so: an `expect` with an invariant message plus a
+//! `// lint: panic-ok(reason)` comment. Tests and benches panic freely.
+
+use crate::findings::{Finding, Rule};
+use crate::rules::FileContext;
+
+/// How many lines above a flagged site the escape comment may sit.
+const LOOKBACK: u32 = 3;
+
+/// Runs L2 on one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !ctx.is_checked_code(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        let flagged = if t.is_ident("unwrap") || t.is_ident("expect") {
+            i > 0
+                && tokens[i - 1].is_punct('.')
+                && i + 1 < tokens.len()
+                && tokens[i + 1].is_punct('(')
+        } else if t.is_ident("panic") {
+            i + 1 < tokens.len() && tokens[i + 1].is_punct('!')
+        } else {
+            false
+        };
+        if !flagged {
+            continue;
+        }
+        if ctx.lexed.has_escape(t.line, "panic-ok", LOOKBACK) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::L2PanicFree,
+            file: ctx.path.to_path_buf(),
+            line: t.line,
+            message: format!(
+                "`{}` in library non-test code; return SketchResult for input-dependent \
+                 conditions, or document the structural invariant with \
+                 `// lint: panic-ok(reason)`",
+                if t.is_ident("panic") {
+                    "panic!".to_string()
+                } else {
+                    format!(".{}()", t.text)
+                }
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::workspace::CrateKind;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileContext::new(
+            Path::new("t.rs"),
+            src,
+            CrateKind::Library,
+            false,
+        ))
+    }
+
+    #[test]
+    fn flags_all_three_forms() {
+        let f = run("fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"boom\"); }");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod tests { fn t() { a.unwrap(); panic!(); } }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_suppresses() {
+        let f = run(
+            "fn f() {\n// lint: panic-ok(slot index bounded by construction)\n\
+             let x = slots.get(i).expect(\"slot in range\");\n}",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = run("fn f() { a.unwrap_or(0); a.unwrap_or_default(); }");
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! L3 — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! `forbid` (unlike the workspace-level `deny`) cannot be re-`allow`ed
+//! deeper in the crate, so it is a machine-checked guarantee that no
+//! `unsafe` block can appear anywhere. The one sanctioned exception is an
+//! audited crate that genuinely needs `unsafe`: it demotes to
+//! `#![deny(unsafe_code)]` and justifies itself with
+//! `// lint: unsafe-audited(reason)` next to the attribute.
+
+use crate::findings::{Finding, Rule};
+use crate::rules::FileContext;
+
+/// How many lines around the `deny` attribute the audit comment may sit.
+const LOOKBACK: u32 = 4;
+
+/// Runs L3 on one file (only crate roots are checked).
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if !ctx.is_crate_root {
+        return Vec::new();
+    }
+    let tokens = ctx.tokens();
+    let mut deny_line = None;
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        // Inner attribute: `# ! [ ... ]`.
+        if tokens[i].is_punct('#') && tokens[i + 1].is_punct('!') && tokens[i + 2].is_punct('[') {
+            let Some(close) = super::matching_bracket(tokens, i + 2) else {
+                break;
+            };
+            let body = &tokens[i + 3..close];
+            let has_unsafe_code = body.iter().any(|t| t.is_ident("unsafe_code"));
+            if has_unsafe_code && body.iter().any(|t| t.is_ident("forbid")) {
+                return Vec::new();
+            }
+            if has_unsafe_code && body.iter().any(|t| t.is_ident("deny")) {
+                deny_line = Some(tokens[i].line);
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    if let Some(line) = deny_line {
+        // `deny` + audit comment is the sanctioned exception.
+        if ctx
+            .lexed
+            .has_escape(line + LOOKBACK, "unsafe-audited", 2 * LOOKBACK)
+        {
+            return Vec::new();
+        }
+    }
+    vec![Finding {
+        rule: Rule::L3ForbidUnsafe,
+        file: ctx.path.to_path_buf(),
+        line: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]` (audited exception: \
+                  `#![deny(unsafe_code)]` + `// lint: unsafe-audited(reason)`)"
+            .to_string(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::workspace::CrateKind;
+    use std::path::Path;
+
+    fn run_root(src: &str) -> Vec<Finding> {
+        check(&FileContext::new(
+            Path::new("lib.rs"),
+            src,
+            CrateKind::Library,
+            true,
+        ))
+    }
+
+    #[test]
+    fn missing_attribute_is_flagged() {
+        assert_eq!(run_root("//! Docs.\npub fn f() {}").len(), 1);
+    }
+
+    #[test]
+    fn forbid_passes() {
+        assert!(run_root("//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn audited_deny_passes_and_unaudited_fails() {
+        let audited = "#![deny(unsafe_code)]\n// lint: unsafe-audited(SIMD in counting.rs, reviewed 2026-08)\npub fn f() {}";
+        assert!(run_root(audited).is_empty());
+        let unaudited = "#![deny(unsafe_code)]\npub fn f() {}";
+        assert_eq!(run_root(unaudited).len(), 1);
+    }
+
+    #[test]
+    fn non_root_files_are_skipped() {
+        let f = check(&FileContext::new(
+            Path::new("m.rs"),
+            "pub fn f() {}",
+            CrateKind::Library,
+            false,
+        ));
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! L4 — randomness and time flow through explicit seeds.
+//!
+//! A sketch's behavior must be a pure function of `(input, seed)` — the
+//! mergeability contract and the adversarial-robustness analyses both
+//! assume it. Ambient entropy sources (`thread_rng`, `RandomState::new`)
+//! and wall-clock reads (`Instant::now`, `SystemTime`) break that: two
+//! replicas fed the same stream would diverge. Library crates take seeds
+//! explicitly and use the `sketches-hash` PRNGs / `SeededBuildHasher`.
+//! The bench harness (which legitimately times things) is exempt by crate
+//! kind; anything else justifies itself with
+//! `// lint: nondeterminism-ok(reason)`.
+
+use crate::findings::{Finding, Rule};
+use crate::rules::FileContext;
+
+/// Identifiers banned outright in sketch-library code.
+const BANNED: [&str; 3] = ["SystemTime", "thread_rng", "RandomState"];
+
+/// How many lines above a flagged site the escape comment may sit.
+const LOOKBACK: u32 = 3;
+
+/// Runs L4 on one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !ctx.is_checked_code(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        let what = if BANNED.contains(&t.text.as_str()) {
+            Some(t.text.as_str())
+        } else if t.is_ident("Instant")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+        {
+            Some("Instant::now")
+        } else {
+            None
+        };
+        let Some(what) = what else { continue };
+        if ctx.lexed.has_escape(t.line, "nondeterminism-ok", LOOKBACK) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::L4SeededOnly,
+            file: ctx.path.to_path_buf(),
+            line: t.line,
+            message: format!(
+                "`{what}` in a sketch crate: behavior must be a pure function of (input, seed) — \
+                 take a seed and use sketches-hash PRNGs / SeededBuildHasher, or justify with \
+                 `// lint: nondeterminism-ok(reason)`"
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::workspace::CrateKind;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileContext::new(
+            Path::new("t.rs"),
+            src,
+            CrateKind::Library,
+            false,
+        ))
+    }
+
+    #[test]
+    fn flags_ambient_sources() {
+        let f = run("fn f() { let t = Instant::now(); let r = thread_rng(); \
+             let s = RandomState::new(); let w = SystemTime::now(); }");
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn seeded_constructs_pass() {
+        let f = run("fn f(seed: u64) { let rng = Xoshiro256PlusPlus::new(seed); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tests_and_escapes_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod t { fn g() { RandomState::new(); } }").is_empty());
+        assert!(run(
+            "fn f() {\n// lint: nondeterminism-ok(latency histogram label only, not sketch state)\n\
+             let t = Instant::now();\n}"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! L5 — public items carry doc comments.
+//!
+//! The workspace already warns via rustc's `missing_docs`; this rule makes
+//! the same contract enforceable by the CI gate without a compile, and
+//! covers the cases the team cares most about: the core sketch traits and
+//! the top-level sketch types. Heuristic scope: `pub` items outside trait
+//! impls (trait-impl members inherit the trait's docs) need a `///` (or
+//! `/** */`, or `#[doc = ...]`) immediately above.
+
+use crate::findings::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+
+/// Item keywords that can follow `pub` (possibly after qualifiers).
+/// `mod` is absent deliberately: module docs live inside the module file as
+/// `//!` inner docs, which a declaration-site scan cannot see.
+const ITEM_KEYWORDS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "union",
+];
+
+/// Qualifier keywords allowed between `pub` and the item keyword.
+const QUALIFIERS: [&str; 4] = ["unsafe", "async", "extern", "default"];
+
+/// Runs L5 on one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !ctx.is_checked_code(i) || ctx.macro_mask[i] || ctx.trait_impl_mask[i] {
+            continue;
+        }
+        if !tokens[i].is_ident("pub") {
+            continue;
+        }
+        // Skip restricted visibility: `pub(crate)`, `pub(super)`, …
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Find the item keyword; skip `pub use` (re-exports inherit docs)
+        // and `pub` struct fields / variants (not item definitions).
+        let mut j = i + 1;
+        while j < tokens.len()
+            && tokens[j].kind == TokenKind::Ident
+            && QUALIFIERS.contains(&tokens[j].text.as_str())
+        {
+            j += 1;
+        }
+        let Some(kw) = tokens.get(j) else { continue };
+        if kw.is_ident("use") {
+            continue;
+        }
+        if kw.kind != TokenKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            // `pub name: Type` (struct field) — require docs there too: a
+            // public field is API. Fields are `pub <ident> :`.
+            let is_field = kw.kind == TokenKind::Ident
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && !tokens.get(j + 2).is_some_and(|t| t.is_punct(':'));
+            if !is_field {
+                continue;
+            }
+        }
+        // The attachment point is the first attribute above the item (doc
+        // comments precede attributes in idiomatic layout).
+        let attach_line = attachment_line(ctx, i);
+        if has_doc_above(ctx, attach_line) {
+            continue;
+        }
+        if ctx.lexed.has_escape(tokens[i].line, "undocumented-ok", 3) {
+            continue;
+        }
+        let item_name = tokens
+            .get(j + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map_or_else(|| tokens[j].text.clone(), |t| t.text.clone());
+        out.push(Finding {
+            rule: Rule::L5MissingDocs,
+            file: ctx.path.to_path_buf(),
+            line: tokens[i].line,
+            message: format!(
+                "public item `{item_name}` has no doc comment; document the contract \
+                 (or `// lint: undocumented-ok(reason)`)"
+            ),
+        });
+    }
+    out
+}
+
+/// Line of the first attribute attached to the item whose `pub` is at
+/// token `i` (or the `pub` line itself when unattributed).
+fn attachment_line(ctx: &FileContext<'_>, i: usize) -> u32 {
+    let tokens = ctx.tokens();
+    let mut line = tokens[i].line;
+    let mut j = i;
+    // Walk back over `#[...]` attribute groups.
+    while j >= 1 && tokens[j - 1].is_punct(']') {
+        // Find the `[` opening this group, then expect `#` before it.
+        let mut depth = 0usize;
+        let mut k = j - 1;
+        loop {
+            if tokens[k].is_punct(']') {
+                depth += 1;
+            } else if tokens[k].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return line;
+            }
+            k -= 1;
+        }
+        if k >= 1 && tokens[k - 1].is_punct('#') {
+            line = tokens[k - 1].line;
+            j = k - 1;
+        } else {
+            break;
+        }
+    }
+    line
+}
+
+/// True when a doc comment (`///` or `/** */`) or `#[doc]` ends directly
+/// above `attach_line`.
+fn has_doc_above(ctx: &FileContext<'_>, attach_line: u32) -> bool {
+    if attach_line == 0 {
+        return false;
+    }
+    ctx.lexed.comments.iter().any(|c| {
+        let is_doc = c.text.starts_with("///") || c.text.starts_with("/**");
+        // Block docs may span lines; accept when the comment *starts* within
+        // its own line count of the item.
+        let span = c.text.matches('\n').count() as u32;
+        is_doc && c.line + span + 1 == attach_line
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::workspace::CrateKind;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileContext::new(
+            Path::new("t.rs"),
+            src,
+            CrateKind::Library,
+            false,
+        ))
+    }
+
+    #[test]
+    fn undocumented_pub_fn_is_flagged() {
+        let f = run("pub fn naked() {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn documented_items_pass() {
+        assert!(run("/// Does the thing.\npub fn documented() {}").is_empty());
+        assert!(run("/// Docs.\n#[must_use]\npub fn with_attr() -> u8 { 0 }").is_empty());
+        assert!(run("/// Line one.\n/// Line two.\npub struct S;").is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_and_use_are_exempt() {
+        assert!(run("pub(crate) fn internal() {}").is_empty());
+        assert!(run("pub use other::Thing;").is_empty());
+    }
+
+    #[test]
+    fn trait_impl_members_are_exempt() {
+        let src = "impl Iterator for S { fn next(&mut self) -> Option<u8> { None } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_suppresses() {
+        let src = "// lint: undocumented-ok(generated shim surface)\npub fn shim() {}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixture-driven contract tests: each rule fires on its violation fixture
+//! and stays quiet on the suppressed twin. The fixtures under `fixtures/`
+//! are the canonical examples referenced by DESIGN.md §7.
+
+use std::path::Path;
+
+use sketches_lint::{check_source, CrateKind, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Lints one fixture as a library file; `is_root` marks it a crate root.
+fn run(name: &str, is_root: bool) -> Vec<Finding> {
+    check_source(Path::new(name), &fixture(name), CrateKind::Library, is_root)
+}
+
+/// Asserts the violation fixture produces exactly one finding of `rule`
+/// (and nothing else — fixtures must not trip unrelated rules), and that
+/// the suppressed twin is completely clean.
+fn assert_pair(rule: Rule, violation: &str, suppressed: &str, is_root: bool) {
+    let fired = run(violation, is_root);
+    assert_eq!(
+        fired.len(),
+        1,
+        "{violation}: expected exactly one finding, got {fired:#?}"
+    );
+    assert_eq!(fired[0].rule, rule, "{violation}: wrong rule: {fired:#?}");
+    let quiet = run(suppressed, is_root);
+    assert!(
+        quiet.is_empty(),
+        "{suppressed}: expected no findings, got {quiet:#?}"
+    );
+}
+
+#[test]
+fn l1_sorted_iteration_pair() {
+    assert_pair(
+        Rule::L1SortedIteration,
+        "l1_violation.rs",
+        "l1_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l2_panic_free_pair() {
+    assert_pair(
+        Rule::L2PanicFree,
+        "l2_violation.rs",
+        "l2_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l3_forbid_unsafe_pair() {
+    assert_pair(
+        Rule::L3ForbidUnsafe,
+        "l3_violation.rs",
+        "l3_suppressed.rs",
+        true,
+    );
+}
+
+#[test]
+fn l4_seeded_only_pair() {
+    assert_pair(
+        Rule::L4SeededOnly,
+        "l4_violation.rs",
+        "l4_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l5_missing_docs_pair() {
+    assert_pair(
+        Rule::L5MissingDocs,
+        "l5_violation.rs",
+        "l5_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn bench_crates_are_exempt_from_sketch_rules() {
+    // The same L4 violation is legal in the bench harness — timing is its job.
+    let findings = check_source(
+        Path::new("l4_violation.rs"),
+        &fixture("l4_violation.rs"),
+        CrateKind::Bench,
+        false,
+    );
+    assert!(findings.is_empty(), "bench exemption broken: {findings:#?}");
+}
+
+#[test]
+fn json_output_is_well_formed_for_fixture_findings() {
+    let findings = run("l2_violation.rs", false);
+    let json = sketches_lint::to_json(&findings);
+    assert!(json.contains("\"rule\": \"L2\""));
+    assert!(json.contains("\"count\": 1"));
+    assert!(json.contains("\"ok\": false"));
+}

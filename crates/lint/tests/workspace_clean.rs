@@ -1,0 +1,20 @@
+//! The gate itself, as a test: the real workspace must be lint-clean.
+//!
+//! CI also runs the binary (`cargo run -p sketches-lint -- check --json`),
+//! but keeping the same assertion in `cargo test` means a violation cannot
+//! land even when someone skips the lint job locally.
+
+use std::path::Path;
+
+use sketches_lint::{check_workspace, find_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let findings = check_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; findings:\n{}",
+        sketches_lint::to_json(&findings)
+    );
+}

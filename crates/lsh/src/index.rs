@@ -6,7 +6,7 @@
 //! * [`EuclideanLshIndex`] — `L` tables of `k` concatenated p-stable
 //!   hashes for approximate near-neighbour search in `ℝ^d`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
 use sketches_core::{SketchError, SketchResult, SpaceUsage, Update};
@@ -46,6 +46,7 @@ impl MinHashIndex {
 
     /// Builds the signature of a set with the index's parameters.
     pub fn signature_of<T: Hash, I: IntoIterator<Item = T>>(&self, set: I) -> MinHashSignature {
+        // lint: panic-ok(bands and rows were validated positive in new(), so the component count is positive)
         let mut mh = MinHasher::new(self.bands * self.rows, self.seed).expect("validated");
         for item in set {
             mh.update(&item);
@@ -75,15 +76,16 @@ impl MinHashIndex {
         Ok(())
     }
 
-    /// Returns the candidate ids sharing at least one band with `sig`.
+    /// Returns the candidate ids sharing at least one band with `sig`, as
+    /// an ordered set (iteration order is ascending id, never hash order).
     ///
     /// # Errors
     /// Returns an error if the signature has the wrong length.
-    pub fn candidates(&self, sig: &MinHashSignature) -> SketchResult<HashSet<u64>> {
+    pub fn candidates(&self, sig: &MinHashSignature) -> SketchResult<BTreeSet<u64>> {
         if sig.len() != self.bands * self.rows {
             return Err(SketchError::invalid("sig", "signature length mismatch"));
         }
-        let mut out = HashSet::new();
+        let mut out = BTreeSet::new();
         for band in 0..self.bands {
             let key = self.band_key(sig, band);
             if let Some(ids) = self.tables[band].get(&key) {
@@ -177,15 +179,16 @@ impl EuclideanLshIndex {
         Ok(id)
     }
 
-    /// Returns candidate ids colliding with `v` in any table.
+    /// Returns candidate ids colliding with `v` in any table, as an ordered
+    /// set (iteration order is ascending id, never hash order).
     ///
     /// # Errors
     /// Returns an error on dimension mismatch.
-    pub fn candidates(&self, v: &[f64]) -> SketchResult<HashSet<u64>> {
+    pub fn candidates(&self, v: &[f64]) -> SketchResult<BTreeSet<u64>> {
         if v.len() != self.d {
             return Err(SketchError::invalid("v", "dimension mismatch"));
         }
-        let mut out = HashSet::new();
+        let mut out = BTreeSet::new();
         for t in 0..self.tables.len() {
             let key = self.key(t, v)?;
             if let Some(ids) = self.tables[t].get(&key) {
@@ -202,6 +205,8 @@ impl EuclideanLshIndex {
     /// Returns an error on dimension mismatch.
     pub fn nearest(&self, v: &[f64]) -> SketchResult<Option<(u64, f64)>> {
         let cands = self.candidates(v)?;
+        // Ties in distance break toward the smallest id: a total order, so
+        // the reported neighbour is the same in every run.
         Ok(cands
             .into_iter()
             .map(|id| {
@@ -209,7 +214,7 @@ impl EuclideanLshIndex {
                 let d2: f64 = p.iter().zip(v).map(|(&a, &b)| (a - b) * (a - b)).sum();
                 (id, d2.sqrt())
             })
-            .min_by(|a, b| f64::total_cmp(&a.1, &b.1)))
+            .min_by(|a, b| f64::total_cmp(&a.1, &b.1).then_with(|| a.0.cmp(&b.0))))
     }
 
     /// Stored point by id.

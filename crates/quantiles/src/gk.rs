@@ -125,6 +125,7 @@ impl QuantileSketch for GreenwaldKhanna {
                 return Ok(self.tuples[idx].v);
             }
         }
+        // lint: panic-ok(the n == 0 case returned an error earlier, so tuples is non-empty)
         Ok(self.tuples.last().expect("n > 0").v)
     }
 

@@ -197,6 +197,7 @@ impl SparseRecovery {
             return None;
         }
         // Verify: re-encoding the candidates must reproduce every cell.
+        // lint: panic-ok(parameters were validated when self was constructed with them)
         let mut check = Self::new(self.s, self.rows, self.seed).expect("same params");
         for (&idx, &w) in &candidates {
             check.update(idx, w);

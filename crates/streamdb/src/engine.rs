@@ -224,9 +224,14 @@ impl SketchEngine {
         Ok(Some(results))
     }
 
-    /// All group keys currently tracked.
+    /// All group keys currently tracked, in ascending key order — the
+    /// listing is deterministic across runs even though the backing map is
+    /// hashed.
     pub fn groups(&self) -> impl Iterator<Item = &Vec<Value>> {
-        self.groups.keys()
+        // lint: sorted-iteration-ok(collected then fully sorted by the key total order below)
+        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
+        keys.sort();
+        keys.into_iter()
     }
 
     /// Number of groups.
@@ -241,13 +246,16 @@ impl SketchEngine {
         self.rows_processed
     }
 
-    /// Finishes a tumbling window: returns every group's report and resets
-    /// the state for the next window.
+    /// Finishes a tumbling window: returns every group's report (in
+    /// ascending key order, so downstream consumers see a stable layout)
+    /// and resets the state for the next window.
     ///
     /// # Errors
     /// Propagates report errors.
     pub fn flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
-        let keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
+        // lint: sorted-iteration-ok(collected then fully sorted by the key total order below)
+        let mut keys: Vec<Vec<Value>> = self.groups.keys().cloned().collect();
+        keys.sort();
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             if let Some(report) = self.report(&key)? {
@@ -273,6 +281,7 @@ impl SketchEngine {
             // engine with a mix of the two configs' groups.
             return Err(SketchError::incompatible("engine configs differ"));
         }
+        // lint: sorted-iteration-ok(keyed pointwise merge: each group folds into its own entry, independent of visit order)
         for (key, other_state) in &other.groups {
             match self.groups.get_mut(key) {
                 None => {

@@ -126,8 +126,12 @@ impl ExactEngine {
                     }
                     AggState::TopK { counts, k } => {
                         let mut v: Vec<(Value, u64)> =
+                            // lint: sorted-iteration-ok(collected then fully sorted by the (count, value) total order below)
                             counts.iter().map(|(val, &c)| (val.clone(), c)).collect();
-                        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+                        // Descending count, ties by ascending value: a total
+                        // order, so the truncation at k never depends on
+                        // hash order.
+                        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                         v.truncate(*k);
                         AggregateResult::TopK(v)
                     }

@@ -18,6 +18,8 @@
 //! * [`exact`] — [`exact::ExactEngine`]: the same query model over exact
 //!   per-group state, the baseline of experiment E16.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod exact;
 pub mod query;

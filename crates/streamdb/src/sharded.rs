@@ -166,9 +166,11 @@ impl ShardedEngine {
             drop(senders);
             handles
                 .into_iter()
+                // lint: panic-ok(propagating a worker panic is the correct failure mode for the scope)
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         })
+        // lint: panic-ok(re-raising a shard panic on the ingest thread, not swallowing it)
         .expect("shard scope panicked");
         for r in worker_results {
             r?;

@@ -1,5 +1,6 @@
 //! The dynamic value and row model of the mini engine.
 
+use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 
 /// A dynamically-typed field value.
@@ -16,6 +17,35 @@ pub enum Value {
 }
 
 impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// A total order so reports and flushed windows can be sorted
+    /// deterministically: variants order by tag (`U64 < I64 < F64 < Str`),
+    /// floats by `total_cmp` (consistent with the bit-pattern `Hash` above;
+    /// like `Hash`, it distinguishes `-0.0` from `0.0` where `PartialEq`
+    /// does not — group keys should use integer or string fields anyway).
+    fn cmp(&self, other: &Self) -> Ordering {
+        let tag = |v: &Self| match v {
+            Self::U64(_) => 0u8,
+            Self::I64(_) => 1,
+            Self::F64(_) => 2,
+            Self::Str(_) => 3,
+        };
+        match (self, other) {
+            (Self::U64(a), Self::U64(b)) => a.cmp(b),
+            (Self::I64(a), Self::I64(b)) => a.cmp(b),
+            (Self::F64(a), Self::F64(b)) => a.total_cmp(b),
+            (Self::Str(a), Self::Str(b)) => a.cmp(b),
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+}
 
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {

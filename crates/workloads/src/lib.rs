@@ -17,6 +17,8 @@
 //! * [`stats`] — mean/stddev/percentile helpers for aggregating trial
 //!   errors in EXPERIMENTS.md tables.
 
+#![forbid(unsafe_code)]
+
 pub mod ads;
 pub mod exact;
 pub mod flows;

@@ -18,7 +18,7 @@ fn full_spec() -> QuerySpec {
             Aggregate::TopK { field: 1, k: 3 },
         ],
     )
-    .unwrap()
+    .expect("valid spec")
 }
 
 /// Merge-exact spec: aggregates whose merge is bit-for-bit order-free
@@ -34,7 +34,7 @@ fn exact_spec() -> QuerySpec {
             Aggregate::CountDistinct { field: 1 },
         ],
     )
-    .unwrap()
+    .expect("valid spec")
 }
 
 fn to_rows(raw: &[(u64, u16, u16)]) -> Vec<Row> {
