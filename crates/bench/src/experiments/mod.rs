@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E21), each
+//! The experiment suite: one function per experiment id (E1–E22), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -128,6 +128,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e21",
             "Sharded GROUP BY ingest scales with shards; results stay identical",
             streamdb_exps::e21,
+        ),
+        (
+            "e22",
+            "Fault recovery: batches roll back, corruption is detected, restores are exact",
+            streamdb_exps::e22,
         ),
         (
             "a1",

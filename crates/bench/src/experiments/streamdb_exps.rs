@@ -1,10 +1,13 @@
-//! E16, E21 — GROUP BY at Gigascope scale; sharded parallel ingest.
+//! E16, E21, E22 — GROUP BY at Gigascope scale; sharded parallel ingest;
+//! fault-recovery drills.
 
 use std::time::Instant;
 
 use sketches::streamdb::{
-    Aggregate, ExactEngine, QuerySpec, Row, ShardedEngine, SketchEngine, Value,
+    silence_injected_panics, Aggregate, BatchCause, ExactEngine, FaultInjector, FaultKind,
+    FaultPolicy, QuerySpec, Row, ShardedEngine, SketchEngine, Snapshot, Value,
 };
+use sketches_workloads::faults::{FaultPlan, IngestFault};
 use sketches_workloads::flows::FlowWorkload;
 use sketches_workloads::streams::distinct_ids;
 use sketches_workloads::zipf::ZipfGenerator;
@@ -131,5 +134,198 @@ pub fn e21() {
          container used for EXPERIMENTS.md the sharded path can only show its\n\
          routing/channel overhead, like E14. Per-group results stay identical\n\
          to the sequential engine at every shard count.)"
+    );
+}
+
+/// Rows for the E22 drills: GROUP BY field 0 with all five aggregates.
+fn e22_rows(seed: u64, n: u64) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            vec![
+                Value::U64(x % 17),
+                Value::U64(x % 401),
+                Value::F64((x % 1_000) as f64),
+            ]
+        })
+        .collect()
+}
+
+fn e22_spec() -> QuerySpec {
+    QuerySpec::new(
+        vec![0],
+        vec![
+            Aggregate::Count,
+            Aggregate::Sum { field: 2 },
+            Aggregate::CountDistinct { field: 1 },
+            Aggregate::Quantiles { field: 2 },
+            Aggregate::TopK { field: 1, k: 5 },
+        ],
+    )
+    .unwrap()
+}
+
+/// E22: fault-recovery drills — injected errors/panics roll batches back
+/// and retries converge with a never-faulted engine; corrupted snapshots
+/// are always detected; pristine snapshots restore byte-exact state.
+pub fn e22() {
+    header(
+        "E22",
+        "Fault recovery: torn-batch rollback, quarantine, snapshot corruption",
+    );
+    silence_injected_panics();
+    let seeds: Vec<u64> = (0..30u64).collect();
+    let n = 2_000u64;
+
+    // Drill 1: sequential engine, one injected error per seed. The failed
+    // batch must roll back byte-exactly, and the retry must converge with
+    // a baseline engine that never saw a fault.
+    let mut rolled_back = 0usize;
+    let mut converged = 0usize;
+    for &seed in &seeds {
+        let rows = e22_rows(seed, n);
+        let plan = FaultPlan::generate(seed, n, 1, 0);
+        let mut engine = SketchEngine::new(e22_spec()).unwrap();
+        let before = engine.to_snapshot_bytes();
+        let fault = plan.faults[0];
+        let kind = match fault.fault {
+            IngestFault::Error => FaultKind::Error,
+            IngestFault::Panic => FaultKind::Panic,
+        };
+        engine.arm_faults(FaultInjector::new().at(fault.attempt, kind));
+        let err = engine.process_batch(&rows).unwrap_err();
+        assert_eq!(err.row, Some(fault.attempt as usize));
+        if engine.to_snapshot_bytes() == before {
+            rolled_back += 1;
+        }
+        engine.process_batch(&rows).unwrap();
+        engine.disarm_faults();
+        let mut baseline = SketchEngine::new(e22_spec()).unwrap();
+        baseline.process_batch(&rows).unwrap();
+        if engine.to_snapshot_bytes() == baseline.to_snapshot_bytes() {
+            converged += 1;
+        }
+    }
+    trow!("drill", "trials", "recovered", "exact-state");
+    trow!(
+        "seq inject (err|panic)",
+        seeds.len(),
+        rolled_back,
+        converged
+    );
+
+    // Drill 2: sharded engine, injected worker panic. The panic must stay
+    // contained, every shard must roll back, and the retry must converge.
+    let mut contained = 0usize;
+    let mut sharded_converged = 0usize;
+    for &seed in &seeds {
+        let rows = e22_rows(seed, n);
+        let mut engine = ShardedEngine::new(e22_spec(), 4).unwrap();
+        let before = engine.to_snapshot_bytes();
+        let shard = (seed % 4) as usize;
+        engine
+            .arm_faults(shard, FaultInjector::new().at(seed % 50, FaultKind::Panic))
+            .unwrap();
+        let err = engine.process_batch(&rows).unwrap_err();
+        if matches!(err.cause, BatchCause::WorkerPanic(_))
+            && err.shard == Some(shard)
+            && engine.to_snapshot_bytes() == before
+        {
+            contained += 1;
+        }
+        engine.process_batch(&rows).unwrap();
+        engine.disarm_faults();
+        let mut baseline = ShardedEngine::new(e22_spec(), 4).unwrap();
+        baseline.process_batch(&rows).unwrap();
+        if engine.to_snapshot_bytes() == baseline.to_snapshot_bytes() {
+            sharded_converged += 1;
+        }
+    }
+    trow!(
+        "sharded worker panic",
+        seeds.len(),
+        contained,
+        sharded_converged
+    );
+
+    // Drill 3: quarantine. Poison rows are diverted with an exact count
+    // and leave sketch state identical to a clean engine fed only the
+    // good rows.
+    let mut diverted_exact = 0usize;
+    let mut state_clean = 0usize;
+    for &seed in &seeds {
+        let rows = e22_rows(seed, n);
+        let mut poisoned = rows.clone();
+        let poison_at = [(seed % n) as usize, ((seed * 7 + 3) % n) as usize];
+        for (k, &at) in poison_at.iter().enumerate() {
+            poisoned.insert(
+                at.min(poisoned.len()),
+                if k == 0 {
+                    vec![Value::U64(1)]
+                } else {
+                    vec![Value::U64(1), Value::U64(2), Value::Str("poison".into())]
+                },
+            );
+        }
+        let mut engine = SketchEngine::new(e22_spec()).unwrap();
+        engine.set_fault_policy(FaultPolicy::Quarantine { max_samples: 4 });
+        let summary = engine.process_batch(&poisoned).unwrap();
+        if summary.rows_quarantined == 2 && engine.dead_letters().count() == 2 {
+            diverted_exact += 1;
+        }
+        let mut clean = SketchEngine::new(e22_spec()).unwrap();
+        clean.set_fault_policy(FaultPolicy::Quarantine { max_samples: 4 });
+        clean.process_batch(&rows).unwrap();
+        if engine.to_snapshot_bytes() == clean.to_snapshot_bytes() {
+            state_clean += 1;
+        }
+    }
+    trow!(
+        "quarantine poison",
+        seeds.len(),
+        diverted_exact,
+        state_clean
+    );
+
+    // Drill 4: snapshot corruption. Every seeded bit flip / truncation is
+    // detected as a typed error; the pristine snapshot restores an engine
+    // whose continued ingest is byte-identical to the original's.
+    let mut corruptions = 0usize;
+    let mut detected = 0usize;
+    let mut exact_restores = 0usize;
+    for &seed in &seeds {
+        let rows = e22_rows(seed, n);
+        let (warm, rest) = rows.split_at((n / 2) as usize);
+        let mut engine = SketchEngine::new(e22_spec()).unwrap();
+        engine.process_batch(warm).unwrap();
+        let snap = engine.to_snapshot_bytes();
+        let plan = FaultPlan::generate(seed ^ 0x00C0_FFEE, 0, 0, 8);
+        for c in &plan.corruptions {
+            let mut bad = snap.clone();
+            c.apply(&mut bad);
+            corruptions += 1;
+            if Snapshot::from_bytes(&bad).is_err() {
+                detected += 1;
+            }
+        }
+        let mut restored = SketchEngine::from_snapshot_bytes(&snap).unwrap();
+        engine.process_batch(rest).unwrap();
+        restored.process_batch(rest).unwrap();
+        if engine.to_snapshot_bytes() == restored.to_snapshot_bytes() {
+            exact_restores += 1;
+        }
+    }
+    trow!(
+        "snapshot corruption",
+        corruptions,
+        detected,
+        format!("{exact_restores}/{}", seeds.len())
+    );
+    assert_eq!(corruptions, detected, "a corruption escaped detection");
+    println!(
+        "\n(Every drill is a seeded FaultPlan: the same seed injects the same\n\
+         faults at the same rows and corrupts the same snapshot bytes, so a\n\
+         failing drill replays exactly. Recovery restores byte-identical\n\
+         reports in every trial.)"
     );
 }

@@ -12,7 +12,8 @@
 //! The bias-corrected HLL++ variant lives in [`crate::hllpp`].
 
 use sketches_core::{
-    CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+    ByteReader, ByteWriter, CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult,
+    SpaceUsage, Update,
 };
 use sketches_hash::bits::rho_leading;
 use sketches_hash::hash_item;
@@ -116,6 +117,38 @@ impl HyperLogLog {
         if r > self.registers[idx] {
             self.registers[idx] = r;
         }
+    }
+
+    /// Serializes the full sketch state — precision, seed, registers — in
+    /// the workspace checkpoint layout ([`HyperLogLog::read_state`] inverts
+    /// it exactly). The register count is implied by the precision, so no
+    /// separate length field is stored.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.precision);
+        w.put_u64(self.seed);
+        w.put_bytes(&self.registers);
+    }
+
+    /// Restores a sketch from [`HyperLogLog::write_state`] bytes.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation or a precision
+    /// outside `4..=18`. (Bit-level integrity is the enclosing snapshot
+    /// checksum's job; this validates structure.)
+    pub fn read_state(r: &mut ByteReader<'_>) -> SketchResult<Self> {
+        let precision = r.u32()?;
+        if !(4..=18).contains(&precision) {
+            return Err(SketchError::corrupted(format!(
+                "HLL precision {precision} outside 4..=18"
+            )));
+        }
+        let seed = r.u64()?;
+        let registers = r.bytes(1 << precision)?.to_vec();
+        Ok(Self {
+            registers,
+            precision,
+            seed,
+        })
     }
 
     /// Theoretical relative standard error `1.04/√m`.
@@ -347,5 +380,50 @@ mod tests {
         h.clear();
         assert_eq!(h.estimate(), 0.0);
         assert_eq!(h.space_bytes(), 1024);
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut h = HyperLogLog::new(7, 0xFACE).unwrap();
+        for i in 0..5_000u64 {
+            h.update(&i);
+        }
+        let mut w = ByteWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored = HyperLogLog::read_state(&mut r).unwrap();
+        r.expect_end("hll state").unwrap();
+        assert_eq!(restored, h);
+        // Canonical encoding: re-serializing yields identical bytes.
+        let mut w2 = ByteWriter::new();
+        restored.write_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn state_corruption_is_typed() {
+        let mut h = HyperLogLog::new(4, 1).unwrap();
+        h.update(&42u64);
+        let mut w = ByteWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation fails with Corrupted, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let got = HyperLogLog::read_state(&mut r);
+            assert!(
+                matches!(got, Err(SketchError::Corrupted { .. })),
+                "cut {cut}"
+            );
+        }
+        // An impossible precision is structurally rejected.
+        let mut bad = bytes.clone();
+        bad[0] = 200;
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            HyperLogLog::read_state(&mut r),
+            Err(SketchError::Corrupted { .. })
+        ));
     }
 }

@@ -25,7 +25,8 @@ use std::collections::BTreeMap;
 use std::hash::Hash;
 
 use sketches_core::{
-    CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+    ByteReader, ByteWriter, CardinalityEstimator, Clear, MergeSketch, SketchError, SketchResult,
+    SpaceUsage, Update,
 };
 use sketches_hash::hash_item;
 use sketches_hash::mix::mix64_seeded;
@@ -79,6 +80,12 @@ impl HyperLogLogPlusPlus {
     #[must_use]
     pub fn precision(&self) -> u32 {
         self.precision
+    }
+
+    /// The seed this sketch hashes with (before domain separation).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Whether the sketch is still in sparse mode.
@@ -155,6 +162,103 @@ impl HyperLogLogPlusPlus {
         if self.is_sparse() {
             self.upgrade_to_dense();
         }
+    }
+
+    /// Serializes the full sketch state in the workspace checkpoint layout:
+    /// precision, seed, a representation tag, then either the sorted sparse
+    /// entries or the dense register payload. [`HyperLogLogPlusPlus::read_state`]
+    /// inverts it exactly, and the encoding is canonical (sparse entries are
+    /// written in the `BTreeMap`'s ascending key order).
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.precision);
+        w.put_u64(self.seed);
+        match &self.repr {
+            Repr::Sparse(map) => {
+                w.put_u8(0);
+                w.put_usize(map.len());
+                for (&idx25, &rho_w) in map {
+                    w.put_u32(idx25);
+                    w.put_u8(rho_w);
+                }
+            }
+            Repr::Dense(hll) => {
+                w.put_u8(1);
+                hll.write_state(w);
+            }
+        }
+    }
+
+    /// Restores a sketch from [`HyperLogLogPlusPlus::write_state`] bytes.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation, an invalid
+    /// precision or representation tag, out-of-range or unsorted sparse
+    /// entries, or a dense payload whose parameters disagree with the
+    /// envelope (the dense seed must be `seed ^ HLLPP_SEED`).
+    pub fn read_state(r: &mut ByteReader<'_>) -> SketchResult<Self> {
+        let precision = r.u32()?;
+        if !(4..=18).contains(&precision) {
+            return Err(SketchError::corrupted(format!(
+                "HLL++ precision {precision} outside 4..=18"
+            )));
+        }
+        let seed = r.u64()?;
+        let sparse_limit = ((1usize << precision) / 8).max(16);
+        let repr = match r.u8()? {
+            0 => {
+                let n = r.array_len(5, "HLL++ sparse entries")?;
+                if n > sparse_limit {
+                    return Err(SketchError::corrupted(format!(
+                        "HLL++ sparse entry count {n} exceeds the upgrade limit {sparse_limit}"
+                    )));
+                }
+                let mut map = BTreeMap::new();
+                let mut prev: Option<u32> = None;
+                for _ in 0..n {
+                    let idx25 = r.u32()?;
+                    let rho_w = r.u8()?;
+                    if idx25 >= (1u32 << SPARSE_PRECISION) {
+                        return Err(SketchError::corrupted(format!(
+                            "HLL++ sparse index {idx25} exceeds 2^{SPARSE_PRECISION}"
+                        )));
+                    }
+                    if prev.is_some_and(|p| idx25 <= p) {
+                        return Err(SketchError::corrupted(
+                            "HLL++ sparse entries not strictly ascending",
+                        ));
+                    }
+                    prev = Some(idx25);
+                    map.insert(idx25, rho_w);
+                }
+                Repr::Sparse(map)
+            }
+            1 => {
+                let hll = HyperLogLog::read_state(r)?;
+                if hll.precision() != precision {
+                    return Err(SketchError::corrupted(format!(
+                        "HLL++ dense precision {} disagrees with envelope {precision}",
+                        hll.precision()
+                    )));
+                }
+                if hll.seed() != seed ^ HLLPP_SEED {
+                    return Err(SketchError::corrupted(
+                        "HLL++ dense seed is not the domain-separated envelope seed",
+                    ));
+                }
+                Repr::Dense(hll)
+            }
+            tag => {
+                return Err(SketchError::corrupted(format!(
+                    "HLL++ representation tag {tag} is not 0 (sparse) or 1 (dense)"
+                )));
+            }
+        };
+        Ok(Self {
+            repr,
+            precision,
+            seed,
+            sparse_limit,
+        })
     }
 }
 
@@ -479,5 +583,94 @@ mod tests {
     fn ertl_estimator_on_empty_registers() {
         let regs = vec![0u8; 1024];
         assert_eq!(ertl_estimate(&regs, 10), 0.0);
+    }
+
+    fn state_bytes(h: &HyperLogLogPlusPlus) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        h.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn state_round_trips_in_both_representations() {
+        // Sparse.
+        let mut sparse = HyperLogLogPlusPlus::new(12, 0xBEEF).unwrap();
+        for i in 0..200u64 {
+            sparse.update(&i);
+        }
+        assert!(sparse.is_sparse());
+        // Dense.
+        let mut dense = HyperLogLogPlusPlus::new(10, 0xBEEF).unwrap();
+        for i in 0..50_000u64 {
+            dense.update(&i);
+        }
+        assert!(!dense.is_sparse());
+        for h in [&sparse, &dense] {
+            let bytes = state_bytes(h);
+            let mut r = ByteReader::new(&bytes);
+            let restored = HyperLogLogPlusPlus::read_state(&mut r).unwrap();
+            r.expect_end("hllpp state").unwrap();
+            assert_eq!(&restored, h);
+            assert_eq!(state_bytes(&restored), bytes, "canonical encoding");
+        }
+    }
+
+    #[test]
+    fn restored_sketch_continues_identically() {
+        // A restored sketch must produce the same future states as the
+        // original — including crossing the sparse→dense upgrade.
+        let mut a = HyperLogLogPlusPlus::new(8, 7).unwrap();
+        for i in 0..20u64 {
+            a.update(&i);
+        }
+        let bytes = state_bytes(&a);
+        let mut r = ByteReader::new(&bytes);
+        let mut b = HyperLogLogPlusPlus::read_state(&mut r).unwrap();
+        for i in 20..10_000u64 {
+            a.update(&i);
+            b.update(&i);
+        }
+        assert!(!a.is_sparse());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_corruption_is_typed() {
+        let mut h = HyperLogLogPlusPlus::new(6, 1).unwrap();
+        for i in 0..10u64 {
+            h.update(&i);
+        }
+        let bytes = state_bytes(&h);
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                matches!(
+                    HyperLogLogPlusPlus::read_state(&mut r),
+                    Err(SketchError::Corrupted { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        // Bad representation tag.
+        let mut bad = bytes.clone();
+        bad[12] = 9;
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            HyperLogLogPlusPlus::read_state(&mut r),
+            Err(SketchError::Corrupted { .. })
+        ));
+        // Dense payload with a seed that breaks domain separation.
+        let mut dense = HyperLogLogPlusPlus::new(6, 1).unwrap();
+        for i in 0..5_000u64 {
+            dense.update(&i);
+        }
+        assert!(!dense.is_sparse());
+        let mut bad = state_bytes(&dense);
+        bad[4] ^= 1; // flip a bit of the envelope seed only
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            HyperLogLogPlusPlus::read_state(&mut r),
+            Err(SketchError::Corrupted { .. })
+        ));
     }
 }

@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// Errors produced when constructing, merging, or querying sketches.
+/// Errors produced when constructing, merging, querying, or restoring
+/// sketches.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future failure classes (like [`SketchError::Corrupted`], added
+/// for the checkpoint/restore path) can land without breaking callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SketchError {
     /// A constructor parameter was out of its valid range.
     InvalidParameter {
@@ -27,6 +33,14 @@ pub enum SketchError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// Serialized state failed validation on restore: a truncated buffer,
+    /// checksum mismatch, version skew, or structurally impossible field.
+    /// Every corruption is *detected and typed* — decoding never panics and
+    /// never silently yields wrong state.
+    Corrupted {
+        /// Human-readable explanation of what failed to validate.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -38,6 +52,7 @@ impl fmt::Display for SketchError {
             Self::Incompatible { reason } => write!(f, "incompatible sketches: {reason}"),
             Self::EmptySketch => write!(f, "sketch is empty: no estimate available"),
             Self::CapacityExceeded { reason } => write!(f, "capacity exceeded: {reason}"),
+            Self::Corrupted { reason } => write!(f, "corrupted state: {reason}"),
         }
     }
 }
@@ -64,6 +79,14 @@ impl SketchError {
             reason: reason.into(),
         }
     }
+
+    /// Builds an [`SketchError::Corrupted`] from a formatted reason.
+    #[must_use]
+    pub fn corrupted(reason: impl Into<String>) -> Self {
+        Self::Corrupted {
+            reason: reason.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +100,9 @@ mod tests {
         let e = SketchError::incompatible("seed mismatch");
         assert!(e.to_string().contains("seed mismatch"));
         assert!(SketchError::EmptySketch.to_string().contains("empty"));
+        let e = SketchError::corrupted("checksum mismatch");
+        assert!(e.to_string().contains("corrupted"));
+        assert!(e.to_string().contains("checksum mismatch"));
     }
 
     #[test]

@@ -26,9 +26,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod error;
 pub mod traits;
 
+pub use codec::{ByteReader, ByteWriter};
 pub use error::{SketchError, SketchResult};
 pub use traits::{
     CardinalityEstimator, Clear, FrequencyEstimator, MembershipTester, MergeSketch, QuantileSketch,

@@ -15,7 +15,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
-use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update};
+use sketches_core::{
+    ByteReader, ByteWriter, Clear, MergeSketch, SketchError, SketchResult, SpaceUsage, Update,
+};
 
 /// One tracked counter.
 #[derive(Debug, Clone)]
@@ -170,6 +172,84 @@ impl<T: Hash + Eq + Clone> SpaceSaving<T> {
     #[must_use]
     pub fn k(&self) -> usize {
         self.capacity
+    }
+
+    /// Serializes the full summary state in the workspace checkpoint
+    /// layout, delegating item encoding to `write_item` (the summary is
+    /// generic over `T`, so the caller owns the item format). Slots are
+    /// written in their live order — slot indices are part of the state
+    /// (`by_count` tie-breaks on them), so preserving order keeps restored
+    /// behaviour byte-identical. [`SpaceSaving::read_state_with`] inverts
+    /// this exactly.
+    pub fn write_state_with(
+        &self,
+        w: &mut ByteWriter,
+        mut write_item: impl FnMut(&T, &mut ByteWriter),
+    ) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.items_seen);
+        w.put_usize(self.slots.len());
+        for slot in &self.slots {
+            write_item(&slot.item, w);
+            w.put_u64(slot.count);
+            w.put_u64(slot.err);
+        }
+    }
+
+    /// Restores a summary from [`SpaceSaving::write_state_with`] bytes,
+    /// delegating item decoding to `read_item`. The `index` and `by_count`
+    /// views are rebuilt from the slots.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation, `k < 2`, more
+    /// slots than capacity, a duplicate item, or an error bound exceeding
+    /// its count.
+    pub fn read_state_with(
+        r: &mut ByteReader<'_>,
+        mut read_item: impl FnMut(&mut ByteReader<'_>) -> SketchResult<T>,
+    ) -> SketchResult<Self> {
+        let capacity = r.usize()?;
+        if capacity < 2 {
+            return Err(SketchError::corrupted(format!(
+                "SpaceSaving capacity {capacity} below minimum 2"
+            )));
+        }
+        let items_seen = r.u64()?;
+        // Each slot is at least 16 bytes of counters, bounding the count
+        // before any allocation.
+        let num_slots = r.array_len(16, "SpaceSaving slots")?;
+        if num_slots > capacity {
+            return Err(SketchError::corrupted(format!(
+                "SpaceSaving holds {num_slots} slots but capacity is {capacity}"
+            )));
+        }
+        let mut slots = Vec::with_capacity(num_slots);
+        let mut index = HashMap::with_capacity(num_slots);
+        let mut by_count = BTreeSet::new();
+        for i in 0..num_slots {
+            let item = read_item(r)?;
+            let count = r.u64()?;
+            let err = r.u64()?;
+            if err > count {
+                return Err(SketchError::corrupted(format!(
+                    "SpaceSaving slot {i}: error {err} exceeds count {count}"
+                )));
+            }
+            if index.insert(item.clone(), i).is_some() {
+                return Err(SketchError::corrupted(format!(
+                    "SpaceSaving slot {i} duplicates an earlier item"
+                )));
+            }
+            by_count.insert((count, i));
+            slots.push(Slot { item, count, err });
+        }
+        Ok(Self {
+            capacity,
+            slots,
+            index,
+            by_count,
+            items_seen,
+        })
     }
 
     fn rebuild_from(&mut self, mut merged: Vec<Slot<T>>, items_seen: u64) {
@@ -432,5 +512,82 @@ mod tests {
         assert_eq!(ss.estimate(&1u8), 0);
         assert_eq!(ss.items_seen(), 0);
         assert_eq!(ss.min_count(), 0);
+    }
+
+    fn state_bytes(ss: &SpaceSaving<u32>) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        ss.write_state_with(&mut w, |item, w| w.put_u32(*item));
+        w.into_bytes()
+    }
+
+    fn read_state(bytes: &[u8]) -> sketches_core::SketchResult<SpaceSaving<u32>> {
+        let mut r = ByteReader::new(bytes);
+        let ss = SpaceSaving::read_state_with(&mut r, |r| r.u32())?;
+        r.expect_end("space-saving state")?;
+        Ok(ss)
+    }
+
+    #[test]
+    fn state_round_trips_and_resumes_identically() {
+        let stream = skewed_stream(10_000);
+        let mut a = SpaceSaving::new(16).unwrap();
+        for x in &stream {
+            a.update(x);
+        }
+        let bytes = state_bytes(&a);
+        let mut b = read_state(&bytes).unwrap();
+        assert_eq!(state_bytes(&b), bytes, "canonical encoding");
+        // Slot order (and therefore by_count tie-breaking) must survive the
+        // round trip: future evictions stay byte-identical.
+        for x in &stream {
+            a.update(x);
+            b.update(x);
+        }
+        assert_eq!(state_bytes(&a), state_bytes(&b));
+        assert_eq!(a.top_k(16), b.top_k(16));
+    }
+
+    #[test]
+    fn state_corruption_is_typed() {
+        let mut ss = SpaceSaving::new(4).unwrap();
+        for x in skewed_stream(500) {
+            ss.update(&x);
+        }
+        let bytes = state_bytes(&ss);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    read_state(&bytes[..cut]),
+                    Err(SketchError::Corrupted { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        // A capacity below the constructor minimum is rejected.
+        let mut bad = bytes.clone();
+        bad[0] = 1;
+        assert!(matches!(
+            read_state(&bad),
+            Err(SketchError::Corrupted { .. })
+        ));
+        // More slots than capacity is structurally impossible.
+        let mut bad = bytes.clone();
+        bad[16] = 200;
+        assert!(matches!(
+            read_state(&bad),
+            Err(SketchError::Corrupted { .. })
+        ));
+        // err > count violates the SpaceSaving invariant.
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_u64(5);
+        w.put_usize(1);
+        w.put_u32(9);
+        w.put_u64(3); // count
+        w.put_u64(7); // err > count
+        assert!(matches!(
+            read_state(&w.into_bytes()),
+            Err(SketchError::Corrupted { .. })
+        ));
     }
 }

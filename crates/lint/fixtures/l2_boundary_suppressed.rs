@@ -1,0 +1,6 @@
+//! L2 fixture: the same boundary, with its recovery contract declared.
+
+fn supervise(work: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // lint: panic-boundary(supervisor: the caller rolls state back before reporting a typed error)
+    std::panic::catch_unwind(work).is_ok()
+}

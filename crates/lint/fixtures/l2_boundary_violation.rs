@@ -1,0 +1,5 @@
+//! L2 fixture: an undeclared `catch_unwind` containment boundary.
+
+fn supervise(work: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(work).is_ok()
+}

@@ -5,6 +5,12 @@
 //! encodes a *structural invariant* (not an input condition) may stay, but
 //! it must say so: an `expect` with an invariant message plus a
 //! `// lint: panic-ok(reason)` comment. Tests and benches panic freely.
+//!
+//! `catch_unwind` sites are policed too: a containment boundary changes
+//! what a panic means for every callee beneath it (the process no longer
+//! aborts, so state left behind by an unwound frame becomes observable),
+//! so each one must declare its recovery contract with a
+//! `// lint: panic-boundary(reason)` comment.
 
 use crate::findings::{Finding, Rule};
 use crate::rules::FileContext;
@@ -22,27 +28,37 @@ pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
             continue;
         }
         let t = &tokens[i];
-        let flagged = if t.is_ident("unwrap") || t.is_ident("expect") {
-            i > 0
-                && tokens[i - 1].is_punct('.')
-                && i + 1 < tokens.len()
-                && tokens[i + 1].is_punct('(')
-        } else if t.is_ident("panic") {
-            i + 1 < tokens.len() && tokens[i + 1].is_punct('!')
-        } else {
-            false
-        };
+        let boundary =
+            t.is_ident("catch_unwind") && i + 1 < tokens.len() && tokens[i + 1].is_punct('(');
+        let flagged = boundary
+            || if t.is_ident("unwrap") || t.is_ident("expect") {
+                i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && i + 1 < tokens.len()
+                    && tokens[i + 1].is_punct('(')
+            } else if t.is_ident("panic") {
+                i + 1 < tokens.len() && tokens[i + 1].is_punct('!')
+            } else {
+                false
+            };
         if !flagged {
             continue;
         }
-        if ctx.lexed.has_escape(t.line, "panic-ok", LOOKBACK) {
+        let tag = if boundary {
+            "panic-boundary"
+        } else {
+            "panic-ok"
+        };
+        if ctx.lexed.has_escape(t.line, tag, LOOKBACK) {
             continue;
         }
-        out.push(Finding {
-            rule: Rule::L2PanicFree,
-            file: ctx.path.to_path_buf(),
-            line: t.line,
-            message: format!(
+        let message = if boundary {
+            "`catch_unwind` in library non-test code; a containment boundary makes \
+             unwound state observable, so declare its recovery contract with \
+             `// lint: panic-boundary(reason)`"
+                .to_string()
+        } else {
+            format!(
                 "`{}` in library non-test code; return SketchResult for input-dependent \
                  conditions, or document the structural invariant with \
                  `// lint: panic-ok(reason)`",
@@ -51,7 +67,13 @@ pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
                 } else {
                     format!(".{}()", t.text)
                 }
-            ),
+            )
+        };
+        out.push(Finding {
+            rule: Rule::L2PanicFree,
+            file: ctx.path.to_path_buf(),
+            line: t.line,
+            message,
         });
     }
     out
@@ -97,6 +119,37 @@ mod tests {
     #[test]
     fn unwrap_or_is_not_unwrap() {
         let f = run("fn f() { a.unwrap_or(0); a.unwrap_or_default(); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_requires_boundary_tag() {
+        let f = run("fn f() { let r = catch_unwind(|| work()); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("panic-boundary"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn boundary_tag_suppresses_catch_unwind() {
+        let f = run(
+            "fn f() {\n// lint: panic-boundary(worker supervisor; batch rolls back on unwind)\n\
+             let r = catch_unwind(|| work());\n}",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn panic_ok_does_not_cover_catch_unwind() {
+        // The two tags are distinct contracts; one must not satisfy the other.
+        let f = run("fn f() {\n// lint: panic-ok(wrong tag for a boundary)\n\
+             let r = catch_unwind(|| work());\n}");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn bare_catch_unwind_ident_is_not_a_boundary() {
+        // A `use` import mentions the name without opening a call.
+        let f = run("use std::panic::{catch_unwind, AssertUnwindSafe};");
         assert!(f.is_empty());
     }
 }

@@ -57,6 +57,16 @@ fn l2_panic_free_pair() {
 }
 
 #[test]
+fn l2_boundary_pair() {
+    assert_pair(
+        Rule::L2PanicFree,
+        "l2_boundary_violation.rs",
+        "l2_boundary_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn l3_forbid_unsafe_pair() {
     assert_pair(
         Rule::L3ForbidUnsafe,

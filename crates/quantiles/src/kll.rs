@@ -9,7 +9,8 @@
 //! `O((1/ε)·√log(1/δ))` space. Fully mergeable.
 
 use sketches_core::{
-    Clear, MergeSketch, QuantileSketch, SketchError, SketchResult, SpaceUsage, Update,
+    ByteReader, ByteWriter, Clear, MergeSketch, QuantileSketch, SketchError, SketchResult,
+    SpaceUsage, Update,
 };
 use sketches_hash::rng::{Rng64, SplitMix64};
 
@@ -91,6 +92,64 @@ impl KllSketch {
             }
             level += 1;
         }
+    }
+
+    /// Serializes the full sketch state — parameters, counters, the RNG
+    /// position, and every compactor level in order — in the workspace
+    /// checkpoint layout. [`KllSketch::read_state`] inverts it exactly, and
+    /// a restored sketch continues the *same* promotion coin-flip sequence
+    /// because the [`SplitMix64`] state is checkpointed too.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.k);
+        w.put_u64(self.n);
+        w.put_u64(self.rng.state());
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        w.put_usize(self.compactors.len());
+        for level in &self.compactors {
+            w.put_usize(level.len());
+            for &v in level {
+                w.put_f64(v);
+            }
+        }
+    }
+
+    /// Restores a sketch from [`KllSketch::write_state`] bytes.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation, `k < 8`, a zero
+    /// level count (the sketch always holds level 0), or level counts the
+    /// buffer cannot contain.
+    pub fn read_state(r: &mut ByteReader<'_>) -> SketchResult<Self> {
+        let k = r.usize()?;
+        if k < 8 {
+            return Err(SketchError::corrupted(format!("KLL k {k} below minimum 8")));
+        }
+        let n = r.u64()?;
+        let rng = SplitMix64::new(r.u64()?);
+        let min = r.f64()?;
+        let max = r.f64()?;
+        let num_levels = r.array_len(8, "KLL levels")?;
+        if num_levels == 0 {
+            return Err(SketchError::corrupted("KLL must hold at least level 0"));
+        }
+        let mut compactors = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            let len = r.array_len(8, "KLL level items")?;
+            let mut level = Vec::with_capacity(len);
+            for _ in 0..len {
+                level.push(r.f64()?);
+            }
+            compactors.push(level);
+        }
+        Ok(Self {
+            compactors,
+            k,
+            n,
+            rng,
+            min,
+            max,
+        })
     }
 
     /// All `(value, weight)` pairs currently held, unsorted.
@@ -366,5 +425,68 @@ mod tests {
         assert_eq!(kll.quantile(0.5).unwrap(), 42.0);
         assert_eq!(kll.quantile(0.0).unwrap(), 42.0);
         assert_eq!(kll.quantile(1.0).unwrap(), 42.0);
+    }
+
+    fn state_bytes(kll: &KllSketch) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        kll.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn state_round_trips_and_resumes_identically() {
+        let mut a = KllSketch::new(64, 17).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(21);
+        for _ in 0..5_000 {
+            a.update(&(rng.next_f64() * 1e3));
+        }
+        let bytes = state_bytes(&a);
+        let mut r = ByteReader::new(&bytes);
+        let mut b = KllSketch::read_state(&mut r).unwrap();
+        r.expect_end("kll state").unwrap();
+        assert_eq!(state_bytes(&b), bytes, "canonical encoding");
+        // The restored sketch must replay the same promotion coin flips:
+        // future states stay byte-identical, not merely close.
+        for _ in 0..5_000 {
+            let v = rng.next_f64() * 1e3;
+            a.update(&v);
+            b.update(&v);
+        }
+        assert_eq!(state_bytes(&a), state_bytes(&b));
+    }
+
+    #[test]
+    fn state_corruption_is_typed() {
+        let mut kll = KllSketch::new(8, 3).unwrap();
+        for i in 0..100 {
+            kll.update(&f64::from(i));
+        }
+        let bytes = state_bytes(&kll);
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                matches!(
+                    KllSketch::read_state(&mut r),
+                    Err(SketchError::Corrupted { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        // k below the constructor minimum is structurally rejected.
+        let mut bad = bytes.clone();
+        bad[0] = 1;
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            KllSketch::read_state(&mut r),
+            Err(SketchError::Corrupted { .. })
+        ));
+        // An absurd level count cannot drive a huge allocation.
+        let mut bad = bytes;
+        bad[40..48].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            KllSketch::read_state(&mut r),
+            Err(SketchError::Corrupted { .. })
+        ));
     }
 }

@@ -1,21 +1,27 @@
 //! The sketch-backed aggregation engine.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sketches_cardinality::HyperLogLogPlusPlus;
 use sketches_core::{
-    CardinalityEstimator, MergeSketch, QuantileSketch, SketchError, SketchResult, SpaceUsage,
-    Update,
+    ByteReader, ByteWriter, CardinalityEstimator, MergeSketch, QuantileSketch, SketchError,
+    SketchResult, SpaceUsage, Update,
 };
 use sketches_frequency::SpaceSaving;
 use sketches_quantiles::KllSketch;
 
+use crate::fault::{
+    panic_message, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultKind,
+    FaultPolicy, QuarantinedRow, INJECTED_PANIC_MARKER,
+};
 use crate::query::{Aggregate, AggregateResult, QuerySpec};
-use crate::value::{Row, Value};
+use crate::value::{read_value, write_value, Row, Value};
 
 /// Per-group sketch state for one aggregate.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(u64),
     Sum(f64),
     CountDistinct(HyperLogLogPlusPlus),
@@ -54,18 +60,39 @@ impl Default for EngineConfig {
 /// "huge numbers of sketches in parallel" design of the ISP-era systems.
 #[derive(Debug, Clone)]
 pub struct SketchEngine {
-    spec: QuerySpec,
-    config: EngineConfig,
+    pub(crate) spec: QuerySpec,
+    pub(crate) config: EngineConfig,
     /// Pristine per-group state, validated at construction and cloned for
     /// each new group (cheaper and simpler than re-validating per group).
     template: Vec<AggState>,
-    groups: HashMap<Vec<Value>, Vec<AggState>>,
+    pub(crate) groups: HashMap<Vec<Value>, Vec<AggState>>,
     /// Reusable key-projection buffer so the hot path can look up the
     /// group by slice (`Vec<Value>: Borrow<[Value]>`) without allocating a
     /// fresh key `Vec` per row; surrendered to the map only on the first
     /// row of each new group.
     key_scratch: Vec<Value>,
+    pub(crate) rows_processed: u64,
+    /// What to do with malformed rows (fail the batch vs quarantine).
+    fault_policy: FaultPolicy,
+    /// Quarantined rows under [`FaultPolicy::Quarantine`].
+    dead_letters: DeadLetters,
+    /// Deterministic fault schedule, when armed by a drill.
+    injector: Option<FaultInjector>,
+    /// In-flight batch checkpoint: the pre-batch state of every group the
+    /// batch has touched, for rollback on failure.
+    checkpoint: Option<BatchCheckpoint>,
+}
+
+/// Incremental undo log for one in-flight batch: only groups the batch
+/// touches are saved (`Some` = pre-batch state to restore, `None` = group
+/// created by this batch, to delete), so checkpoint cost scales with the
+/// batch's group footprint rather than the whole engine.
+#[derive(Debug, Clone, Default)]
+struct BatchCheckpoint {
+    touched: HashMap<Vec<Value>, Option<Vec<AggState>>>,
     rows_processed: u64,
+    dead_count: u64,
+    dead_samples: usize,
 }
 
 impl SketchEngine {
@@ -90,6 +117,10 @@ impl SketchEngine {
             groups: HashMap::new(),
             key_scratch: Vec::new(),
             rows_processed: 0,
+            fault_policy: FaultPolicy::default(),
+            dead_letters: DeadLetters::default(),
+            injector: None,
+            checkpoint: None,
         };
         engine.template = engine.fresh_state()?;
         Ok(engine)
@@ -126,14 +157,81 @@ impl SketchEngine {
             .collect()
     }
 
-    /// Processes one row.
-    ///
-    /// # Errors
-    /// Returns an error if the row is too short for the query or a
-    /// non-numeric field is aggregated numerically.
-    pub fn process(&mut self, row: &Row) -> SketchResult<()> {
+    /// Validates one row against the query up front — arity, then the type
+    /// of every numerically-aggregated field — so that by the time
+    /// [`apply`](Self::apply) mutates sketch state, nothing can fail. This
+    /// full validation is what makes row-level quarantine and batch
+    /// rollback sound: a poison row is rejected *before* any sketch absorbs
+    /// part of it.
+    fn validate_row(&self, row: &Row) -> SketchResult<()> {
         if row.len() <= self.spec.max_field() {
             return Err(SketchError::invalid("row", "row shorter than query fields"));
+        }
+        for agg in &self.spec.aggregates {
+            match agg {
+                Aggregate::Sum { field } => {
+                    if row[*field].as_f64().is_none() {
+                        return Err(SketchError::invalid("field", "SUM over non-numeric field"));
+                    }
+                }
+                Aggregate::Quantiles { field } => {
+                    if row[*field].as_f64().is_none() {
+                        return Err(SketchError::invalid(
+                            "field",
+                            "QUANTILES over non-numeric field",
+                        ));
+                    }
+                }
+                Aggregate::Count | Aggregate::CountDistinct { .. } | Aggregate::TopK { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes a rejected row by policy: fail (the caller rolls the batch
+    /// back) or divert to the dead-letter buffer and continue.
+    fn divert_or_fail(
+        &mut self,
+        row_index: usize,
+        row: &Row,
+        reason: SketchError,
+    ) -> SketchResult<bool> {
+        match self.fault_policy {
+            FaultPolicy::FailBatch => Err(reason),
+            FaultPolicy::Quarantine { .. } => {
+                self.dead_letters.record(QuarantinedRow {
+                    row_index,
+                    shard: None,
+                    reason,
+                    row: row.clone(),
+                });
+                Ok(false)
+            }
+        }
+    }
+
+    /// One ingest attempt: validate, consult the fault injector, then fold
+    /// the row into its group. Returns `Ok(true)` if the row landed,
+    /// `Ok(false)` if it was quarantined.
+    ///
+    /// # Errors
+    /// Returns the row's rejection reason under [`FaultPolicy::FailBatch`].
+    pub(crate) fn ingest_row(&mut self, row_index: usize, row: &Row) -> SketchResult<bool> {
+        if let Err(reason) = self.validate_row(row) {
+            return self.divert_or_fail(row_index, row, reason);
+        }
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.check() {
+                Some(FaultKind::Error) => {
+                    let reason = SketchError::invalid("fault", "injected ingest error");
+                    return self.divert_or_fail(row_index, row, reason);
+                }
+                Some(FaultKind::Panic) => {
+                    // lint: panic-ok(deterministic injected fault; always contained by the batch supervisor)
+                    panic!("{INJECTED_PANIC_MARKER}: injected panic at row {row_index}");
+                }
+                None => {}
+            }
         }
         // Project the key into the reusable scratch buffer and look the
         // group up by slice: the steady state (group already known) does
@@ -142,58 +240,160 @@ impl SketchEngine {
         self.key_scratch.clear();
         self.key_scratch
             .extend(self.spec.group_by.iter().map(|&i| row[i].clone()));
+        // Transactional bookkeeping: the first time a batch touches a
+        // group, save its pre-batch state (or note it is brand new).
+        if let Some(cp) = &mut self.checkpoint {
+            if !cp.touched.contains_key(self.key_scratch.as_slice()) {
+                cp.touched.insert(
+                    self.key_scratch.clone(),
+                    self.groups.get(self.key_scratch.as_slice()).cloned(),
+                );
+            }
+        }
         if let Some(state) = self.groups.get_mut(self.key_scratch.as_slice()) {
-            Self::apply(&self.spec, state, row)?;
+            Self::apply(&self.spec, state, row);
         } else {
             let key = std::mem::take(&mut self.key_scratch);
             let template = &self.template;
             let state = self.groups.entry(key).or_insert_with(|| template.clone());
-            Self::apply(&self.spec, state, row)?;
+            Self::apply(&self.spec, state, row);
         }
         self.rows_processed += 1;
-        Ok(())
+        Ok(true)
     }
 
-    /// Processes a batch of rows in order — the unit of work the sharded
-    /// ingest layer ships to shard workers.
+    /// Processes one row.
+    ///
+    /// Under [`FaultPolicy::Quarantine`] a malformed row is diverted to
+    /// [`dead_letters`](Self::dead_letters) and `Ok(())` is returned.
     ///
     /// # Errors
-    /// Stops at the first failing row (earlier rows of the batch remain
-    /// absorbed, exactly as with repeated [`process`](Self::process)).
-    pub fn process_batch(&mut self, rows: &[Row]) -> SketchResult<()> {
-        for row in rows {
-            self.process(row)?;
-        }
-        Ok(())
+    /// Under [`FaultPolicy::FailBatch`] (the default), returns an error if
+    /// the row is too short for the query or a non-numeric field is
+    /// aggregated numerically — before any state is mutated.
+    pub fn process(&mut self, row: &Row) -> SketchResult<()> {
+        self.ingest_row(0, row).map(|_| ())
     }
 
-    /// Folds one row into a group's aggregate states.
-    fn apply(spec: &QuerySpec, state: &mut [AggState], row: &Row) -> SketchResult<()> {
+    /// Starts an undo log: subsequent [`ingest_row`](Self::ingest_row)
+    /// calls record the pre-batch state of every group they touch.
+    pub(crate) fn begin_batch(&mut self) {
+        self.checkpoint = Some(BatchCheckpoint {
+            touched: HashMap::new(),
+            rows_processed: self.rows_processed,
+            dead_count: self.dead_letters.count(),
+            dead_samples: self.dead_letters.samples().len(),
+        });
+    }
+
+    /// Discards the undo log, keeping everything the batch ingested.
+    pub(crate) fn commit_batch(&mut self) {
+        self.checkpoint = None;
+    }
+
+    /// Restores the exact pre-batch state from the undo log: touched groups
+    /// revert, groups the batch created disappear, and the row/dead-letter
+    /// counters rewind.
+    pub(crate) fn rollback_batch(&mut self) {
+        if let Some(cp) = self.checkpoint.take() {
+            // lint: sorted-iteration-ok(keyed restore: each entry overwrites its own group, independent of visit order)
+            for (key, saved) in cp.touched {
+                match saved {
+                    Some(state) => {
+                        self.groups.insert(key, state);
+                    }
+                    None => {
+                        self.groups.remove(&key);
+                    }
+                }
+            }
+            self.rows_processed = cp.rows_processed;
+            self.dead_letters
+                .truncate_to(cp.dead_count, cp.dead_samples);
+        }
+    }
+
+    /// Processes a batch of rows in order — transactionally. Either every
+    /// valid row of the batch is absorbed and a [`BatchSummary`] reports
+    /// what happened, or the engine's observable state is **exactly** what
+    /// it was before the call: a failing row, an injected fault, or even a
+    /// panic inside the ingest path (contained here via `catch_unwind`)
+    /// rolls back all of the batch's partial work. A torn batch is never
+    /// visible.
+    ///
+    /// # Errors
+    /// Returns a [`BatchError`] naming the failing row and cause. The
+    /// engine is unchanged.
+    pub fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError> {
+        self.begin_batch();
+        let last_row = Cell::new(None::<usize>);
+        // lint: panic-boundary(batch supervisor: contains ingest panics, rolls the batch back, reports a typed BatchError)
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut summary = BatchSummary::default();
+            for (idx, row) in rows.iter().enumerate() {
+                last_row.set(Some(idx));
+                match self.ingest_row(idx, row) {
+                    Ok(true) => summary.rows_ingested += 1,
+                    Ok(false) => summary.rows_quarantined += 1,
+                    Err(e) => {
+                        return Err(BatchError {
+                            row: Some(idx),
+                            shard: None,
+                            cause: BatchCause::Row(e),
+                        });
+                    }
+                }
+            }
+            Ok(summary)
+        }));
+        match outcome {
+            Ok(Ok(summary)) => {
+                self.commit_batch();
+                Ok(summary)
+            }
+            Ok(Err(err)) => {
+                self.rollback_batch();
+                Err(err)
+            }
+            Err(payload) => {
+                self.rollback_batch();
+                Err(BatchError {
+                    row: last_row.get(),
+                    shard: None,
+                    cause: BatchCause::WorkerPanic(panic_message(payload.as_ref())),
+                })
+            }
+        }
+    }
+
+    /// Folds one row into a group's aggregate states. Infallible by
+    /// construction: [`validate_row`](Self::validate_row) has already
+    /// checked arity and numeric types, and the state vector is built from
+    /// the same spec.
+    fn apply(spec: &QuerySpec, state: &mut [AggState], row: &Row) {
         for (agg, st) in spec.aggregates.iter().zip(state.iter_mut()) {
             match (agg, st) {
                 (Aggregate::Count, AggState::Count(c)) => *c += 1,
                 (Aggregate::Sum { field }, AggState::Sum(s)) => {
-                    let v = row[*field].as_f64().ok_or_else(|| {
-                        SketchError::invalid("field", "SUM over non-numeric field")
-                    })?;
-                    *s += v;
+                    if let Some(v) = row[*field].as_f64() {
+                        *s += v;
+                    }
                 }
                 (Aggregate::CountDistinct { field }, AggState::CountDistinct(h)) => {
                     h.update(&row[*field]);
                 }
                 (Aggregate::Quantiles { field }, AggState::Quantiles(q)) => {
-                    let v = row[*field].as_f64().ok_or_else(|| {
-                        SketchError::invalid("field", "QUANTILES over non-numeric field")
-                    })?;
-                    q.update(&v);
+                    if let Some(v) = row[*field].as_f64() {
+                        q.update(&v);
+                    }
                 }
                 (Aggregate::TopK { field, .. }, AggState::TopK { sketch, .. }) => {
                     sketch.update(&row[*field]);
                 }
+                // lint: panic-ok(state vector is built from the same spec; a mismatch is a construction bug, not input)
                 _ => unreachable!("state vector built from the same spec"),
             }
         }
-        Ok(())
     }
 
     /// Reports the aggregates of one group (`None` if the group was never
@@ -246,6 +446,39 @@ impl SketchEngine {
         self.rows_processed
     }
 
+    /// The dead-letter buffer of quarantined rows.
+    #[must_use]
+    pub fn dead_letters(&self) -> &DeadLetters {
+        &self.dead_letters
+    }
+
+    /// The current poison-row policy.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Sets the poison-row policy. Switching to
+    /// [`FaultPolicy::Quarantine`] re-bounds the dead-letter samples to its
+    /// `max_samples`.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        if let FaultPolicy::Quarantine { max_samples } = policy {
+            self.dead_letters.set_max_samples(max_samples);
+        }
+        self.fault_policy = policy;
+    }
+
+    /// Arms a deterministic fault schedule (a drill: see [`FaultInjector`]).
+    pub fn arm_faults(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Disarms the fault schedule, returning it (with its attempt counter)
+    /// if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
+    }
+
     /// Finishes a tumbling window: returns every group's report (in
     /// ascending key order, so downstream consumers see a stable layout)
     /// and resets the state for the next window.
@@ -264,6 +497,8 @@ impl SketchEngine {
         }
         self.groups.clear();
         self.rows_processed = 0;
+        // A fresh window starts fresh quarantine stats too.
+        self.dead_letters.clear();
         Ok(out)
     }
 
@@ -311,7 +546,75 @@ impl SketchEngine {
             }
         }
         self.rows_processed += other.rows_processed;
+        self.dead_letters.absorb(&other.dead_letters, None);
         Ok(())
+    }
+
+    /// Serializes the engine's durable state — config, spec, row counter,
+    /// and every group's sketches — as a checkpoint payload (no envelope;
+    /// [`crate::Snapshot`] adds magic/version/checksum framing). Groups are
+    /// written in ascending key order, so the encoding is **canonical**:
+    /// re-serializing a restored engine yields byte-identical output.
+    ///
+    /// Transient fault state (policy, dead letters, armed injectors, any
+    /// in-flight undo log) is deliberately excluded: a checkpoint captures
+    /// the aggregation state, not the drill harness around it.
+    pub(crate) fn write_state_payload(&self, w: &mut ByteWriter) {
+        write_config(&self.config, w);
+        write_spec(&self.spec, w);
+        w.put_u64(self.rows_processed);
+        // lint: sorted-iteration-ok(keys collected then fully sorted below; emission order is the sorted order)
+        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
+        keys.sort();
+        w.put_usize(keys.len());
+        for key in keys {
+            for v in key {
+                write_value(v, w);
+            }
+            let state = &self.groups[key];
+            for st in state {
+                write_agg_state(st, w);
+            }
+        }
+    }
+
+    /// Restores an engine from [`write_state_payload`](Self::write_state_payload)
+    /// bytes. Structure is validated end to end: config and spec go through
+    /// their normal constructors, group keys must be strictly ascending
+    /// (canonical order), and every sketch's parameters must agree with the
+    /// config they were allegedly built from.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on any structural violation.
+    pub(crate) fn read_state_payload(r: &mut ByteReader<'_>) -> SketchResult<Self> {
+        let config = read_config(r)?;
+        let spec = read_spec(r)?;
+        let mut engine = Self::with_config(spec, config)
+            .map_err(|e| SketchError::corrupted(format!("checkpoint config rejected: {e}")))?;
+        let rows_processed = r.u64()?;
+        let num_groups = r.array_len(1, "engine groups")?;
+        let key_len = engine.spec.group_by.len();
+        let aggregates = engine.spec.aggregates.clone();
+        let mut prev_key: Option<Vec<Value>> = None;
+        for _ in 0..num_groups {
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(read_value(r)?);
+            }
+            if prev_key.as_ref().is_some_and(|p| *p >= key) {
+                return Err(SketchError::corrupted(
+                    "engine groups not in strictly ascending key order",
+                ));
+            }
+            let mut state = Vec::with_capacity(aggregates.len());
+            for agg in &aggregates {
+                state.push(read_agg_state(agg, &engine.config, r)?);
+            }
+            prev_key = Some(key.clone());
+            engine.groups.insert(key, state);
+        }
+        engine.rows_processed = rows_processed;
+        Ok(engine)
     }
 
     /// Total sketch memory across groups.
@@ -329,6 +632,141 @@ impl SketchEngine {
             })
             .sum()
     }
+}
+
+/// Serializes an [`EngineConfig`] (fixed-width fields, canonical).
+fn write_config(config: &EngineConfig, w: &mut ByteWriter) {
+    w.put_u32(config.hll_precision);
+    w.put_usize(config.kll_k);
+    w.put_usize(config.space_saving_counters);
+    w.put_u64(config.seed);
+}
+
+/// Restores an [`EngineConfig`]. Range validation happens downstream, when
+/// the config is fed through [`SketchEngine::with_config`].
+fn read_config(r: &mut ByteReader<'_>) -> SketchResult<EngineConfig> {
+    Ok(EngineConfig {
+        hll_precision: r.u32()?,
+        kll_k: r.usize()?,
+        space_saving_counters: r.usize()?,
+        seed: r.u64()?,
+    })
+}
+
+/// Serializes a [`QuerySpec`]: grouping fields, then tagged aggregates.
+fn write_spec(spec: &QuerySpec, w: &mut ByteWriter) {
+    w.put_usize(spec.group_by.len());
+    for &f in &spec.group_by {
+        w.put_usize(f);
+    }
+    w.put_usize(spec.aggregates.len());
+    for agg in &spec.aggregates {
+        match agg {
+            Aggregate::Count => w.put_u8(0),
+            Aggregate::Sum { field } => {
+                w.put_u8(1);
+                w.put_usize(*field);
+            }
+            Aggregate::CountDistinct { field } => {
+                w.put_u8(2);
+                w.put_usize(*field);
+            }
+            Aggregate::Quantiles { field } => {
+                w.put_u8(3);
+                w.put_usize(*field);
+            }
+            Aggregate::TopK { field, k } => {
+                w.put_u8(4);
+                w.put_usize(*field);
+                w.put_usize(*k);
+            }
+        }
+    }
+}
+
+/// Restores a [`QuerySpec`], re-running its constructor validation.
+fn read_spec(r: &mut ByteReader<'_>) -> SketchResult<QuerySpec> {
+    let num_group_by = r.array_len(8, "spec group-by fields")?;
+    let mut group_by = Vec::with_capacity(num_group_by);
+    for _ in 0..num_group_by {
+        group_by.push(r.usize()?);
+    }
+    let num_aggs = r.array_len(1, "spec aggregates")?;
+    let mut aggregates = Vec::with_capacity(num_aggs);
+    for _ in 0..num_aggs {
+        aggregates.push(match r.u8()? {
+            0 => Aggregate::Count,
+            1 => Aggregate::Sum { field: r.usize()? },
+            2 => Aggregate::CountDistinct { field: r.usize()? },
+            3 => Aggregate::Quantiles { field: r.usize()? },
+            4 => Aggregate::TopK {
+                field: r.usize()?,
+                k: r.usize()?,
+            },
+            tag => {
+                return Err(SketchError::corrupted(format!(
+                    "unknown aggregate tag {tag} (expected 0..=4)"
+                )));
+            }
+        });
+    }
+    QuerySpec::new(group_by, aggregates)
+        .map_err(|e| SketchError::corrupted(format!("checkpoint spec rejected: {e}")))
+}
+
+/// Serializes one aggregate's state. No variant tag is needed: the spec
+/// (serialized in the same payload) fixes which variant sits at each
+/// position.
+fn write_agg_state(st: &AggState, w: &mut ByteWriter) {
+    match st {
+        AggState::Count(c) => w.put_u64(*c),
+        AggState::Sum(s) => w.put_f64(*s),
+        AggState::CountDistinct(h) => h.write_state(w),
+        AggState::Quantiles(q) => q.write_state(w),
+        AggState::TopK { sketch, .. } => sketch.write_state_with(w, write_value),
+    }
+}
+
+/// Restores one aggregate's state against the spec's aggregate at the same
+/// position, cross-validating every sketch parameter against the config it
+/// was allegedly built from — a decoded sketch with the wrong precision,
+/// seed, `k`, or capacity is corruption, not a different-but-valid sketch.
+fn read_agg_state(
+    agg: &Aggregate,
+    config: &EngineConfig,
+    r: &mut ByteReader<'_>,
+) -> SketchResult<AggState> {
+    Ok(match agg {
+        Aggregate::Count => AggState::Count(r.u64()?),
+        Aggregate::Sum { .. } => AggState::Sum(r.f64()?),
+        Aggregate::CountDistinct { .. } => {
+            let h = HyperLogLogPlusPlus::read_state(r)?;
+            if h.precision() != config.hll_precision || h.seed() != config.seed {
+                return Err(SketchError::corrupted(
+                    "COUNT DISTINCT sketch parameters disagree with the engine config",
+                ));
+            }
+            AggState::CountDistinct(h)
+        }
+        Aggregate::Quantiles { .. } => {
+            let q = KllSketch::read_state(r)?;
+            if q.k() != config.kll_k {
+                return Err(SketchError::corrupted(
+                    "QUANTILES sketch k disagrees with the engine config",
+                ));
+            }
+            AggState::Quantiles(q)
+        }
+        Aggregate::TopK { k, .. } => {
+            let sketch = SpaceSaving::read_state_with(r, read_value)?;
+            if sketch.k() != config.space_saving_counters {
+                return Err(SketchError::corrupted(
+                    "TOP-K sketch capacity disagrees with the engine config",
+                ));
+            }
+            AggState::TopK { sketch, k: *k }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -482,5 +920,119 @@ mod tests {
     fn topk_k_exceeding_counters_rejected() {
         let spec = QuerySpec::new(vec![0], vec![Aggregate::TopK { field: 1, k: 1000 }]).unwrap();
         assert!(SketchEngine::new(spec).is_err());
+    }
+
+    fn fault_rows(n: u64) -> Vec<Row> {
+        (0..n)
+            .map(|i| row![i % 5, i % 31, (i % 100) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn poison_row_fails_batch_and_rolls_back() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        eng.process_batch(&fault_rows(100)).unwrap();
+        let before = eng.to_snapshot_bytes();
+
+        let mut batch = fault_rows(50);
+        batch.insert(20, row![0u64, 1u64, "not-a-number"]);
+        let err = eng.process_batch(&batch).unwrap_err();
+        assert_eq!(err.row, Some(20));
+        assert_eq!(err.shard, None);
+        assert!(matches!(err.cause, BatchCause::Row(_)));
+        // Torn-batch guarantee: the 20 rows ingested before the poison row
+        // were rolled back — state is byte-identical to pre-batch.
+        assert_eq!(eng.to_snapshot_bytes(), before);
+        assert_eq!(eng.rows_processed(), 100);
+
+        // The same batch minus the poison row lands cleanly.
+        batch.remove(20);
+        let summary = eng.process_batch(&batch).unwrap();
+        assert_eq!(summary.rows_ingested, 50);
+        assert_eq!(summary.rows_quarantined, 0);
+        assert_eq!(eng.rows_processed(), 150);
+    }
+
+    #[test]
+    fn quarantine_diverts_poison_rows_and_bounds_samples() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        eng.set_fault_policy(FaultPolicy::Quarantine { max_samples: 2 });
+        let mut batch = fault_rows(60);
+        batch.insert(5, row![9u64]); // short
+        batch.insert(25, row![0u64, 1u64, "bad"]); // non-numeric SUM field
+        batch.insert(40, row![1u64, 2u64, "bad"]);
+        let summary = eng.process_batch(&batch).unwrap();
+        assert_eq!(summary.rows_ingested, 60);
+        assert_eq!(summary.rows_quarantined, 3);
+        assert_eq!(eng.dead_letters().count(), 3);
+        assert_eq!(eng.dead_letters().samples().len(), 2);
+        assert_eq!(eng.dead_letters().samples()[0].row_index, 5);
+
+        // The quarantined rows left no trace in sketch state: a clean
+        // engine fed only the good rows is byte-identical.
+        let mut clean = SketchEngine::new(spec()).unwrap();
+        clean.set_fault_policy(FaultPolicy::Quarantine { max_samples: 2 });
+        clean.process_batch(&fault_rows(60)).unwrap();
+        assert_eq!(eng.to_snapshot_bytes(), clean.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn injected_panic_is_contained_rolled_back_and_retryable() {
+        crate::fault::silence_injected_panics();
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        eng.process_batch(&fault_rows(30)).unwrap();
+        let before = eng.to_snapshot_bytes();
+
+        // The injector counts attempts from when it is armed, so attempt 7
+        // is row 7 of the next batch.
+        eng.arm_faults(FaultInjector::new().at(7, FaultKind::Panic));
+        let batch = fault_rows(40);
+        let err = eng.process_batch(&batch).unwrap_err();
+        assert_eq!(err.row, Some(7));
+        match &err.cause {
+            BatchCause::WorkerPanic(msg) => {
+                assert!(msg.contains(crate::fault::INJECTED_PANIC_MARKER), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(eng.to_snapshot_bytes(), before);
+
+        // The attempt counter was NOT rewound, so the retry sails past the
+        // transient fault and converges with a never-faulted engine.
+        eng.process_batch(&batch).unwrap();
+        let mut baseline = SketchEngine::new(spec()).unwrap();
+        baseline.process_batch(&fault_rows(30)).unwrap();
+        baseline.process_batch(&batch).unwrap();
+        eng.disarm_faults();
+        assert_eq!(eng.to_snapshot_bytes(), baseline.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn injected_error_fails_batch_then_retry_recovers() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        eng.arm_faults(FaultInjector::new().at(3, FaultKind::Error));
+        let batch = fault_rows(10);
+        let err = eng.process_batch(&batch).unwrap_err();
+        assert_eq!(err.row, Some(3));
+        assert_eq!(eng.rows_processed(), 0);
+        eng.process_batch(&batch).unwrap();
+        eng.disarm_faults();
+
+        let mut baseline = SketchEngine::new(spec()).unwrap();
+        baseline.process_batch(&batch).unwrap();
+        assert_eq!(eng.to_snapshot_bytes(), baseline.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn injected_error_under_quarantine_is_diverted() {
+        let mut eng = SketchEngine::new(spec()).unwrap();
+        eng.set_fault_policy(FaultPolicy::Quarantine {
+            max_samples: crate::fault::DEFAULT_MAX_SAMPLES,
+        });
+        eng.arm_faults(FaultInjector::new().at(4, FaultKind::Error));
+        let summary = eng.process_batch(&fault_rows(10)).unwrap();
+        assert_eq!(summary.rows_ingested, 9);
+        assert_eq!(summary.rows_quarantined, 1);
+        assert_eq!(eng.dead_letters().samples()[0].row_index, 4);
     }
 }

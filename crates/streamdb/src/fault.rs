@@ -1,0 +1,420 @@
+//! The fault model of the stream engines: typed batch failures, poison-row
+//! quarantine, and a deterministic fault injector.
+//!
+//! The design splits failures into three classes:
+//!
+//! * **Row faults** — a malformed input row (wrong arity, a string where a
+//!   number is required). Under [`FaultPolicy::FailBatch`] the batch fails
+//!   and rolls back; under [`FaultPolicy::Quarantine`] the row is diverted
+//!   to a bounded [`DeadLetters`] buffer and ingest continues.
+//! * **Worker faults** — a panic inside an ingest worker. Always contained
+//!   by the batch supervisor's `catch_unwind` and converted into a
+//!   [`BatchError`] after the whole batch rolls back; a panic never escapes
+//!   `process_batch` and never leaves partially-applied state behind.
+//! * **Restore faults** — corrupted checkpoint bytes, reported as
+//!   [`sketches_core::SketchError::Corrupted`] by [`crate::snapshot`].
+//!
+//! [`FaultInjector`] drives the first two classes deterministically for
+//! tests and experiment E22: faults fire at chosen ingest attempts, and the
+//! attempt counter is *not* rewound on rollback, so retrying a failed batch
+//! deterministically gets past a transient injected fault.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sketches_core::SketchError;
+
+use crate::value::Row;
+
+/// Substring marking panics raised by [`FaultInjector`]; used by
+/// [`silence_injected_panics`] to keep deterministic fault drills from
+/// spamming stderr while still surfacing genuine panics.
+pub const INJECTED_PANIC_MARKER: &str = "streamdb-injected-fault";
+
+/// What an engine does with a malformed (poison) row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Fail and roll back the whole batch at the first poison row (the
+    /// default: ingest is all-or-nothing).
+    #[default]
+    FailBatch,
+    /// Divert poison rows to a bounded dead-letter buffer and keep going.
+    Quarantine {
+        /// How many diverted rows to retain verbatim for inspection (the
+        /// count is always exact; only the samples are bounded).
+        max_samples: usize,
+    },
+}
+
+/// What a successful [`process_batch`](crate::SketchEngine::process_batch)
+/// did: how many rows landed in sketches and how many were quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Rows absorbed into per-group sketch state.
+    pub rows_ingested: usize,
+    /// Rows diverted to the dead-letter buffer (always zero under
+    /// [`FaultPolicy::FailBatch`]).
+    pub rows_quarantined: usize,
+}
+
+/// Why a batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchCause {
+    /// A row was rejected (malformed input or an injected error) under
+    /// [`FaultPolicy::FailBatch`].
+    Row(SketchError),
+    /// An ingest worker panicked; the payload message is preserved.
+    WorkerPanic(String),
+}
+
+/// A failed batch: which row and shard failed, and why. The batch was
+/// rolled back — engine state is exactly what it was before the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index (within the batch) of the failing row, when attributable.
+    pub row: Option<usize>,
+    /// Shard that failed (`None` for the sequential engine or the router).
+    pub shard: Option<usize>,
+    /// The underlying failure.
+    pub cause: BatchCause,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch failed")?;
+        if let Some(row) = self.row {
+            write!(f, " at row {row}")?;
+        }
+        if let Some(shard) = self.shard {
+            write!(f, " in shard {shard}")?;
+        }
+        match &self.cause {
+            BatchCause::Row(e) => write!(f, ": {e}"),
+            BatchCause::WorkerPanic(msg) => write!(f, ": worker panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            BatchCause::Row(e) => Some(e),
+            BatchCause::WorkerPanic(_) => None,
+        }
+    }
+}
+
+impl From<BatchError> for SketchError {
+    /// Flattens a batch failure for callers propagating `SketchResult`
+    /// with `?`; the row/shard/cause attribution survives in the message.
+    fn from(err: BatchError) -> Self {
+        SketchError::invalid("batch", err.to_string())
+    }
+}
+
+/// One quarantined row, with enough context to replay or debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedRow {
+    /// Index of the row within the batch that diverted it.
+    pub row_index: usize,
+    /// Shard whose worker diverted it (`None` when diverted by the
+    /// sequential engine or the sharded router).
+    pub shard: Option<usize>,
+    /// Why the row was rejected.
+    pub reason: SketchError,
+    /// The offending row, verbatim.
+    pub row: Row,
+}
+
+/// A bounded dead-letter buffer: an exact count of quarantined rows plus
+/// the first `max_samples` of them verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetters {
+    count: u64,
+    samples: Vec<QuarantinedRow>,
+    max_samples: usize,
+}
+
+/// Default number of quarantined rows retained verbatim.
+pub const DEFAULT_MAX_SAMPLES: usize = 16;
+
+impl Default for DeadLetters {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_SAMPLES)
+    }
+}
+
+impl DeadLetters {
+    /// Creates an empty buffer retaining at most `max_samples` rows.
+    #[must_use]
+    pub fn new(max_samples: usize) -> Self {
+        Self {
+            count: 0,
+            samples: Vec::new(),
+            max_samples,
+        }
+    }
+
+    /// Total rows quarantined (exact, never truncated).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The retained sample rows (at most [`DeadLetters::max_samples`]).
+    #[must_use]
+    pub fn samples(&self) -> &[QuarantinedRow] {
+        &self.samples
+    }
+
+    /// The sample retention bound.
+    #[must_use]
+    pub fn max_samples(&self) -> usize {
+        self.max_samples
+    }
+
+    /// Whether nothing has been quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one quarantined row, retaining it verbatim only while under
+    /// the sample bound.
+    pub(crate) fn record(&mut self, row: QuarantinedRow) {
+        self.count += 1;
+        if self.samples.len() < self.max_samples {
+            self.samples.push(row);
+        }
+    }
+
+    /// Resets the retention bound (dropping excess samples if shrinking).
+    pub(crate) fn set_max_samples(&mut self, max_samples: usize) {
+        self.max_samples = max_samples;
+        self.samples.truncate(max_samples);
+    }
+
+    /// Folds another buffer in, stamping its samples with `shard` when
+    /// given (the sharded engine's aggregated view attributes per-shard
+    /// buffers this way).
+    pub(crate) fn absorb(&mut self, other: &Self, shard: Option<usize>) {
+        self.count += other.count;
+        for sample in &other.samples {
+            if self.samples.len() >= self.max_samples {
+                break;
+            }
+            let mut sample = sample.clone();
+            if sample.shard.is_none() {
+                sample.shard = shard;
+            }
+            self.samples.push(sample);
+        }
+    }
+
+    /// Empties the buffer (a window flush starts fresh quarantine stats).
+    pub(crate) fn clear(&mut self) {
+        self.count = 0;
+        self.samples.clear();
+    }
+
+    /// Rolls the buffer back to a checkpoint taken as `(count, samples)`.
+    pub(crate) fn truncate_to(&mut self, count: u64, samples: usize) {
+        self.count = count;
+        self.samples.truncate(samples);
+    }
+}
+
+/// A deterministic fault to fire at a scheduled ingest attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The ingest attempt returns an error (policy decides batch failure
+    /// vs quarantine).
+    Error,
+    /// The ingest attempt panics (always contained by the batch
+    /// supervisor).
+    Panic,
+}
+
+/// Schedules faults at chosen ingest attempts of one engine. Entirely
+/// deterministic: the same schedule against the same stream fires the same
+/// faults. The attempt counter keeps advancing across rollbacks, so a
+/// retried batch gets past a transient fault — exactly the recovery
+/// behaviour experiment E22 drills.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjector {
+    schedule: BTreeMap<u64, FaultKind>,
+    attempts: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with an empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at the `attempt`-th ingest attempt
+    /// (0-based, counted across the engine's lifetime).
+    #[must_use]
+    pub fn at(mut self, attempt: u64, kind: FaultKind) -> Self {
+        self.schedule.insert(attempt, kind);
+        self
+    }
+
+    /// Ingest attempts consumed so far.
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Consumes one attempt, returning the fault scheduled for it, if any.
+    pub(crate) fn check(&mut self) -> Option<FaultKind> {
+        let now = self.attempts;
+        self.attempts += 1;
+        self.schedule.get(&now).copied()
+    }
+}
+
+/// Renders a panic payload as a message (panics raise `&str` or `String`
+/// payloads in practice; anything else gets a placeholder).
+#[must_use]
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Installs a process-wide panic hook that suppresses the default report
+/// for panics raised by [`FaultInjector`] (their payload contains
+/// [`INJECTED_PANIC_MARKER`]) while forwarding every other panic to the
+/// previously-installed hook. Idempotent; used by fault-drill tests and
+/// experiment E22 so hundreds of contained injected panics don't flood
+/// stderr.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(INJECTED_PANIC_MARKER))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains(INJECTED_PANIC_MARKER));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn dead_letters_count_exact_samples_bounded() {
+        let mut dl = DeadLetters::new(2);
+        for i in 0..5 {
+            dl.record(QuarantinedRow {
+                row_index: i,
+                shard: None,
+                reason: SketchError::invalid("row", "test"),
+                row: row![i as u64],
+            });
+        }
+        assert_eq!(dl.count(), 5);
+        assert_eq!(dl.samples().len(), 2);
+        assert_eq!(dl.samples()[0].row_index, 0);
+        assert!(!dl.is_empty());
+        dl.clear();
+        assert!(dl.is_empty());
+        assert!(dl.samples().is_empty());
+    }
+
+    #[test]
+    fn dead_letters_absorb_stamps_shard() {
+        let mut a = DeadLetters::new(4);
+        let mut b = DeadLetters::new(4);
+        b.record(QuarantinedRow {
+            row_index: 3,
+            shard: None,
+            reason: SketchError::invalid("row", "test"),
+            row: row![1u64],
+        });
+        a.absorb(&b, Some(2));
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.samples()[0].shard, Some(2));
+    }
+
+    #[test]
+    fn dead_letters_rollback() {
+        let mut dl = DeadLetters::new(8);
+        dl.record(QuarantinedRow {
+            row_index: 0,
+            shard: None,
+            reason: SketchError::invalid("row", "test"),
+            row: row![1u64],
+        });
+        let (count, samples) = (dl.count(), dl.samples().len());
+        dl.record(QuarantinedRow {
+            row_index: 1,
+            shard: None,
+            reason: SketchError::invalid("row", "test"),
+            row: row![2u64],
+        });
+        dl.truncate_to(count, samples);
+        assert_eq!(dl.count(), 1);
+        assert_eq!(dl.samples().len(), 1);
+    }
+
+    #[test]
+    fn injector_fires_on_schedule_and_keeps_advancing() {
+        let mut inj = FaultInjector::new()
+            .at(1, FaultKind::Error)
+            .at(3, FaultKind::Panic);
+        assert_eq!(inj.check(), None);
+        assert_eq!(inj.check(), Some(FaultKind::Error));
+        assert_eq!(inj.check(), None);
+        assert_eq!(inj.check(), Some(FaultKind::Panic));
+        assert_eq!(inj.check(), None);
+        assert_eq!(inj.attempts(), 5);
+    }
+
+    #[test]
+    fn batch_error_display_names_row_shard_cause() {
+        let e = BatchError {
+            row: Some(7),
+            shard: Some(2),
+            cause: BatchCause::Row(SketchError::invalid("field", "SUM over non-numeric field")),
+        };
+        let s = e.to_string();
+        assert!(s.contains("row 7"), "{s}");
+        assert!(s.contains("shard 2"), "{s}");
+        assert!(s.contains("non-numeric"), "{s}");
+        let p = BatchError {
+            row: None,
+            shard: None,
+            cause: BatchCause::WorkerPanic("boom".into()),
+        };
+        assert!(p.to_string().contains("worker panic: boom"));
+    }
+
+    #[test]
+    fn panic_message_handles_both_payload_shapes() {
+        let s: Box<dyn Any + Send> = Box::new("static");
+        assert_eq!(panic_message(s.as_ref()), "static");
+        let s: Box<dyn Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn Any + Send> = Box::new(42u64);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+}

@@ -17,17 +17,31 @@
 //!   identical to the sequential engine.
 //! * [`exact`] — [`exact::ExactEngine`]: the same query model over exact
 //!   per-group state, the baseline of experiment E16.
+//! * [`fault`] — the fault model: transactional batches with typed
+//!   [`fault::BatchError`]s, poison-row quarantine
+//!   ([`fault::FaultPolicy`]), and a deterministic
+//!   [`fault::FaultInjector`] for recovery drills.
+//! * [`snapshot`] — checksummed checkpoint/restore
+//!   ([`snapshot::Snapshot`]): every corruption detected as a typed error,
+//!   restores byte-exact engine state.
 
 #![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod exact;
+pub mod fault;
 pub mod query;
 pub mod sharded;
+pub mod snapshot;
 pub mod value;
 
 pub use engine::{EngineConfig, SketchEngine};
 pub use exact::ExactEngine;
+pub use fault::{
+    silence_injected_panics, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector,
+    FaultKind, FaultPolicy, QuarantinedRow,
+};
 pub use query::{Aggregate, AggregateResult, QuerySpec};
 pub use sharded::ShardedEngine;
+pub use snapshot::Snapshot;
 pub use value::{Row, Value};

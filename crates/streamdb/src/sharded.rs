@@ -29,12 +29,19 @@
 //! per-group report is **identical** (not merely statistically close) to
 //! what a single [`SketchEngine`] fed the same rows would produce.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use crossbeam::channel;
 use crossbeam::thread as cb_thread;
 use sketches_core::{SketchError, SketchResult};
 use sketches_hash::{hash_item, mix64};
 
 use crate::engine::{EngineConfig, SketchEngine};
+use crate::fault::{
+    panic_message, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultPolicy,
+    QuarantinedRow,
+};
 use crate::query::{AggregateResult, QuerySpec};
 use crate::value::{Row, Value};
 
@@ -50,10 +57,24 @@ const DEFAULT_CHANNEL_DEPTH: usize = 1024;
 /// parallel, with per-group results identical to a single engine.
 #[derive(Debug, Clone)]
 pub struct ShardedEngine {
-    shards: Vec<SketchEngine>,
-    spec: QuerySpec,
-    config: EngineConfig,
-    channel_depth: usize,
+    pub(crate) shards: Vec<SketchEngine>,
+    pub(crate) spec: QuerySpec,
+    pub(crate) config: EngineConfig,
+    pub(crate) channel_depth: usize,
+    /// Poison-row policy, mirrored into every shard.
+    fault_policy: FaultPolicy,
+    /// Rows the router itself quarantined (too short to project a grouping
+    /// key, so never routable to a shard).
+    router_dead: DeadLetters,
+}
+
+/// What one shard worker did with its slice of the batch.
+struct WorkerOutcome {
+    ingested: usize,
+    quarantined: usize,
+    /// `Some((row, cause))` if the worker failed (its shard still holds an
+    /// undo log; the supervisor decides commit vs rollback globally).
+    failure: Option<(Option<usize>, BatchCause)>,
 }
 
 impl ShardedEngine {
@@ -101,7 +122,27 @@ impl ShardedEngine {
             spec,
             config,
             channel_depth,
+            fault_policy: FaultPolicy::default(),
+            router_dead: DeadLetters::default(),
         })
+    }
+
+    /// Rebuilds a sharded engine from restored parts (checkpoint restore;
+    /// the caller has already validated the shards share spec and config).
+    pub(crate) fn from_restored_shards(
+        shards: Vec<SketchEngine>,
+        spec: QuerySpec,
+        config: EngineConfig,
+        channel_depth: usize,
+    ) -> Self {
+        Self {
+            shards,
+            spec,
+            config,
+            channel_depth,
+            fault_policy: FaultPolicy::default(),
+            router_dead: DeadLetters::default(),
+        }
     }
 
     /// Order-sensitive hash of a grouping-key value sequence.
@@ -120,62 +161,141 @@ impl ShardedEngine {
     /// Ingests a batch of rows, driving every shard from its own worker
     /// thread. Rows of the same group are applied in batch order.
     ///
+    /// Transactional at batch granularity: on any failure — a rejected row
+    /// under [`FaultPolicy::FailBatch`], an injected fault, or a worker
+    /// panic (contained per worker via `catch_unwind`) — **every** shard
+    /// rolls back to its pre-batch state before the error is reported, so
+    /// a torn batch is never visible even though shards ingest
+    /// concurrently. Under [`FaultPolicy::Quarantine`], rows too short to
+    /// project a grouping key are diverted by the router itself and other
+    /// poison rows by the owning shard.
+    ///
     /// # Errors
-    /// Rows too short for the query are rejected up front, before any
-    /// shard mutates (the router must project the grouping key, so it
-    /// validates the whole batch first — stricter than the sequential
-    /// engine's row-at-a-time failure). Aggregation errors inside a shard
-    /// (e.g. SUM over a non-numeric field) stop that shard at the failing
-    /// row and are reported after all workers drain.
-    pub fn process_batch(&mut self, rows: &[Row]) -> SketchResult<()> {
+    /// Returns a [`BatchError`] naming the failing row, shard, and cause;
+    /// when several shards fail, the earliest failing row (then lowest
+    /// shard) is reported. The engine is unchanged.
+    pub fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError> {
         let max_field = self.spec.max_field();
-        if rows.iter().any(|r| r.len() <= max_field) {
-            return Err(SketchError::invalid("row", "row shorter than query fields"));
+        if matches!(self.fault_policy, FaultPolicy::FailBatch) {
+            // The router must project grouping keys, so arity is validated
+            // for the whole batch up front — nothing is ingested at all.
+            if let Some(idx) = rows.iter().position(|r| r.len() <= max_field) {
+                return Err(BatchError {
+                    row: Some(idx),
+                    shard: None,
+                    cause: BatchCause::Row(SketchError::invalid(
+                        "row",
+                        "row shorter than query fields",
+                    )),
+                });
+            }
         }
         let num = self.shards.len();
         if num == 1 {
             // One shard is exactly the sequential engine; skip the
-            // thread/channel machinery.
-            return self.shards[0].process_batch(rows);
+            // thread/channel machinery (the engine supervises its own
+            // rollback).
+            return self.shards[0].process_batch(rows).map_err(|mut e| {
+                e.shard = Some(0);
+                e
+            });
         }
         let spec = &self.spec;
         let depth = self.channel_depth;
         let shards = &mut self.shards;
-        let worker_results: Vec<SketchResult<()>> = cb_thread::scope(|scope| {
+        // Router-level quarantine is staged locally and committed only if
+        // the batch succeeds (batch atomicity covers dead letters too).
+        let mut router_quarantine: Vec<QuarantinedRow> = Vec::new();
+        let scope_result = cb_thread::scope(|scope| {
             let mut senders = Vec::with_capacity(num);
             let mut handles = Vec::with_capacity(num);
             for shard in shards.iter_mut() {
                 let (tx, rx) = channel::bounded::<usize>(depth);
                 senders.push(tx);
-                handles.push(scope.spawn(move |_| -> SketchResult<()> {
-                    for idx in rx {
-                        shard.process(&rows[idx])?;
-                    }
-                    Ok(())
-                }));
+                handles.push(scope.spawn(move |_| worker_ingest(shard, rows, &rx)));
             }
             for (idx, row) in rows.iter().enumerate() {
+                if row.len() <= max_field {
+                    // FailBatch pre-validated arity above, so reaching this
+                    // branch means the policy is Quarantine.
+                    router_quarantine.push(QuarantinedRow {
+                        row_index: idx,
+                        shard: None,
+                        reason: SketchError::invalid("row", "row shorter than query fields"),
+                        row: row.clone(),
+                    });
+                    continue;
+                }
                 let fields = spec.group_by.iter().map(|&i| &row[i]);
                 let s = (Self::key_hash(fields) % num as u64) as usize;
                 if senders[s].send(idx).is_err() {
-                    // The worker hung up early — it hit an aggregation
-                    // error. Stop feeding; the join below reports it.
+                    // The worker hung up early — it failed. Stop feeding;
+                    // the supervisor below rolls everything back.
                     break;
                 }
             }
             drop(senders);
             handles
                 .into_iter()
-                // lint: panic-ok(propagating a worker panic is the correct failure mode for the scope)
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        })
-        // lint: panic-ok(re-raising a shard panic on the ingest thread, not swallowing it)
-        .expect("shard scope panicked");
-        for r in worker_results {
-            r?;
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| WorkerOutcome {
+                        ingested: 0,
+                        quarantined: 0,
+                        failure: Some((
+                            None,
+                            BatchCause::WorkerPanic(panic_message(payload.as_ref())),
+                        )),
+                    })
+                })
+                .collect::<Vec<WorkerOutcome>>()
+        });
+        let worker_results = match scope_result {
+            Ok(v) => v,
+            Err(payload) => {
+                // The scope itself panicked (outside any worker's own
+                // supervisor). Roll back whatever the workers did.
+                for shard in self.shards.iter_mut() {
+                    shard.rollback_batch();
+                }
+                return Err(BatchError {
+                    row: None,
+                    shard: None,
+                    cause: BatchCause::WorkerPanic(panic_message(payload.as_ref())),
+                });
+            }
+        };
+        let mut summary = BatchSummary::default();
+        let mut failures: Vec<(usize, Option<usize>, BatchCause)> = Vec::new();
+        for (i, out) in worker_results.into_iter().enumerate() {
+            summary.rows_ingested += out.ingested;
+            summary.rows_quarantined += out.quarantined;
+            if let Some((row, cause)) = out.failure {
+                failures.push((i, row, cause));
+            }
         }
-        Ok(())
+        if failures.is_empty() {
+            for shard in self.shards.iter_mut() {
+                shard.commit_batch();
+            }
+            for q in router_quarantine {
+                summary.rows_quarantined += 1;
+                self.router_dead.record(q);
+            }
+            Ok(summary)
+        } else {
+            for shard in self.shards.iter_mut() {
+                shard.rollback_batch();
+            }
+            // Deterministic report: the earliest failing row across shards
+            // (failures without a row index sort last), then lowest shard.
+            failures.sort_by_key(|&(shard, row, _)| (row.unwrap_or(usize::MAX), shard));
+            let (shard, row, cause) = failures.swap_remove(0);
+            Err(BatchError {
+                row,
+                shard: Some(shard),
+                cause,
+            })
+        }
     }
 
     /// Reports the aggregates of one group (`None` if never seen). The
@@ -188,7 +308,8 @@ impl ShardedEngine {
     }
 
     /// Finishes a tumbling window: every group's report (shard by shard,
-    /// so ordering across groups is not meaningful) and a state reset.
+    /// so ordering across groups is not meaningful) and a state reset —
+    /// including quarantined dead letters, which belong to the window.
     ///
     /// # Errors
     /// Propagates report errors.
@@ -197,6 +318,7 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             out.extend(shard.flush_window()?);
         }
+        self.router_dead.clear();
         Ok(out)
     }
 
@@ -211,9 +333,11 @@ impl ShardedEngine {
         if self.shards.len() != other.shards.len() {
             return Err(SketchError::incompatible("shard counts differ"));
         }
-        for (a, b) in self.shards.iter_mut().zip(&other.shards) {
-            a.merge(b)?;
+        for (i, (a, b)) in self.shards.iter_mut().zip(&other.shards).enumerate() {
+            a.merge(b)
+                .map_err(|e| SketchError::incompatible(format!("shard {i}: {e}")))?;
         }
+        self.router_dead.absorb(other.router_dead(), None);
         Ok(())
     }
 
@@ -258,6 +382,106 @@ impl ShardedEngine {
     #[must_use]
     pub fn state_bytes(&self) -> usize {
         self.shards.iter().map(SketchEngine::state_bytes).sum()
+    }
+
+    /// Current poison-row policy.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Sets the poison-row policy, mirroring it into every shard so the
+    /// router and workers agree on how malformed rows are handled.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+        if let FaultPolicy::Quarantine { max_samples } = policy {
+            self.router_dead.set_max_samples(max_samples);
+        }
+        for shard in &mut self.shards {
+            shard.set_fault_policy(policy);
+        }
+    }
+
+    /// Arms a deterministic fault injector on one shard (test harness for
+    /// torn-batch recovery; see `sketches-workloads::faults`).
+    ///
+    /// # Errors
+    /// Returns an error if `shard` is out of range.
+    pub fn arm_faults(&mut self, shard: usize, injector: FaultInjector) -> SketchResult<()> {
+        let num = self.shards.len();
+        let s = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| SketchError::invalid("shard", format!("no shard {shard} (of {num})")))?;
+        s.arm_faults(injector);
+        Ok(())
+    }
+
+    /// Clears fault injectors on every shard.
+    pub fn disarm_faults(&mut self) {
+        for shard in &mut self.shards {
+            shard.disarm_faults();
+        }
+    }
+
+    /// Router-level dead letters (rows too short to route). Per-shard
+    /// quarantines are aggregated by [`dead_letters`](Self::dead_letters).
+    #[must_use]
+    pub fn router_dead(&self) -> &DeadLetters {
+        &self.router_dead
+    }
+
+    /// Aggregated dead-letter view: the router's own quarantine plus every
+    /// shard's, with samples stamped with their shard index.
+    #[must_use]
+    pub fn dead_letters(&self) -> DeadLetters {
+        let mut all = self.router_dead.clone();
+        for (i, shard) in self.shards.iter().enumerate() {
+            all.absorb(shard.dead_letters(), Some(i));
+        }
+        all
+    }
+}
+
+/// One shard worker's ingest loop, supervised: panics inside
+/// [`SketchEngine::ingest_row`] (including injected ones) are contained
+/// here and reported as a [`BatchCause::WorkerPanic`], leaving the shard's
+/// undo log intact so the supervisor can roll the whole batch back.
+fn worker_ingest(
+    shard: &mut SketchEngine,
+    rows: &[Row],
+    rx: &channel::Receiver<usize>,
+) -> WorkerOutcome {
+    shard.begin_batch();
+    let mut ingested = 0usize;
+    let mut quarantined = 0usize;
+    let current = Cell::new(None);
+    // lint: panic-boundary(worker supervisor: contains shard panics so the batch can roll back with a typed error)
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<(), (usize, SketchError)> {
+        for idx in rx {
+            current.set(Some(idx));
+            match shard.ingest_row(idx, &rows[idx]) {
+                Ok(true) => ingested += 1,
+                Ok(false) => quarantined += 1,
+                // Dropping `rx` closes the channel, so the router's next
+                // send fails and it stops feeding the batch.
+                Err(e) => return Err((idx, e)),
+            }
+        }
+        Ok(())
+    }));
+    let failure = match caught {
+        Ok(Ok(())) => None,
+        Ok(Err((idx, e))) => Some((Some(idx), BatchCause::Row(e))),
+        Err(payload) => Some((
+            current.get(),
+            BatchCause::WorkerPanic(panic_message(payload.as_ref())),
+        )),
+    };
+    WorkerOutcome {
+        ingested,
+        quarantined,
+        failure,
     }
 }
 
@@ -411,5 +635,113 @@ mod tests {
     fn rejects_zero_shards_and_zero_depth() {
         assert!(ShardedEngine::new(spec(), 0).is_err());
         assert!(ShardedEngine::with_config(spec(), EngineConfig::default(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn poison_row_rolls_back_every_shard() {
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        sharded.process_batch(&rows(500, 7)).unwrap();
+        let before = sharded.to_snapshot_bytes();
+
+        let mut batch = rows(200, 7);
+        batch.insert(60, row![0u64, 1u64, "not-a-number"]);
+        let err = sharded.process_batch(&batch).unwrap_err();
+        assert_eq!(err.row, Some(60));
+        assert!(err.shard.is_some());
+        assert!(matches!(err.cause, BatchCause::Row(_)));
+        // Atomic across shards: even shards that never saw the poison row
+        // rolled back their slice of the batch.
+        assert_eq!(sharded.to_snapshot_bytes(), before);
+        assert_eq!(sharded.rows_processed(), 500);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_batch_retryable() {
+        crate::fault::silence_injected_panics();
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        sharded.process_batch(&rows(300, 9)).unwrap();
+        let before = sharded.to_snapshot_bytes();
+
+        // The injector counts attempts from when it is armed: attempt 10
+        // is the 10th row shard 2 receives from the next batch.
+        sharded
+            .arm_faults(
+                2,
+                crate::fault::FaultInjector::new().at(10, crate::fault::FaultKind::Panic),
+            )
+            .unwrap();
+        let batch = rows(400, 9);
+        let err = sharded.process_batch(&batch).unwrap_err();
+        assert_eq!(err.shard, Some(2));
+        assert!(matches!(err.cause, BatchCause::WorkerPanic(_)));
+        assert_eq!(sharded.to_snapshot_bytes(), before);
+
+        // Retry gets past the transient fault and converges with a
+        // never-faulted engine.
+        sharded.process_batch(&batch).unwrap();
+        sharded.disarm_faults();
+        let mut baseline = ShardedEngine::new(spec(), 4).unwrap();
+        baseline.process_batch(&rows(300, 9)).unwrap();
+        baseline.process_batch(&batch).unwrap();
+        assert_eq!(sharded.to_snapshot_bytes(), baseline.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn arm_faults_rejects_bad_shard_index() {
+        let mut sharded = ShardedEngine::new(spec(), 2).unwrap();
+        assert!(sharded
+            .arm_faults(5, crate::fault::FaultInjector::new())
+            .is_err());
+    }
+
+    #[test]
+    fn quarantine_aggregates_router_and_shard_dead_letters() {
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        sharded.set_fault_policy(FaultPolicy::Quarantine { max_samples: 8 });
+        let mut batch = rows(100, 5);
+        batch.insert(3, row![7u64]); // short: router quarantines it
+        batch.insert(50, row![0u64, 1u64, "bad"]); // shard quarantines it
+        let summary = sharded.process_batch(&batch).unwrap();
+        assert_eq!(summary.rows_ingested, 100);
+        assert_eq!(summary.rows_quarantined, 2);
+
+        let all = sharded.dead_letters();
+        assert_eq!(all.count(), 2);
+        assert_eq!(all.samples().len(), 2);
+        let router_sample = all.samples().iter().find(|q| q.row_index == 3).unwrap();
+        assert_eq!(router_sample.shard, None);
+        let shard_sample = all.samples().iter().find(|q| q.row_index == 50).unwrap();
+        assert!(shard_sample.shard.is_some());
+
+        // Quarantined rows left no trace in sketch state.
+        let mut clean = ShardedEngine::new(spec(), 4).unwrap();
+        clean.process_batch(&rows(100, 5)).unwrap();
+        for g in 0..5u64 {
+            assert_eq!(
+                sharded.report(&row![g]).unwrap(),
+                clean.report(&row![g]).unwrap()
+            );
+        }
+
+        // Dead letters are window state.
+        sharded.flush_window().unwrap();
+        assert!(sharded.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn merge_error_names_the_failing_shard() {
+        let mut a = ShardedEngine::new(spec(), 2).unwrap();
+        let b = ShardedEngine::with_config(
+            spec(),
+            EngineConfig {
+                hll_precision: 12,
+                ..EngineConfig::default()
+            },
+            2,
+            DEFAULT_CHANNEL_DEPTH,
+        )
+        .unwrap();
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.to_string().contains("shard 0"), "{err}");
     }
 }

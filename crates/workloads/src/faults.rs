@@ -1,0 +1,198 @@
+//! Deterministic fault plans for robustness drills (experiment E22).
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of *ingest faults*
+//! (errors and panics to inject at chosen row attempts) and *snapshot
+//! corruptions* (bit flips and truncations to apply to checkpoint bytes).
+//! Like every generator in this crate it is a pure function of its seed:
+//! the same `(seed, rows, faults, corruptions)` arguments always produce
+//! the same plan, so a recovery drill that fails is replayable from its
+//! seed alone.
+//!
+//! The plan is engine-agnostic — it names fault *kinds* and *positions*;
+//! the harness maps them onto whatever engine it drives (for the streamdb
+//! engines, onto their fault-injector schedule).
+
+use std::collections::BTreeSet;
+
+use sketches_hash::rng::{Rng64, SplitMix64};
+
+/// A fault to inject at one ingest attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestFault {
+    /// The attempt reports a row error.
+    Error,
+    /// The attempt panics inside the ingest path.
+    Panic,
+}
+
+/// One scheduled ingest fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The 0-based ingest attempt the fault fires at.
+    pub attempt: u64,
+    /// What happens at that attempt.
+    pub fault: IngestFault,
+}
+
+/// A deterministic mutation of a serialized snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Flips one bit of the byte at `frac` of the buffer length.
+    BitFlip {
+        /// Position as a fraction of the buffer length, in `[0, 1)`.
+        frac: f64,
+        /// Which bit of that byte to flip (0–7).
+        bit: u8,
+    },
+    /// Truncates the buffer to `frac` of its length.
+    Truncate {
+        /// Retained length as a fraction of the original, in `[0, 1)`.
+        frac: f64,
+    },
+}
+
+impl Corruption {
+    /// Applies the corruption to `bytes` in place. A no-op only for a bit
+    /// flip on an empty buffer; every other application changes the bytes.
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            Self::BitFlip { frac, bit } => {
+                if bytes.is_empty() {
+                    return;
+                }
+                let i = Self::index(frac, bytes.len());
+                bytes[i] ^= 1u8 << (bit % 8);
+            }
+            Self::Truncate { frac } => {
+                let keep = Self::index(frac, bytes.len().max(1));
+                bytes.truncate(keep);
+            }
+        }
+    }
+
+    /// Maps a fraction in `[0, 1)` to an index in `[0, len)`.
+    fn index(frac: f64, len: usize) -> usize {
+        let clamped = frac.clamp(0.0, 1.0);
+        (((len as f64) * clamped) as usize).min(len - 1)
+    }
+}
+
+/// A seeded schedule of ingest faults and snapshot corruptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled ingest faults, in ascending attempt order, each at a
+    /// distinct attempt.
+    pub faults: Vec<PlannedFault>,
+    /// Snapshot corruptions to drill, in generation order.
+    pub corruptions: Vec<Corruption>,
+}
+
+impl FaultPlan {
+    /// Generates a plan: `num_faults` ingest faults at distinct attempts
+    /// in `[0, rows)` (fewer if `rows < num_faults`) and `num_corruptions`
+    /// snapshot corruptions, all drawn from a [`SplitMix64`] stream seeded
+    /// with `seed`.
+    #[must_use]
+    pub fn generate(seed: u64, rows: u64, num_faults: usize, num_corruptions: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut attempts = BTreeSet::new();
+        if rows > 0 {
+            let want = (num_faults as u64).min(rows) as usize;
+            while attempts.len() < want {
+                attempts.insert(rng.gen_range(rows));
+            }
+        }
+        let faults = attempts
+            .into_iter()
+            .map(|attempt| PlannedFault {
+                attempt,
+                fault: if rng.next_u64() & 1 == 0 {
+                    IngestFault::Error
+                } else {
+                    IngestFault::Panic
+                },
+            })
+            .collect();
+        let corruptions = (0..num_corruptions)
+            .map(|_| {
+                let frac = rng.next_f64();
+                if rng.next_u64() & 1 == 0 {
+                    Corruption::BitFlip {
+                        frac,
+                        bit: (rng.gen_range(8)) as u8,
+                    }
+                } else {
+                    Corruption::Truncate { frac }
+                }
+            })
+            .collect();
+        Self {
+            faults,
+            corruptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, 10_000, 8, 6);
+        let b = FaultPlan::generate(42, 10_000, 8, 6);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, 10_000, 8, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn faults_are_distinct_sorted_and_in_range() {
+        let plan = FaultPlan::generate(7, 100, 20, 0);
+        assert_eq!(plan.faults.len(), 20);
+        for pair in plan.faults.windows(2) {
+            assert!(pair[0].attempt < pair[1].attempt);
+        }
+        assert!(plan.faults.iter().all(|f| f.attempt < 100));
+    }
+
+    #[test]
+    fn fault_count_capped_by_rows() {
+        let plan = FaultPlan::generate(7, 3, 20, 0);
+        assert_eq!(plan.faults.len(), 3);
+        assert!(FaultPlan::generate(7, 0, 5, 0).faults.is_empty());
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let original = vec![0u8; 64];
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, 0, 0, 4);
+            for c in &plan.corruptions {
+                if let Corruption::BitFlip { .. } = c {
+                    let mut bytes = original.clone();
+                    c.apply(&mut bytes);
+                    let flipped: u32 = bytes
+                        .iter()
+                        .zip(&original)
+                        .map(|(a, b)| (a ^ b).count_ones())
+                        .sum();
+                    assert_eq!(flipped, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let c = Corruption::Truncate { frac: 0.5 };
+        let mut bytes = vec![1u8; 100];
+        c.apply(&mut bytes);
+        assert_eq!(bytes.len(), 50);
+        // Empty buffers stay empty without panicking.
+        let mut empty: Vec<u8> = Vec::new();
+        Corruption::BitFlip { frac: 0.9, bit: 3 }.apply(&mut empty);
+        Corruption::Truncate { frac: 0.9 }.apply(&mut empty);
+        assert!(empty.is_empty());
+    }
+}

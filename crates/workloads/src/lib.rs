@@ -16,11 +16,14 @@
 //!   frequencies, and heavy hitters.
 //! * [`stats`] — mean/stddev/percentile helpers for aggregating trial
 //!   errors in EXPERIMENTS.md tables.
+//! * [`faults`] — seeded fault plans (injected ingest errors/panics,
+//!   snapshot bit flips and truncations) for the recovery drills of E22.
 
 #![forbid(unsafe_code)]
 
 pub mod ads;
 pub mod exact;
+pub mod faults;
 pub mod flows;
 pub mod stats;
 pub mod streams;
@@ -28,6 +31,7 @@ pub mod zipf;
 
 pub use ads::{AdImpression, AdWorkload};
 pub use exact::{ExactDistinct, ExactFrequency};
+pub use faults::{Corruption, FaultPlan, IngestFault, PlannedFault};
 pub use flows::{FlowRecord, FlowWorkload};
 pub use stats::{mean, percentile, relative_error, stddev};
 pub use zipf::ZipfGenerator;
