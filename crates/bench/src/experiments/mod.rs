@@ -135,6 +135,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             streamdb_exps::e22,
         ),
         (
+            "e23",
+            "Durable store: seeded crash drills recover byte-exact; WAL corruption is typed",
+            streamdb_exps::e23,
+        ),
+        (
             "a1",
             "Ablation: HLL++ sparse mode vs dense-only HLL",
             ablations::a1,

@@ -1,13 +1,15 @@
-//! E16, E21, E22 — GROUP BY at Gigascope scale; sharded parallel ingest;
-//! fault-recovery drills.
+//! E16, E21, E22, E23 — GROUP BY at Gigascope scale; sharded parallel
+//! ingest; fault-recovery drills; durable crash-recovery drills.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use sketches::streamdb::{
-    silence_injected_panics, Aggregate, BatchCause, ExactEngine, FaultInjector, FaultKind,
-    FaultPolicy, QuerySpec, Row, ShardedEngine, SketchEngine, Snapshot, Value,
+    silence_injected_panics, Aggregate, BatchCause, CheckpointPolicy, DurableEngine, ExactEngine,
+    FaultInjector, FaultKind, FaultPolicy, KillPoint, QuerySpec, Row, ShardedEngine, SketchEngine,
+    Snapshot, StreamEngine, Value, SIMULATED_CRASH_MARKER,
 };
-use sketches_workloads::faults::{FaultPlan, IngestFault};
+use sketches_workloads::faults::{CrashOp, CrashPlan, FaultPlan, IngestFault};
 use sketches_workloads::flows::FlowWorkload;
 use sketches_workloads::streams::distinct_ids;
 use sketches_workloads::zipf::ZipfGenerator;
@@ -327,5 +329,187 @@ pub fn e22() {
          faults at the same rows and corrupts the same snapshot bytes, so a\n\
          failing drill replays exactly. Recovery restores byte-identical\n\
          reports in every trial.)"
+    );
+}
+
+/// Maps an engine-agnostic [`CrashOp`] onto the durable engine's
+/// [`KillPoint`].
+fn crash_to_kill(op: CrashOp) -> KillPoint {
+    match op {
+        CrashOp::BeforeWalAppend => KillPoint::BeforeWalAppend,
+        CrashOp::MidWalAppend => KillPoint::MidWalAppend,
+        CrashOp::AfterWalAppend => KillPoint::AfterWalAppend,
+        CrashOp::MidCheckpointTemp => KillPoint::MidCheckpointTemp,
+        CrashOp::BeforeCheckpointRename => KillPoint::BeforeCheckpointRename,
+        CrashOp::AfterCheckpointRename => KillPoint::AfterCheckpointRename,
+    }
+}
+
+/// A scratch directory unique to this process, experiment, and seed.
+fn e23_dir(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("sketches-e23-{}-{tag}-{seed}", std::process::id()))
+}
+
+/// One crash drill, written once against [`StreamEngine`] and run for both
+/// engines: ingest until the planted crash fires, recover from disk, and
+/// demand the recovered state is byte-identical to an uninterrupted
+/// engine fed only the surviving batches — then keep ingesting on both and
+/// demand they stay identical. Returns `(crashes detected, byte-exact)`.
+fn e23_drill<E: StreamEngine>(tag: &str, make: &dyn Fn() -> E, seeds: &[u64]) -> (usize, usize) {
+    const NUM_BATCHES: u64 = 12;
+    const BATCH_ROWS: u64 = 150;
+    let mut detected = 0usize;
+    let mut byte_exact = 0usize;
+    for &seed in seeds {
+        let dir = e23_dir(tag, seed);
+        let _ = std::fs::remove_dir_all(&dir);
+        let batches: Vec<Vec<Row>> = (0..NUM_BATCHES)
+            .map(|i| e22_rows(seed.wrapping_mul(31).wrapping_add(i), BATCH_ROWS))
+            .collect();
+        let plan = CrashPlan::generate(seed, NUM_BATCHES);
+
+        // Small row bound so natural checkpoints interleave with the drill.
+        let policy = CheckpointPolicy::new(4 * BATCH_ROWS, u64::MAX).unwrap();
+        let mut durable = DurableEngine::create(&dir, make(), policy).unwrap();
+        durable.arm_kill(plan.at_batch, crash_to_kill(plan.op));
+        let mut crash_seen = false;
+        for (i, batch) in batches.iter().enumerate() {
+            match durable.process_batch(batch) {
+                Ok(_) => {}
+                Err(e) => {
+                    crash_seen =
+                        i as u64 == plan.at_batch && e.to_string().contains(SIMULATED_CRASH_MARKER);
+                    break;
+                }
+            }
+        }
+        if crash_seen {
+            detected += 1;
+        }
+        drop(durable);
+
+        // The uninterrupted reference: the surviving prefix of batches.
+        let survives = plan.op.batch_survives();
+        let prefix_end = plan.at_batch as usize + usize::from(survives);
+        let mut expect = make();
+        for batch in &batches[..prefix_end] {
+            expect.process_batch(batch).unwrap();
+        }
+
+        let mut recovered = DurableEngine::<E>::recover_with_policy(&dir, policy).unwrap();
+        let mut exact = recovered.engine().to_snapshot_bytes() == expect.to_snapshot_bytes();
+
+        // Resume: the upstream re-sends the lost batch (if any) and the
+        // rest of the stream; recovered and reference must stay identical.
+        for batch in &batches[prefix_end..] {
+            recovered.process_batch(batch).unwrap();
+            expect.process_batch(batch).unwrap();
+        }
+        exact &= recovered.engine().to_snapshot_bytes() == expect.to_snapshot_bytes();
+        if exact {
+            byte_exact += 1;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (detected, byte_exact)
+}
+
+/// E23: durable crash-recovery drills — seeded kills at every durability
+/// step (WAL append, checkpoint temp write, atomic rename) recover
+/// byte-exact state for both engines, and interior WAL corruption is
+/// always rejected as a typed error.
+pub fn e23() {
+    header(
+        "E23",
+        "Durable store: crash drills, WAL replay, corruption detection",
+    );
+    let seeds: Vec<u64> = (0..30u64).collect();
+
+    // Report which crash points the seeded plans cover.
+    let mut coverage = std::collections::BTreeMap::new();
+    for &seed in &seeds {
+        let plan = CrashPlan::generate(seed, 12);
+        *coverage.entry(format!("{:?}", plan.op)).or_insert(0usize) += 1;
+    }
+    println!(
+        "  crash-point coverage over {} plans (x2 engines):",
+        seeds.len()
+    );
+    for (op, n) in &coverage {
+        println!("    {op:<24} {n}");
+    }
+    assert_eq!(
+        coverage.len(),
+        CrashOp::ALL.len(),
+        "seeded plans must cover every crash point"
+    );
+
+    println!();
+    trow!("drill", "trials", "detected", "byte-exact");
+    let (d, x) = e23_drill("seq", &|| SketchEngine::new(e22_spec()).unwrap(), &seeds);
+    trow!("sequential engine", seeds.len(), d, x);
+    assert_eq!(d, seeds.len(), "a planted crash went undetected");
+    assert_eq!(x, seeds.len(), "a recovery was not byte-exact");
+    let (d, x) = e23_drill(
+        "shard",
+        &|| ShardedEngine::new(e22_spec(), 3).unwrap(),
+        &seeds,
+    );
+    trow!("sharded engine (3)", seeds.len(), d, x);
+    assert_eq!(d, seeds.len(), "a planted crash went undetected");
+    assert_eq!(x, seeds.len(), "a recovery was not byte-exact");
+
+    // Interior WAL corruption: flip one seeded byte inside the FIRST of
+    // two records — never tail damage — and demand a typed rejection.
+    let mut corrupt_detected = 0usize;
+    for &seed in &seeds {
+        let dir = e23_dir("corrupt", seed);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut durable = DurableEngine::create(
+            &dir,
+            SketchEngine::new(e22_spec()).unwrap(),
+            CheckpointPolicy::default(),
+        )
+        .unwrap();
+        durable.process_batch(&e22_rows(seed, 100)).unwrap();
+        durable
+            .process_batch(&e22_rows(seed ^ 0xBEEF, 100))
+            .unwrap();
+        drop(durable);
+        let wal = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "wal"))
+            .unwrap();
+        let mut bytes = std::fs::read(&wal).unwrap();
+        // Segment header is 14 bytes; the first record's body follows its
+        // 8-byte length. Flip a byte well inside that body.
+        let body_len = u64::from_le_bytes(bytes[14..22].try_into().unwrap()) as usize;
+        let at = 22 + (seed as usize % body_len);
+        bytes[at] ^= 0x10;
+        std::fs::write(&wal, &bytes).unwrap();
+        if DurableEngine::<SketchEngine>::recover(&dir).is_err() {
+            corrupt_detected += 1;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    trow!(
+        "interior WAL bit flip",
+        seeds.len(),
+        corrupt_detected,
+        "n/a"
+    );
+    assert_eq!(
+        corrupt_detected,
+        seeds.len(),
+        "an interior WAL corruption escaped detection"
+    );
+    println!(
+        "\n(Each trial plants one seeded kill -- before/mid/after the WAL\n\
+         append, mid checkpoint temp write, before/after the atomic rename --\n\
+         then recovers from disk. Recovery must equal an uninterrupted engine\n\
+         fed the surviving batches, byte for byte, before AND after further\n\
+         ingest. Interior WAL damage must be a typed Corrupted error; only a\n\
+         torn final record is repaired by truncation.)"
     );
 }

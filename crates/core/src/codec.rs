@@ -249,6 +249,15 @@ impl<'a> ByteReader<'a> {
         Ok(n)
     }
 
+    /// Consumes and returns every byte not yet read. Useful for framed
+    /// formats (like the durable WAL) whose record body runs to the end of
+    /// an already-length-delimited slice.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
     /// Asserts every byte has been consumed — decoding must account for
     /// the whole buffer, so appended garbage is detected.
     ///
@@ -335,6 +344,16 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         assert_eq!(r.array_len(8, "slots").unwrap(), 1);
         assert_eq!(r.u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn rest_consumes_remainder() {
+        let mut r = ByteReader::new(&[1, 2, 3, 4]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.rest(), &[2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.rest(), &[] as &[u8]);
+        r.expect_end("rest").unwrap();
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub enum SketchError {
         /// Human-readable explanation of what failed to validate.
         reason: String,
     },
+    /// A filesystem operation failed (durable checkpoint store / WAL).
+    /// Carries the operation context and the rendered OS error; the raw
+    /// `std::io::Error` is not stored so this type stays `Clone + Eq`.
+    Io {
+        /// What was being attempted (e.g. `fsync wal segment`).
+        context: String,
+        /// The rendered underlying I/O error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -53,6 +62,7 @@ impl fmt::Display for SketchError {
             Self::EmptySketch => write!(f, "sketch is empty: no estimate available"),
             Self::CapacityExceeded { reason } => write!(f, "capacity exceeded: {reason}"),
             Self::Corrupted { reason } => write!(f, "corrupted state: {reason}"),
+            Self::Io { context, reason } => write!(f, "io failure while {context}: {reason}"),
         }
     }
 }
@@ -87,6 +97,16 @@ impl SketchError {
             reason: reason.into(),
         }
     }
+
+    /// Builds an [`SketchError::Io`] from an operation context and the
+    /// underlying `std::io::Error`.
+    #[must_use]
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        Self::Io {
+            context: context.into(),
+            reason: err.to_string(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +123,9 @@ mod tests {
         let e = SketchError::corrupted("checksum mismatch");
         assert!(e.to_string().contains("corrupted"));
         assert!(e.to_string().contains("checksum mismatch"));
+        let e = SketchError::io("fsync wal segment", &std::io::Error::other("disk gone"));
+        assert!(e.to_string().contains("fsync wal segment"), "{e}");
+        assert!(e.to_string().contains("disk gone"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! L2 fixture: the same replay supervisor, contract declared.
+
+fn replay_record(apply: impl FnOnce() + std::panic::UnwindSafe) -> Result<(), String> {
+    // lint: panic-boundary(wal replay: a panicking record is reported as Corrupted, never applied half-way)
+    std::panic::catch_unwind(apply).map_err(|_| "replay panicked".to_string())
+}

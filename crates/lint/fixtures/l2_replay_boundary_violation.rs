@@ -1,0 +1,6 @@
+//! L2 fixture: a WAL-replay supervisor containing panics without declaring
+//! its recovery contract.
+
+fn replay_record(apply: impl FnOnce() + std::panic::UnwindSafe) -> Result<(), String> {
+    std::panic::catch_unwind(apply).map_err(|_| "replay panicked".to_string())
+}

@@ -67,6 +67,19 @@ fn l2_boundary_pair() {
 }
 
 #[test]
+fn l2_replay_boundary_pair() {
+    // Any `catch_unwind` — here the durable store's WAL-replay supervisor
+    // shape — must carry a `panic-boundary(reason)` tag naming its
+    // recovery contract.
+    assert_pair(
+        Rule::L2PanicFree,
+        "l2_replay_boundary_violation.rs",
+        "l2_replay_boundary_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn l3_forbid_unsafe_pair() {
     assert_pair(
         Rule::L3ForbidUnsafe,

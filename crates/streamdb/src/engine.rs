@@ -446,10 +446,17 @@ impl SketchEngine {
         self.rows_processed
     }
 
-    /// The dead-letter buffer of quarantined rows.
+    /// The dead-letter buffer of quarantined rows, as an owned view.
+    ///
+    /// Unified surface (PR 4): both engines return an **owned**
+    /// [`DeadLetters`] — the sharded engine must aggregate per-shard
+    /// buffers on the fly, so the owned shape is the one both can honour,
+    /// and [`crate::StreamEngine`] pins it down. (Before PR 4 this engine
+    /// returned `&DeadLetters` while the sharded engine returned an owned
+    /// aggregate.)
     #[must_use]
-    pub fn dead_letters(&self) -> &DeadLetters {
-        &self.dead_letters
+    pub fn dead_letters(&self) -> DeadLetters {
+        self.dead_letters.clone()
     }
 
     /// The current poison-row policy.
@@ -475,6 +482,11 @@ impl SketchEngine {
 
     /// Disarms the fault schedule, returning it (with its attempt counter)
     /// if one was armed.
+    ///
+    /// Unified surface (PR 4): disarming always *returns* what was armed —
+    /// here an `Option` (one injector slot), on [`crate::ShardedEngine`] a
+    /// `Vec<(shard, injector)>` (one slot per shard). Neither discards the
+    /// injector silently, so drills can inspect consumed attempt counters.
     pub fn disarm_faults(&mut self) -> Option<FaultInjector> {
         self.injector.take()
     }

@@ -66,6 +66,12 @@ pub enum BatchCause {
     Row(SketchError),
     /// An ingest worker panicked; the payload message is preserved.
     WorkerPanic(String),
+    /// The durable layer failed to persist the batch (WAL append, fsync,
+    /// or checkpoint I/O), or a simulated crash fired. The wrapped engine
+    /// *did* absorb the batch, but durability is not guaranteed — the
+    /// [`crate::durable::DurableEngine`] poisons itself and demands
+    /// recovery before further ingest.
+    Durability(SketchError),
 }
 
 /// A failed batch: which row and shard failed, and why. The batch was
@@ -92,6 +98,7 @@ impl fmt::Display for BatchError {
         match &self.cause {
             BatchCause::Row(e) => write!(f, ": {e}"),
             BatchCause::WorkerPanic(msg) => write!(f, ": worker panic: {msg}"),
+            BatchCause::Durability(e) => write!(f, ": durability: {e}"),
         }
     }
 }
@@ -99,7 +106,7 @@ impl fmt::Display for BatchError {
 impl std::error::Error for BatchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.cause {
-            BatchCause::Row(e) => Some(e),
+            BatchCause::Row(e) | BatchCause::Durability(e) => Some(e),
             BatchCause::WorkerPanic(_) => None,
         }
     }

@@ -24,17 +24,29 @@
 //! * [`snapshot`] — checksummed checkpoint/restore
 //!   ([`snapshot::Snapshot`]): every corruption detected as a typed error,
 //!   restores byte-exact engine state.
+//! * [`stream_engine`] — [`stream_engine::StreamEngine`]: the unified
+//!   trait both engines implement, so durable storage, experiments, and
+//!   equivalence tests are written once.
+//! * [`durable`] — [`durable::DurableEngine`]: crash-safe persistence for
+//!   any [`stream_engine::StreamEngine`] — atomic checkpoints, a
+//!   checksummed write-ahead log, bounded checkpoint lag, and recovery
+//!   that tolerates a torn tail but rejects interior corruption.
 
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod engine;
 pub mod exact;
 pub mod fault;
 pub mod query;
 pub mod sharded;
 pub mod snapshot;
+pub mod stream_engine;
 pub mod value;
 
+pub use durable::{
+    CheckpointPolicy, DurableEngine, KillPoint, RecoveryReport, SIMULATED_CRASH_MARKER,
+};
 pub use engine::{EngineConfig, SketchEngine};
 pub use exact::ExactEngine;
 pub use fault::{
@@ -44,4 +56,5 @@ pub use fault::{
 pub use query::{Aggregate, AggregateResult, QuerySpec};
 pub use sharded::ShardedEngine;
 pub use snapshot::Snapshot;
+pub use stream_engine::StreamEngine;
 pub use value::{Row, Value};

@@ -307,9 +307,11 @@ impl ShardedEngine {
         self.shards[self.shard_of_key(key)].report(key)
     }
 
-    /// Finishes a tumbling window: every group's report (shard by shard,
-    /// so ordering across groups is not meaningful) and a state reset —
-    /// including quarantined dead letters, which belong to the window.
+    /// Finishes a tumbling window: every group's report in ascending key
+    /// order — identical to [`SketchEngine::flush_window`] on the same
+    /// stream (unified surface, PR 4; the listing used to be shard by
+    /// shard) — and a state reset, including quarantined dead letters,
+    /// which belong to the window.
     ///
     /// # Errors
     /// Propagates report errors.
@@ -318,6 +320,9 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             out.extend(shard.flush_window()?);
         }
+        // Per-shard windows are each sorted; a full sort restores the
+        // global key order the sequential engine emits.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         self.router_dead.clear();
         Ok(out)
     }
@@ -373,9 +378,16 @@ impl ShardedEngine {
         self.shards.iter().map(SketchEngine::rows_processed).sum()
     }
 
-    /// All group keys currently tracked, shard by shard.
+    /// All group keys currently tracked, in ascending key order across
+    /// **all** shards — the same deterministic listing contract as
+    /// [`SketchEngine::groups`] (unified in PR 4; before that the listing
+    /// was shard-by-shard, an ordering that leaked the routing hash).
     pub fn groups(&self) -> impl Iterator<Item = &Vec<Value>> {
-        self.shards.iter().flat_map(SketchEngine::groups)
+        // lint: sorted-iteration-ok(per-shard listings collected then fully sorted by the key total order below)
+        let mut keys: Vec<&Vec<Value>> =
+            self.shards.iter().flat_map(SketchEngine::groups).collect();
+        keys.sort();
+        keys.into_iter()
     }
 
     /// Total sketch memory across shards.
@@ -417,11 +429,22 @@ impl ShardedEngine {
         Ok(())
     }
 
-    /// Clears fault injectors on every shard.
-    pub fn disarm_faults(&mut self) {
-        for shard in &mut self.shards {
-            shard.disarm_faults();
+    /// Disarms the fault injectors on every shard, returning each armed
+    /// injector with its shard index (and consumed attempt counter).
+    ///
+    /// Unified surface (PR 4): disarming always *returns* what was armed,
+    /// matching [`SketchEngine::disarm_faults`]'s `Option` shape scaled to
+    /// N shards. Callers that only want the side effect can ignore the
+    /// returned `Vec`; before PR 4 this method silently dropped the
+    /// injectors, so drills could not inspect attempt counters.
+    pub fn disarm_faults(&mut self) -> Vec<(usize, FaultInjector)> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(injector) = shard.disarm_faults() {
+                out.push((i, injector));
+            }
         }
+        out
     }
 
     /// Router-level dead letters (rows too short to route). Per-shard
@@ -432,12 +455,14 @@ impl ShardedEngine {
     }
 
     /// Aggregated dead-letter view: the router's own quarantine plus every
-    /// shard's, with samples stamped with their shard index.
+    /// shard's, with samples stamped with their shard index. Owned — the
+    /// unified [`crate::StreamEngine`] dead-letter shape (see
+    /// [`SketchEngine::dead_letters`]).
     #[must_use]
     pub fn dead_letters(&self) -> DeadLetters {
         let mut all = self.router_dead.clone();
         for (i, shard) in self.shards.iter().enumerate() {
-            all.absorb(shard.dead_letters(), Some(i));
+            all.absorb(&shard.dead_letters(), Some(i));
         }
         all
     }
@@ -689,9 +714,31 @@ mod tests {
     #[test]
     fn arm_faults_rejects_bad_shard_index() {
         let mut sharded = ShardedEngine::new(spec(), 2).unwrap();
-        assert!(sharded
-            .arm_faults(5, crate::fault::FaultInjector::new())
-            .is_err());
+        // The first out-of-range index is num_shards itself (boundary), and
+        // the rejection must be a *typed* parameter error naming both the
+        // requested shard and the valid range — not a panic or a silent
+        // no-op on some other shard.
+        for bad in [2usize, 5, usize::MAX] {
+            let err = sharded
+                .arm_faults(bad, crate::fault::FaultInjector::new())
+                .unwrap_err();
+            assert!(
+                matches!(err, SketchError::InvalidParameter { name: "shard", .. }),
+                "shard {bad}: wrong error {err:?}"
+            );
+            assert!(err.to_string().contains("(of 2)"), "shard {bad}: {err}");
+        }
+        // In-range shards (0 and num_shards - 1) still arm fine.
+        sharded
+            .arm_faults(0, crate::fault::FaultInjector::new())
+            .unwrap();
+        sharded
+            .arm_faults(1, crate::fault::FaultInjector::new())
+            .unwrap();
+        let disarmed = sharded.disarm_faults();
+        assert_eq!(disarmed.len(), 2);
+        assert_eq!(disarmed[0].0, 0);
+        assert_eq!(disarmed[1].0, 1);
     }
 
     #[test]

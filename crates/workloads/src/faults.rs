@@ -133,6 +133,69 @@ impl FaultPlan {
     }
 }
 
+/// Where a simulated crash fires inside a durable ingest step. Mirrors the
+/// streamdb `KillPoint`s without depending on that crate — like
+/// [`IngestFault`], the plan names positions; the harness maps them onto
+/// the engine it drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Crash after the engine commits but before any WAL write.
+    BeforeWalAppend,
+    /// Crash halfway through the WAL record write (torn tail).
+    MidWalAppend,
+    /// Crash after the WAL record is durable.
+    AfterWalAppend,
+    /// Crash halfway through writing the checkpoint temp file.
+    MidCheckpointTemp,
+    /// Crash after the temp file is durable, before the atomic rename.
+    BeforeCheckpointRename,
+    /// Crash after the rename, before the new WAL segment exists.
+    AfterCheckpointRename,
+}
+
+impl CrashOp {
+    /// Every crash operation, in a fixed order (for seeded selection).
+    pub const ALL: [Self; 6] = [
+        Self::BeforeWalAppend,
+        Self::MidWalAppend,
+        Self::AfterWalAppend,
+        Self::MidCheckpointTemp,
+        Self::BeforeCheckpointRename,
+        Self::AfterCheckpointRename,
+    ];
+
+    /// Whether the batch interrupted by this crash is durable — present
+    /// again after recovery. Only crashes *before* the WAL record is fully
+    /// on disk lose the batch.
+    #[must_use]
+    pub fn batch_survives(self) -> bool {
+        !matches!(self, Self::BeforeWalAppend | Self::MidWalAppend)
+    }
+}
+
+/// A seeded plan for one crash drill: which batch dies, and where in the
+/// durable ingest step the crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The 0-based batch index the crash fires at.
+    pub at_batch: u64,
+    /// Where in the ingest step it fires.
+    pub op: CrashOp,
+}
+
+impl CrashPlan {
+    /// Generates a plan killing one of `num_batches` batches (must be at
+    /// least 1) at a crash point, both drawn from a [`SplitMix64`] stream
+    /// seeded with `seed`.
+    #[must_use]
+    pub fn generate(seed: u64, num_batches: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let at_batch = rng.gen_range(num_batches.max(1));
+        let op = CrashOp::ALL[rng.gen_range(CrashOp::ALL.len() as u64) as usize];
+        Self { at_batch, op }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +244,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn crash_plans_are_seeded_and_in_range() {
+        let a = CrashPlan::generate(9, 12);
+        assert_eq!(a, CrashPlan::generate(9, 12));
+        let mut ops = BTreeSet::new();
+        for seed in 0..200u64 {
+            let plan = CrashPlan::generate(seed, 12);
+            assert!(plan.at_batch < 12);
+            ops.insert(format!("{:?}", plan.op));
+        }
+        // 200 seeds cover all six crash points.
+        assert_eq!(ops.len(), CrashOp::ALL.len());
+    }
+
+    #[test]
+    fn batch_survives_matches_wal_semantics() {
+        assert!(!CrashOp::BeforeWalAppend.batch_survives());
+        assert!(!CrashOp::MidWalAppend.batch_survives());
+        assert!(CrashOp::AfterWalAppend.batch_survives());
+        assert!(CrashOp::MidCheckpointTemp.batch_survives());
+        assert!(CrashOp::BeforeCheckpointRename.batch_survives());
+        assert!(CrashOp::AfterCheckpointRename.batch_survives());
     }
 
     #[test]

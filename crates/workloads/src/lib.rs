@@ -31,7 +31,7 @@ pub mod zipf;
 
 pub use ads::{AdImpression, AdWorkload};
 pub use exact::{ExactDistinct, ExactFrequency};
-pub use faults::{Corruption, FaultPlan, IngestFault, PlannedFault};
+pub use faults::{Corruption, CrashOp, CrashPlan, FaultPlan, IngestFault, PlannedFault};
 pub use flows::{FlowRecord, FlowWorkload};
 pub use stats::{mean, percentile, relative_error, stddev};
 pub use zipf::ZipfGenerator;
