@@ -1,16 +1,20 @@
-//! The experiments driver: regenerates every experiment table (E1–E21).
+//! The experiments driver: regenerates every experiment table (E1–E24).
 //!
 //! Usage:
 //! ```text
 //! cargo run -p sketches-bench --release --bin experiments          # all
 //! cargo run -p sketches-bench --release --bin experiments -- e4 e7
 //! cargo run -p sketches-bench --release --bin experiments -- list
+//! cargo run -p sketches-bench --release --bin experiments -- e24 --metrics-json
 //! ```
 
 use sketches_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|a| a == "--metrics-json");
+    args.retain(|a| a != "--metrics-json");
+    sketches_bench::set_metrics_json(metrics_json);
     if args.iter().any(|a| a == "list") {
         for (id, claim, _) in experiments::registry() {
             println!("{id:>4}  {claim}");

@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E22), each
+//! The experiment suite: one function per experiment id (E1–E24), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -138,6 +138,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e23",
             "Durable store: seeded crash drills recover byte-exact; WAL corruption is typed",
             streamdb_exps::e23,
+        ),
+        (
+            "e24",
+            "Self-hosted telemetry costs <5% on the hot path; snapshots merge exactly",
+            streamdb_exps::e24,
         ),
         (
             "a1",

@@ -7,9 +7,26 @@
 // see sketches-lint L2).
 #![allow(clippy::unwrap_used)]
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod experiments;
+
+/// Whether `--metrics-json` was passed to the experiments driver.
+static METRICS_JSON: OnceLock<bool> = OnceLock::new();
+
+/// Records the `--metrics-json` flag (first call wins; later calls are
+/// ignored so tests can't fight over process-global state).
+pub fn set_metrics_json(enabled: bool) {
+    let _ = METRICS_JSON.set(enabled);
+}
+
+/// True when the driver was asked to dump telemetry snapshots as JSON
+/// (experiments that cut a snapshot append it after their table).
+#[must_use]
+pub fn metrics_json_enabled() -> bool {
+    *METRICS_JSON.get().unwrap_or(&false)
+}
 
 /// Prints an experiment header.
 pub fn header(id: &str, claim: &str) {

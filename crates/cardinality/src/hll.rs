@@ -20,6 +20,10 @@ use sketches_hash::hash_item;
 use sketches_hash::mix::mix64_seeded;
 use std::hash::Hash;
 
+/// Hash seed for item-level updates, shared with [`crate::hllpp`] so both
+/// sketches fingerprint items identically before domain separation.
+pub(crate) const ITEM_SEED: u64 = 0x5EED_BA5E;
+
 /// Returns the HyperLogLog bias-correction constant `α_m`.
 #[must_use]
 pub fn alpha(m: usize) -> f64 {
@@ -178,7 +182,26 @@ impl HyperLogLog {
 
 impl<T: Hash + ?Sized> Update<T> for HyperLogLog {
     fn update(&mut self, item: &T) {
-        self.update_hash(hash_item(item, 0x5EED_BA5E));
+        self.update_hash(hash_item(item, ITEM_SEED));
+    }
+
+    /// Batched ingest: hoists the register-shift and seed out of the loop
+    /// and writes registers directly, skipping the per-call setup of
+    /// [`HyperLogLog::update_hash`]. Register-max updates commute, so the
+    /// result is identical to per-item updates in any order.
+    fn update_slice(&mut self, items: &[T])
+    where
+        T: Sized,
+    {
+        let shift = 64 - self.precision;
+        for item in items {
+            let h = mix64_seeded(hash_item(item, ITEM_SEED), self.seed);
+            let idx = (h >> shift) as usize;
+            let r = rho_leading(h, shift);
+            if r > self.registers[idx] {
+                self.registers[idx] = r;
+            }
+        }
     }
 }
 
@@ -300,6 +323,22 @@ mod tests {
             b.update(&i);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_slice_matches_per_item_exactly() {
+        let data: Vec<u64> = (0..40_000).collect();
+        let mut per_item = HyperLogLog::new(11, 6).unwrap();
+        for x in &data {
+            per_item.update(x);
+        }
+        for chunk in [data.len(), 1, 7, 613] {
+            let mut sliced = HyperLogLog::new(11, 6).unwrap();
+            for part in data.chunks(chunk) {
+                sliced.update_slice(part);
+            }
+            assert_eq!(sliced, per_item, "chunk size {chunk}");
+        }
     }
 
     #[test]

@@ -99,28 +99,35 @@ impl HyperLogLogPlusPlus {
         let h = mix64_seeded(hash, self.seed ^ HLLPP_SEED);
         match &mut self.repr {
             Repr::Sparse(map) => {
-                let idx25 = (h >> (64 - SPARSE_PRECISION)) as u32;
-                let w = h << SPARSE_PRECISION;
-                let rho_w = if w == 0 {
-                    (64 - SPARSE_PRECISION + 1) as u8
-                } else {
-                    (w.leading_zeros() + 1) as u8
-                };
-                let mask = (1u32 << (SPARSE_PRECISION - self.precision)) - 1;
-                if idx25 & mask == 0 {
-                    // Flag-1 encoding: rho_w must be stored.
-                    map.entry(idx25)
-                        .and_modify(|r| *r = (*r).max(rho_w))
-                        .or_insert(rho_w);
-                } else {
-                    // Flag-0: rho at dense precision is derivable from idx25.
-                    map.entry(idx25).or_insert(0);
-                }
+                Self::sparse_insert(map, self.precision, h);
                 if map.len() > self.sparse_limit {
                     self.upgrade_to_dense();
                 }
             }
             Repr::Dense(hll) => hll.insert_mixed(h),
+        }
+    }
+
+    /// Inserts an already-mixed hash into a sparse map (no upgrade check —
+    /// callers decide when to test the limit, which lets the batched path
+    /// defer the check to the end of a slice).
+    fn sparse_insert(map: &mut BTreeMap<u32, u8>, precision: u32, h: u64) {
+        let idx25 = (h >> (64 - SPARSE_PRECISION)) as u32;
+        let w = h << SPARSE_PRECISION;
+        let rho_w = if w == 0 {
+            (64 - SPARSE_PRECISION + 1) as u8
+        } else {
+            (w.leading_zeros() + 1) as u8
+        };
+        let mask = (1u32 << (SPARSE_PRECISION - precision)) - 1;
+        if idx25 & mask == 0 {
+            // Flag-1 encoding: rho_w must be stored.
+            map.entry(idx25)
+                .and_modify(|r| *r = (*r).max(rho_w))
+                .or_insert(rho_w);
+        } else {
+            // Flag-0: rho at dense precision is derivable from idx25.
+            map.entry(idx25).or_insert(0);
         }
     }
 
@@ -264,7 +271,40 @@ impl HyperLogLogPlusPlus {
 
 impl<T: Hash + ?Sized> Update<T> for HyperLogLogPlusPlus {
     fn update(&mut self, item: &T) {
-        self.update_hash(hash_item(item, 0x5EED_BA5E));
+        self.update_hash(hash_item(item, crate::hll::ITEM_SEED));
+    }
+
+    /// Batched ingest with a *deferred upgrade*: the whole slice is absorbed
+    /// into the current representation and the sparse→dense limit is tested
+    /// once at the end, instead of after every item. Sparse entries decode
+    /// to exactly the `(index, rho)` pairs the dense path would have
+    /// written, and register-max commutes, so the final state equals the
+    /// per-item path's byte for byte — even when the slice crosses the
+    /// upgrade threshold.
+    fn update_slice(&mut self, items: &[T])
+    where
+        T: Sized,
+    {
+        let mixer = self.seed ^ HLLPP_SEED;
+        let precision = self.precision;
+        match &mut self.repr {
+            Repr::Sparse(map) => {
+                for item in items {
+                    let h = mix64_seeded(hash_item(item, crate::hll::ITEM_SEED), mixer);
+                    Self::sparse_insert(map, precision, h);
+                }
+            }
+            Repr::Dense(hll) => {
+                for item in items {
+                    hll.insert_mixed(mix64_seeded(hash_item(item, crate::hll::ITEM_SEED), mixer));
+                }
+            }
+        }
+        if let Repr::Sparse(map) = &self.repr {
+            if map.len() > self.sparse_limit {
+                self.upgrade_to_dense();
+            }
+        }
     }
 }
 
@@ -498,6 +538,37 @@ mod tests {
         let (idx, rho) = HyperLogLogPlusPlus::decode(7u32 << 15, 9, 10);
         assert_eq!(idx, 7);
         assert_eq!(rho, 9 + 15);
+    }
+
+    #[test]
+    fn update_slice_matches_per_item_across_upgrade() {
+        // p=10 → sparse limit 128 entries; 10k distinct items cross the
+        // sparse→dense upgrade mid-stream. The deferred-upgrade batched
+        // path must land on the identical final state regardless of where
+        // the slice boundaries fall relative to the upgrade point.
+        let data: Vec<u64> = (0..10_000).collect();
+        let mut per_item = HyperLogLogPlusPlus::new(10, 8).unwrap();
+        for x in &data {
+            per_item.update(x);
+        }
+        assert!(!per_item.is_sparse());
+        for chunk in [data.len(), 1, 7, 613] {
+            let mut sliced = HyperLogLogPlusPlus::new(10, 8).unwrap();
+            for part in data.chunks(chunk) {
+                sliced.update_slice(part);
+            }
+            assert_eq!(sliced, per_item, "chunk size {chunk}");
+        }
+        // A stream that stays sparse also matches entry-for-entry.
+        let small: Vec<u64> = (0..100).collect();
+        let mut a = HyperLogLogPlusPlus::new(10, 8).unwrap();
+        let mut b = HyperLogLogPlusPlus::new(10, 8).unwrap();
+        for x in &small {
+            a.update(x);
+        }
+        b.update_slice(&small);
+        assert!(a.is_sparse() && b.is_sparse());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! L4 fixture: the sanctioned shape — the same read inside a `Clock` impl.
+
+trait Clock {
+    fn now_nanos(&self) -> u64;
+}
+
+struct Wall;
+
+impl Clock for Wall {
+    fn now_nanos(&self) -> u64 {
+        // lint: clock-impl(the single sanctioned ambient-time read; feeds metrics only)
+        let t = std::time::Instant::now();
+        u64::from(t.elapsed().subsec_nanos())
+    }
+}

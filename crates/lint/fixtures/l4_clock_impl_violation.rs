@@ -1,0 +1,7 @@
+//! L4 fixture: a `clock-impl` tag outside a `Clock` impl body is inert.
+
+fn sneak_a_timestamp() -> u64 {
+    // lint: clock-impl(this tag only works inside an `impl ... Clock for ...` body)
+    let t = std::time::Instant::now();
+    u64::from(t.elapsed().subsec_nanos())
+}

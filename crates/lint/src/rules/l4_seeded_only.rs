@@ -9,8 +9,16 @@
 //! The bench harness (which legitimately times things) is exempt by crate
 //! kind; anything else justifies itself with
 //! `// lint: nondeterminism-ok(reason)`.
+//!
+//! One narrower escape exists for the telemetry layer: a
+//! `// lint: clock-impl(reason)` tag is honored **only** inside the body of
+//! an `impl ... Clock for ...` block. That is where the workspace's single
+//! sanctioned `Instant::now` lives (`sketches-obs::MonotonicClock`); the
+//! tag is inert anywhere else, so ambient time cannot leak into sketch
+//! code by copy-pasting the comment.
 
 use crate::findings::{Finding, Rule};
+use crate::lexer::Token;
 use crate::rules::FileContext;
 
 /// Identifiers banned outright in sketch-library code.
@@ -19,11 +27,50 @@ const BANNED: [&str; 3] = ["SystemTime", "thread_rng", "RandomState"];
 /// How many lines above a flagged site the escape comment may sit.
 const LOOKBACK: u32 = 3;
 
+/// Per-token mask of `impl ... Clock for ...` bodies — the only region
+/// where the `clock-impl` escape tag is honored. `Clock` must appear in the
+/// trait position (before the non-HRTB `for`), so an inherent impl on a
+/// clock-like type, or a `for` clause that merely mentions `Clock` in the
+/// implementing type, does not qualify.
+fn clock_impl_body_mask(tokens: &[Token]) -> Vec<bool> {
+    let brace_match = super::match_braces(tokens);
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut trait_names_clock = false;
+            let mut saw_for = false;
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                if tokens[j].is_ident("for")
+                    && !(j + 1 < tokens.len() && tokens[j + 1].is_punct('<'))
+                {
+                    saw_for = true;
+                }
+                if !saw_for && tokens[j].is_ident("Clock") {
+                    trait_names_clock = true;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && saw_for && trait_names_clock {
+                for m in mask.iter_mut().take(brace_match[j] + 1).skip(j) {
+                    *m = true;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
 /// Runs L4 on one file.
 #[must_use]
 pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
     let tokens = ctx.tokens();
+    let clock_mask = clock_impl_body_mask(tokens);
     for i in 0..tokens.len() {
         if !ctx.is_checked_code(i) {
             continue;
@@ -44,14 +91,23 @@ pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
         if ctx.lexed.has_escape(t.line, "nondeterminism-ok", LOOKBACK) {
             continue;
         }
+        // `clock-impl` sanctions *time* reads inside a Clock impl body —
+        // never the entropy sources, which a clock has no business touching.
+        if matches!(what, "Instant::now" | "SystemTime")
+            && clock_mask[i]
+            && ctx.lexed.has_escape(t.line, "clock-impl", LOOKBACK)
+        {
+            continue;
+        }
         out.push(Finding {
             rule: Rule::L4SeededOnly,
             file: ctx.path.to_path_buf(),
             line: t.line,
             message: format!(
                 "`{what}` in a sketch crate: behavior must be a pure function of (input, seed) — \
-                 take a seed and use sketches-hash PRNGs / SeededBuildHasher, or justify with \
-                 `// lint: nondeterminism-ok(reason)`"
+                 take a seed and use sketches-hash PRNGs / SeededBuildHasher, justify with \
+                 `// lint: nondeterminism-ok(reason)`, or — inside an `impl ... Clock for ...` \
+                 body only — `// lint: clock-impl(reason)`"
             ),
         });
     }
@@ -85,6 +141,50 @@ mod tests {
     fn seeded_constructs_pass() {
         let f = run("fn f(seed: u64) { let rng = Xoshiro256PlusPlus::new(seed); }");
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn clock_impl_escape_honored_only_inside_clock_impls() {
+        // Sanctioned: the tag sits inside an `impl Clock for ...` body.
+        assert!(run(
+            "impl Clock for MonotonicClock {\n fn now_nanos(&self) -> u64 {\n\
+             // lint: clock-impl(the one sanctioned ambient-time read)\n\
+             let t = Instant::now(); 0 } }"
+        )
+        .is_empty());
+        // A path-qualified trait name also qualifies.
+        assert!(run(
+            "impl sketches_obs::Clock for Wall {\n fn now_nanos(&self) -> u64 {\n\
+             // lint: clock-impl(reason)\n Instant::now(); 0 } }"
+        )
+        .is_empty());
+        // Inert in a free function: the finding still fires.
+        assert_eq!(
+            run("fn f() {\n// lint: clock-impl(nice try)\nlet t = Instant::now();\n}").len(),
+            1
+        );
+        // Inert in an inherent impl, even on a clock-like type.
+        assert_eq!(
+            run("impl MonotonicClock {\n fn peek(&self) -> u64 {\n\
+                 // lint: clock-impl(not a trait impl)\n Instant::now(); 0 } }")
+            .len(),
+            1
+        );
+        // Inert when `Clock` only appears in the implementing type after
+        // `for` — the trait position is what sanctions the read.
+        assert_eq!(
+            run("impl Default for Clock {\n fn default() -> Self {\n\
+                 // lint: clock-impl(wrong side of `for`)\n Instant::now(); Clock } }")
+            .len(),
+            1
+        );
+        // The tag does not excuse the other ambient sources.
+        assert_eq!(
+            run("impl Clock for Sneaky {\n fn now_nanos(&self) -> u64 {\n\
+                 // lint: clock-impl(only time is sanctioned)\n thread_rng(); 0 } }")
+            .len(),
+            1
+        );
     }
 
     #[test]

@@ -100,6 +100,19 @@ fn l4_seeded_only_pair() {
 }
 
 #[test]
+fn l4_clock_impl_pair() {
+    // The `clock-impl` tag sanctions an ambient time read only inside an
+    // `impl ... Clock for ...` body (the telemetry layer's one blessed
+    // call site); the identical tag anywhere else changes nothing.
+    assert_pair(
+        Rule::L4SeededOnly,
+        "l4_clock_impl_violation.rs",
+        "l4_clock_impl_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn l5_missing_docs_pair() {
     assert_pair(
         Rule::L5MissingDocs,

@@ -1,0 +1,122 @@
+//! A string-keyed metric registry with a bounded event log.
+//!
+//! The hot engine paths hold their metric primitives as named struct
+//! fields (no map lookup per row); the registry is the dynamic facade
+//! for everything at batch-or-coarser cadence — the durable layer's
+//! WAL/checkpoint/recovery accounting, ad-hoc tool metrics — and the
+//! point where a [`MetricsSnapshot`] is cut.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram};
+use crate::snapshot::MetricsSnapshot;
+
+/// Maximum events retained by a [`Registry`] (oldest dropped first).
+pub const EVENT_CAP: usize = 64;
+
+/// A timestamped, human-readable occurrence (e.g. a recovery warning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Clock reading when the event was recorded (nanoseconds).
+    pub at_nanos: u64,
+    /// What happened.
+    pub message: String,
+}
+
+/// Named counters, gauges, and histograms plus a bounded event log.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+    events: VecDeque<Event>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&mut self, name: &str) -> &Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&mut self, name: &str) -> &Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut LatencyHistogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Appends an event, dropping the oldest past [`EVENT_CAP`].
+    pub fn event(&mut self, at_nanos: u64, message: impl Into<String>) {
+        self.events.push_back(Event {
+            at_nanos,
+            message: message.into(),
+        });
+        while self.events.len() > EVENT_CAP {
+            self.events.pop_front();
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Cuts a mergeable point-in-time snapshot of everything registered.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for (name, c) in &self.counters {
+            snap.add_counter(name, c.get());
+        }
+        for (name, g) in &self.gauges {
+            snap.add_gauge(name, g.get());
+        }
+        for (name, h) in &self.histograms {
+            snap.put_histogram(name, h.snapshot());
+        }
+        for e in &self.events {
+            snap.push_event(e.clone());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_and_snapshot() {
+        let mut r = Registry::new();
+        r.counter("a_total").add(3);
+        r.counter("a_total").inc();
+        r.gauge("g").set(9);
+        r.histogram("h_seconds").record_nanos(500);
+        r.event(1, "hello");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a_total"], 4);
+        assert_eq!(snap.gauges["g"], 9);
+        assert_eq!(snap.histograms["h_seconds"].count(), 1);
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let mut r = Registry::new();
+        for i in 0..(EVENT_CAP as u64 + 10) {
+            r.event(i, format!("e{i}"));
+        }
+        let events: Vec<_> = r.events().collect();
+        assert_eq!(events.len(), EVENT_CAP);
+        assert_eq!(events[0].message, "e10");
+    }
+}

@@ -1,0 +1,383 @@
+//! Point-in-time metric snapshots: merge across shards, render for
+//! humans, Prometheus, or JSON.
+//!
+//! Merging follows the mergeable-summaries contract end to end: counters
+//! and gauges add, and latency histograms merge their underlying KLL
+//! sketches — the merged p99 is the true p99 of the combined stream, not
+//! an average of per-shard p99s.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sketches_core::{MergeSketch, QuantileSketch, SketchResult};
+use sketches_quantiles::KllSketch;
+
+use crate::registry::Event;
+
+/// The quantiles every histogram report includes.
+const REPORT_QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// A mergeable copy of one latency distribution (values in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    kll: KllSketch,
+}
+
+impl HistogramSnapshot {
+    /// Wraps a KLL sketch of nanosecond durations.
+    #[must_use]
+    pub fn from_kll(kll: KllSketch) -> Self {
+        Self { kll }
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.kll.count()
+    }
+
+    /// The duration (nanoseconds) at rank fraction `q`, or `None` when
+    /// the histogram is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_nanos(&self, q: f64) -> Option<f64> {
+        self.kll.quantile(q).ok()
+    }
+
+    /// Merges another snapshot's distribution into this one.
+    ///
+    /// # Errors
+    /// Returns [`sketches_core::SketchError::Incompatible`] when the
+    /// underlying sketches have different shapes — impossible for
+    /// histograms built by this crate, which share one `(k, seed)`.
+    pub fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        self.kll.merge(&other.kll)
+    }
+}
+
+/// A point-in-time view of every metric an engine (or registry) holds.
+///
+/// Counter totals from disjoint shards add exactly; a 4-shard engine's
+/// merged snapshot therefore carries byte-identical counter totals to a
+/// sequential engine fed the same stream (tested in the integration
+/// suite).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters (Prometheus `_total` convention).
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time levels; merging sums them.
+    pub gauges: BTreeMap<String, u64>,
+    /// Latency distributions, keyed by a `*_seconds` metric name
+    /// (recorded in nanoseconds, rendered in seconds).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Recent noteworthy occurrences (recovery warnings, etc.).
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to counter `name` (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Adds `value` to gauge `name` (creating it at zero).
+    pub fn add_gauge(&mut self, name: &str, value: u64) {
+        *self.gauges.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Installs (or replaces) histogram `name`.
+    pub fn put_histogram(&mut self, name: &str, hist: HistogramSnapshot) {
+        self.histograms.insert(name.to_string(), hist);
+    }
+
+    /// Appends an event.
+    pub fn push_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Merges `other` into `self`: counters and gauges add, histograms
+    /// sketch-merge, events concatenate (bounded by the registry cap at
+    /// the source, so growth stays small).
+    ///
+    /// # Errors
+    /// Propagates a histogram shape mismatch; snapshots produced by this
+    /// crate always share one histogram shape.
+    pub fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        for (name, v) in &other.counters {
+            self.add_counter(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            self.add_gauge(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h)?,
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        Ok(())
+    }
+
+    /// A fixed-width human table: one line per metric.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  counter  {name:<44} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  gauge    {name:<44} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let stats = if h.count() == 0 {
+                "count=0".to_string()
+            } else {
+                let q = |q: f64| fmt_nanos(h.quantile_nanos(q).unwrap_or(0.0));
+                format!(
+                    "count={} p50={} p90={} p99={} max={}",
+                    h.count(),
+                    q(0.5),
+                    q(0.9),
+                    q(0.99),
+                    q(1.0),
+                )
+            };
+            let _ = writeln!(out, "  hist     {name:<44} {stats}");
+        }
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "  event    t+{:<42} {}",
+                fmt_nanos(e.at_nanos as f64),
+                e.message
+            );
+        }
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Counters keep their `_total` names, histograms render as
+    /// summaries in seconds with `quantile` labels plus a `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = name.split('{').next().unwrap_or(name);
+            let line = format!("# TYPE {base} {kind}");
+            if line != last_type_line {
+                let _ = writeln!(out, "{line}");
+                last_type_line = line;
+            }
+        };
+        for (name, v) in &self.counters {
+            type_line(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            type_line(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            type_line(&mut out, name, "summary");
+            for (q, label) in REPORT_QUANTILES {
+                if let Some(nanos) = h.quantile_nanos(q) {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", nanos / 1e9);
+                }
+            }
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// A single-line JSON object (hand-rolled: the offline serde shim has
+    /// no derive), with histogram quantiles in nanoseconds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_u64_map(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_u64_map(&mut out, &self.gauges);
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{{\"count\":{}", json_string(name), h.count());
+            for (q, label) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (1.0, "max")] {
+                match h.quantile_nanos(q) {
+                    Some(v) => {
+                        let _ = write!(out, ",\"{label}_nanos\":{v}");
+                    }
+                    None => {
+                        let _ = write!(out, ",\"{label}_nanos\":null");
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_nanos\":{},\"message\":{}}}",
+                e.at_nanos,
+                json_string(&e.message)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Writes `"name":value` pairs for a counter/gauge map.
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json_string(name));
+    }
+}
+
+/// JSON-escapes and quotes a string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.2}s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.2}ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.2}us", nanos / 1e3)
+    } else {
+        format!("{nanos:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LatencyHistogram;
+
+    fn snap_with(counter: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("rows_ingested_total", counter);
+        s.add_gauge("groups", 3);
+        let mut h = LatencyHistogram::new();
+        for n in 0..100u64 {
+            h.record_nanos(n * 1_000);
+        }
+        s.put_histogram("batch_latency_seconds", h.snapshot());
+        s
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = snap_with(10);
+        let b = snap_with(32);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counters["rows_ingested_total"], 42);
+        assert_eq!(a.gauges["groups"], 6);
+        assert_eq!(a.histograms["batch_latency_seconds"].count(), 200);
+    }
+
+    #[test]
+    fn merge_into_empty_clones_everything() {
+        let mut a = MetricsSnapshot::new();
+        a.merge(&snap_with(5)).unwrap();
+        assert_eq!(a.counters["rows_ingested_total"], 5);
+        assert_eq!(a.histograms["batch_latency_seconds"].count(), 100);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = snap_with(7).to_prometheus();
+        assert!(text.contains("# TYPE rows_ingested_total counter"));
+        assert!(text.contains("rows_ingested_total 7"));
+        assert!(text.contains("# TYPE groups gauge"));
+        assert!(text.contains("# TYPE batch_latency_seconds summary"));
+        assert!(text.contains("batch_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("batch_latency_seconds_count 100"));
+    }
+
+    #[test]
+    fn prometheus_labels_share_one_type_line() {
+        let mut s = MetricsSnapshot::new();
+        s.add_gauge("shard_rows_routed{shard=\"0\"}", 10);
+        s.add_gauge("shard_rows_routed{shard=\"1\"}", 20);
+        let text = s.to_prometheus();
+        assert_eq!(text.matches("# TYPE shard_rows_routed gauge").count(), 1);
+        assert!(text.contains("shard_rows_routed{shard=\"0\"} 10"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut s = snap_with(1);
+        s.push_event(Event {
+            at_nanos: 5,
+            message: "torn \"tail\"\n".to_string(),
+        });
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rows_ingested_total\":1"));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("torn \\\"tail\\\"\\n"));
+    }
+
+    #[test]
+    fn table_renders_every_kind() {
+        let mut s = snap_with(9);
+        s.push_event(Event {
+            at_nanos: 1_500,
+            message: "warned".to_string(),
+        });
+        let t = s.to_table();
+        assert!(t.contains("counter"));
+        assert!(t.contains("gauge"));
+        assert!(t.contains("hist"));
+        assert!(t.contains("warned"));
+        assert!(t.contains("p99="));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LatencyHistogram::new().snapshot();
+        assert_eq!(h.quantile_nanos(0.5), None);
+        let mut s = MetricsSnapshot::new();
+        s.put_histogram("h_seconds", h);
+        assert!(s.to_json().contains("\"p50_nanos\":null"));
+        assert!(s.to_table().contains("count=0"));
+    }
+}

@@ -172,6 +172,33 @@ impl Update<f64> for KllSketch {
             self.compress();
         }
     }
+
+    /// Batched ingest that fills level 0 chunk-by-chunk instead of item-by-
+    /// item. Each chunk stops exactly where the per-item path would have
+    /// compacted, so the sketch consumes the *same* promotion coin flips and
+    /// the resulting state is byte-identical to per-item updates — only the
+    /// bookkeeping (capacity lookups, bounds checks, counter bumps) is
+    /// amortized over the chunk.
+    fn update_slice(&mut self, items: &[f64]) {
+        let mut rest = items;
+        while !rest.is_empty() {
+            // Room left in level 0 before the per-item path would compact.
+            let cap = self.capacity(0);
+            let room = cap.saturating_sub(self.compactors[0].len()).max(1);
+            let take = room.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            for &v in chunk {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+            self.n += take as u64;
+            self.compactors[0].extend_from_slice(chunk);
+            if self.compactors[0].len() >= self.capacity(0) {
+                self.compress();
+            }
+            rest = tail;
+        }
+    }
 }
 
 impl QuantileSketch for KllSketch {
@@ -431,6 +458,40 @@ mod tests {
         let mut w = ByteWriter::new();
         kll.write_state(&mut w);
         w.into_bytes()
+    }
+
+    #[test]
+    fn update_slice_is_byte_identical_to_per_item() {
+        // The batched path must reproduce the per-item path *exactly* —
+        // same compaction points, same coin flips, same serialized bytes —
+        // for any way the stream is cut into slices.
+        let mut rng = Xoshiro256PlusPlus::new(33);
+        let data: Vec<f64> = (0..20_000).map(|_| rng.next_f64() * 1e4).collect();
+        let mut per_item = KllSketch::new(64, 99).unwrap();
+        for &x in &data {
+            per_item.update(&x);
+        }
+        let expected = state_bytes(&per_item);
+        // One giant slice, tiny slices, and ragged prime-sized slices.
+        for chunk in [data.len(), 1, 7, 613] {
+            let mut sliced = KllSketch::new(64, 99).unwrap();
+            for part in data.chunks(chunk) {
+                sliced.update_slice(part);
+            }
+            assert_eq!(state_bytes(&sliced), expected, "chunk size {chunk}");
+        }
+        // Interleaving the two entry points also stays exact.
+        let mut mixed = KllSketch::new(64, 99).unwrap();
+        for (i, part) in data.chunks(101).enumerate() {
+            if i % 2 == 0 {
+                mixed.update_slice(part);
+            } else {
+                for x in part {
+                    mixed.update(x);
+                }
+            }
+        }
+        assert_eq!(state_bytes(&mixed), expected);
     }
 
     #[test]

@@ -52,12 +52,15 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use sketches_core::codec::{ByteReader, ByteWriter};
 use sketches_core::{SketchError, SketchResult};
 use sketches_hash::xxhash::xxh64;
+use sketches_obs::{Clock, MetricsSnapshot, MonotonicClock, Registry};
 
 use crate::fault::{BatchCause, BatchError, BatchSummary, FaultPolicy};
+use crate::metrics::names;
 use crate::query::AggregateResult;
 use crate::stream_engine::StreamEngine;
 use crate::value::{read_value, write_value, Row, Value};
@@ -194,6 +197,9 @@ pub struct RecoveryReport {
     pub rows_replayed: u64,
     /// Bytes of torn WAL tail truncated away (0 for a clean shutdown).
     pub torn_tail_bytes: u64,
+    /// Torn-tail truncations performed (torn headers included): the count
+    /// behind the `recovery_torn_tail_truncations_total` metric.
+    pub torn_tail_truncations: u64,
     /// Human-readable notes on every repaired anomaly.
     pub warnings: Vec<String>,
 }
@@ -220,6 +226,12 @@ pub struct DurableEngine<E> {
     kill: Option<(u64, KillPoint)>,
     poisoned: bool,
     recovery: Option<RecoveryReport>,
+    /// Durability telemetry (WAL/checkpoint/recovery accounting). Batch
+    /// cadence, so the dynamic string-keyed [`Registry`] is fine here.
+    registry: Registry,
+    /// Time source for fsync/checkpoint latency histograms and event
+    /// timestamps; swappable via [`DurableEngine::set_clock`].
+    clock: Arc<dyn Clock>,
 }
 
 /// Renders the checkpoint file name of an epoch (zero-padded so the
@@ -374,6 +386,8 @@ impl<E: StreamEngine> DurableEngine<E> {
             kill: None,
             poisoned: false,
             recovery: None,
+            registry: Registry::new(),
+            clock: Arc::new(MonotonicClock::new()),
         };
         this.write_checkpoint_file(0, None)?;
         this.wal = this.create_wal_segment(0)?;
@@ -406,11 +420,15 @@ impl<E: StreamEngine> DurableEngine<E> {
     ) -> SketchResult<Self> {
         let dir = dir.into();
         let mut warnings = Vec::new();
+        let mut stray_tmp_discarded = 0u64;
+        let mut checkpoint_fallbacks = 0u64;
+        let mut epochs_scanned = 0u64;
 
         // 1. A stray temp file is a checkpoint that never committed (crash
         //    before the rename) — discard it.
         let mut files = list_epoch_files(&dir)?;
         for stray in files.tmp.drain(..) {
+            stray_tmp_discarded += 1;
             warnings.push(format!(
                 "discarded uncommitted checkpoint temp file {stray}"
             ));
@@ -431,6 +449,7 @@ impl<E: StreamEngine> DurableEngine<E> {
         let mut engine = None;
         let mut last_err = None;
         while let Some(epoch) = files.checkpoints.pop() {
+            epochs_scanned += 1;
             let path = dir.join(checkpoint_name(epoch));
             let bytes = fs::read(&path)
                 .map_err(|e| SketchError::io(format!("reading {}", path.display()), &e))?;
@@ -440,6 +459,7 @@ impl<E: StreamEngine> DurableEngine<E> {
                     break;
                 }
                 Err(e) => {
+                    checkpoint_fallbacks += 1;
                     warnings.push(format!(
                         "checkpoint epoch {epoch} failed validation ({e}); falling back"
                     ));
@@ -499,6 +519,38 @@ impl<E: StreamEngine> DurableEngine<E> {
         wal.seek(SeekFrom::End(0))
             .map_err(|e| SketchError::io("seeking wal end", &e))?;
         report.warnings.splice(0..0, warnings);
+
+        // Surface what recovery found as counters and events, so the
+        // repaired anomalies show up on a scrape, not just in the report.
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let mut registry = Registry::new();
+        let now = clock.now_nanos();
+        registry.counter(names::RECOVERIES).inc();
+        registry
+            .counter(names::RECOVERY_BATCHES_REPLAYED)
+            .add(report.batches_replayed);
+        registry
+            .counter(names::RECOVERY_ROWS_REPLAYED)
+            .add(report.rows_replayed);
+        registry
+            .counter(names::RECOVERY_TORN_TAIL_TRUNCATIONS)
+            .add(report.torn_tail_truncations);
+        registry
+            .counter(names::RECOVERY_TORN_TAIL_BYTES)
+            .add(report.torn_tail_bytes);
+        registry
+            .counter(names::RECOVERY_CHECKPOINT_FALLBACKS)
+            .add(checkpoint_fallbacks);
+        registry
+            .counter(names::RECOVERY_STRAY_TMP_DISCARDED)
+            .add(stray_tmp_discarded);
+        registry
+            .counter(names::RECOVERY_EPOCHS_SCANNED)
+            .add(epochs_scanned);
+        for warning in &report.warnings {
+            registry.event(now, warning.clone());
+        }
+
         Ok(Self {
             dir,
             engine,
@@ -512,6 +564,8 @@ impl<E: StreamEngine> DurableEngine<E> {
             kill: None,
             poisoned: false,
             recovery: Some(report),
+            registry,
+            clock,
         })
     }
 
@@ -556,6 +610,7 @@ impl<E: StreamEngine> DurableEngine<E> {
             }
             return Err(durability_error(crash_error(KillPoint::MidWalAppend)));
         }
+        let append_start = self.clock.now_nanos();
         if let Err(e) = self
             .wal
             .write_all(&record)
@@ -567,6 +622,14 @@ impl<E: StreamEngine> DurableEngine<E> {
                 &e,
             )));
         }
+        let append_nanos = self.clock.now_nanos().saturating_sub(append_start);
+        self.registry
+            .histogram(names::WAL_FSYNC_SECONDS)
+            .record_nanos(append_nanos);
+        self.registry.counter(names::WAL_APPENDS).inc();
+        self.registry
+            .counter(names::WAL_BYTES_WRITTEN)
+            .add(record.len() as u64);
         self.wal_rows += rows.len() as u64;
         self.wal_bytes += record.len() as u64;
         self.wal_batches += 1;
@@ -580,7 +643,14 @@ impl<E: StreamEngine> DurableEngine<E> {
             || self.wal_rows >= self.policy.max_wal_rows
             || self.wal_bytes >= self.policy.max_wal_bytes
         {
-            if let Err(e) = self.checkpoint_inner(Some(batch)) {
+            let cause = if forced {
+                "forced"
+            } else if self.wal_rows >= self.policy.max_wal_rows {
+                "rows"
+            } else {
+                "bytes"
+            };
+            if let Err(e) = self.checkpoint_with_metrics(Some(batch), cause) {
                 self.poisoned = true;
                 return Err(durability_error(e));
             }
@@ -600,7 +670,7 @@ impl<E: StreamEngine> DurableEngine<E> {
                 "durable store is poisoned after a persistence failure; recover() from disk",
             ));
         }
-        self.checkpoint_inner(None).map_err(|e| {
+        self.checkpoint_with_metrics(None, "forced").map_err(|e| {
             self.poisoned = true;
             e
         })
@@ -620,7 +690,7 @@ impl<E: StreamEngine> DurableEngine<E> {
             ));
         }
         let window = self.engine.flush_window()?;
-        self.checkpoint_inner(None).map_err(|e| {
+        self.checkpoint_with_metrics(None, "window").map_err(|e| {
             self.poisoned = true;
             e
         })?;
@@ -689,6 +759,29 @@ impl<E: StreamEngine> DurableEngine<E> {
         self.recovery.as_ref()
     }
 
+    /// Cuts a telemetry snapshot: the durability layer's WAL, checkpoint,
+    /// and recovery accounting (with lag gauges and recovery-warning
+    /// events) merged with the wrapped engine's own metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.add_gauge(names::EPOCH, self.epoch);
+        snap.add_gauge(names::WAL_ROWS, self.wal_rows);
+        snap.add_gauge(names::WAL_BYTES, self.wal_bytes);
+        snap.add_gauge(names::WAL_BATCHES, self.wal_batches);
+        snap.merge(&self.engine.metrics())
+            // lint: panic-ok(every obs histogram shares one fixed (k, seed), so snapshot merge cannot fail)
+            .expect("obs snapshots share one KLL shape");
+        snap
+    }
+
+    /// Installs the time source behind the WAL-fsync and checkpoint
+    /// latency histograms and event timestamps. Tests inject a
+    /// [`sketches_obs::ManualClock`] so timing metrics are deterministic.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
     /// True when `(batch, point)` matches the armed kill; disarms it so a
     /// kill fires exactly once.
     fn kill_fires(&mut self, batch: u64, point: KillPoint) -> bool {
@@ -735,6 +828,9 @@ impl<E: StreamEngine> DurableEngine<E> {
         if fires(self, KillPoint::AfterCheckpointRename) {
             return Err(crash_error(KillPoint::AfterCheckpointRename));
         }
+        self.registry
+            .gauge(names::CHECKPOINT_BYTES_LAST)
+            .set(bytes.len() as u64);
         Ok(())
     }
 
@@ -773,6 +869,27 @@ impl<E: StreamEngine> DurableEngine<E> {
         self.wal_rows = 0;
         self.wal_bytes = 0;
         self.wal_batches = 0;
+        Ok(())
+    }
+
+    /// [`checkpoint_inner`](Self::checkpoint_inner) wrapped with
+    /// telemetry: the duration histogram plus the cause-labelled
+    /// checkpoint counter (`rows`/`bytes` lag bounds, `forced`, or
+    /// `window`).
+    fn checkpoint_with_metrics(
+        &mut self,
+        kill_batch: Option<u64>,
+        cause: &str,
+    ) -> SketchResult<()> {
+        let start = self.clock.now_nanos();
+        self.checkpoint_inner(kill_batch)?;
+        let elapsed = self.clock.now_nanos().saturating_sub(start);
+        self.registry
+            .histogram(names::CHECKPOINT_SECONDS)
+            .record_nanos(elapsed);
+        self.registry
+            .counter(&names::checkpoints_total(cause))
+            .inc();
         Ok(())
     }
 }
@@ -857,6 +974,7 @@ fn replay_wal<E: StreamEngine>(
             bytes.len()
         ));
         report.torn_tail_bytes += bytes.len() as u64;
+        report.torn_tail_truncations += 1;
         let mut wal = File::create(path)
             .map_err(|e| SketchError::io(format!("rewriting {}", path.display()), &e))?;
         wal.write_all(&wal_header(epoch))
@@ -955,6 +1073,7 @@ fn replay_wal<E: StreamEngine>(
     if torn {
         let torn_bytes = (bytes.len() - offset) as u64;
         report.torn_tail_bytes += torn_bytes;
+        report.torn_tail_truncations += 1;
         report.warnings.push(format!(
             "truncated a torn wal tail of {torn_bytes} bytes after record {}",
             report.batches_replayed

@@ -16,6 +16,7 @@ use crate::fault::{
     panic_message, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultKind,
     FaultPolicy, QuarantinedRow, INJECTED_PANIC_MARKER,
 };
+use crate::metrics::{names, EngineMetrics};
 use crate::query::{Aggregate, AggregateResult, QuerySpec};
 use crate::value::{read_value, write_value, Row, Value};
 
@@ -81,6 +82,9 @@ pub struct SketchEngine {
     /// In-flight batch checkpoint: the pre-batch state of every group the
     /// batch has touched, for rollback on failure.
     checkpoint: Option<BatchCheckpoint>,
+    /// Hot-path telemetry (see [`crate::metrics`]); excluded from
+    /// checkpoints like the other transient state.
+    pub(crate) metrics: EngineMetrics,
 }
 
 /// Incremental undo log for one in-flight batch: only groups the batch
@@ -93,6 +97,10 @@ struct BatchCheckpoint {
     rows_processed: u64,
     dead_count: u64,
     dead_samples: usize,
+    /// Pre-batch metric readings, so a rollback rewinds the row-level
+    /// counters and they stay exact rather than merely monotone.
+    metric_rows_ingested: u64,
+    metric_rows_quarantined: u64,
 }
 
 impl SketchEngine {
@@ -121,6 +129,7 @@ impl SketchEngine {
             dead_letters: DeadLetters::default(),
             injector: None,
             checkpoint: None,
+            metrics: EngineMetrics::new(),
         };
         engine.template = engine.fresh_state()?;
         Ok(engine)
@@ -205,6 +214,9 @@ impl SketchEngine {
                     reason,
                     row: row.clone(),
                 });
+                if self.metrics.enabled {
+                    self.metrics.rows_quarantined.inc();
+                }
                 Ok(false)
             }
         }
@@ -221,12 +233,20 @@ impl SketchEngine {
             return self.divert_or_fail(row_index, row, reason);
         }
         if let Some(inj) = self.injector.as_mut() {
+            // The fault counter mirrors the injector's attempt semantics:
+            // a fired fault stays counted even if its batch rolls back.
             match inj.check() {
                 Some(FaultKind::Error) => {
+                    if self.metrics.enabled {
+                        self.metrics.injected_faults.inc();
+                    }
                     let reason = SketchError::invalid("fault", "injected ingest error");
                     return self.divert_or_fail(row_index, row, reason);
                 }
                 Some(FaultKind::Panic) => {
+                    if self.metrics.enabled {
+                        self.metrics.injected_faults.inc();
+                    }
                     // lint: panic-ok(deterministic injected fault; always contained by the batch supervisor)
                     panic!("{INJECTED_PANIC_MARKER}: injected panic at row {row_index}");
                 }
@@ -259,6 +279,9 @@ impl SketchEngine {
             Self::apply(&self.spec, state, row);
         }
         self.rows_processed += 1;
+        if self.metrics.enabled {
+            self.metrics.rows_ingested.inc();
+        }
         Ok(true)
     }
 
@@ -283,6 +306,8 @@ impl SketchEngine {
             rows_processed: self.rows_processed,
             dead_count: self.dead_letters.count(),
             dead_samples: self.dead_letters.samples().len(),
+            metric_rows_ingested: self.metrics.rows_ingested.get(),
+            metric_rows_quarantined: self.metrics.rows_quarantined.get(),
         });
     }
 
@@ -310,6 +335,10 @@ impl SketchEngine {
             self.rows_processed = cp.rows_processed;
             self.dead_letters
                 .truncate_to(cp.dead_count, cp.dead_samples);
+            self.metrics.rows_ingested.set(cp.metric_rows_ingested);
+            self.metrics
+                .rows_quarantined
+                .set(cp.metric_rows_quarantined);
         }
     }
 
@@ -325,6 +354,7 @@ impl SketchEngine {
     /// Returns a [`BatchError`] naming the failing row and cause. The
     /// engine is unchanged.
     pub fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError> {
+        let start = self.metrics.start_batch();
         self.begin_batch();
         let last_row = Cell::new(None::<usize>);
         // lint: panic-boundary(batch supervisor: contains ingest panics, rolls the batch back, reports a typed BatchError)
@@ -346,24 +376,36 @@ impl SketchEngine {
             }
             Ok(summary)
         }));
-        match outcome {
+        let result = match outcome {
             Ok(Ok(summary)) => {
                 self.commit_batch();
+                if self.metrics.enabled {
+                    self.metrics.batches_committed.inc();
+                }
                 Ok(summary)
             }
             Ok(Err(err)) => {
                 self.rollback_batch();
+                if self.metrics.enabled {
+                    self.metrics.batches_rolled_back.inc();
+                }
                 Err(err)
             }
             Err(payload) => {
                 self.rollback_batch();
+                if self.metrics.enabled {
+                    self.metrics.batches_rolled_back.inc();
+                    self.metrics.panics_contained.inc();
+                }
                 Err(BatchError {
                     row: last_row.get(),
                     shard: None,
                     cause: BatchCause::WorkerPanic(panic_message(payload.as_ref())),
                 })
             }
-        }
+        };
+        self.metrics.finish_batch(start);
+        result
     }
 
     /// Folds one row into a group's aggregate states. Infallible by
@@ -559,7 +601,34 @@ impl SketchEngine {
         }
         self.rows_processed += other.rows_processed;
         self.dead_letters.absorb(&other.dead_letters, None);
+        self.metrics.absorb(&other.metrics);
         Ok(())
+    }
+
+    /// Cuts a telemetry snapshot: the hot-path counters and batch-latency
+    /// histogram plus point-in-time gauges. Metrics are cumulative over
+    /// the engine's lifetime — [`flush_window`](Self::flush_window) resets
+    /// aggregation state, not telemetry — and are excluded from
+    /// checkpoints like the rest of the transient state.
+    #[must_use]
+    pub fn metrics(&self) -> sketches_obs::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.add_gauge(names::GROUPS, self.num_groups() as u64);
+        snap.add_gauge(names::STATE_BYTES, self.state_bytes() as u64);
+        snap
+    }
+
+    /// Enables or disables metric recording (on by default). Disabling
+    /// reduces the per-row telemetry cost to one branch.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics.enabled = enabled;
+    }
+
+    /// Installs the time source behind the batch-latency histogram.
+    /// Tests inject a [`sketches_obs::ManualClock`] here so every
+    /// timing-derived metric is deterministic.
+    pub fn set_clock(&mut self, clock: std::sync::Arc<dyn sketches_obs::Clock>) {
+        self.metrics.clock = clock;
     }
 
     /// Serializes the engine's durable state — config, spec, row counter,

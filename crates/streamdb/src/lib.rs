@@ -31,6 +31,10 @@
 //!   any [`stream_engine::StreamEngine`] — atomic checkpoints, a
 //!   checksummed write-ahead log, bounded checkpoint lag, and recovery
 //!   that tolerates a torn tail but rejects interior corruption.
+//! * [`metrics`] — hot-path telemetry ([`metrics::EngineMetrics`]):
+//!   exact transactional counters plus KLL-backed latency histograms,
+//!   snapshotted via [`stream_engine::StreamEngine::metrics`] and
+//!   mergeable across shards without loss.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +42,7 @@ pub mod durable;
 pub mod engine;
 pub mod exact;
 pub mod fault;
+pub mod metrics;
 pub mod query;
 pub mod sharded;
 pub mod snapshot;
@@ -53,8 +58,10 @@ pub use fault::{
     silence_injected_panics, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector,
     FaultKind, FaultPolicy, QuarantinedRow,
 };
+pub use metrics::EngineMetrics;
 pub use query::{Aggregate, AggregateResult, QuerySpec};
 pub use sharded::ShardedEngine;
+pub use sketches_obs::{Clock, ManualClock, MetricsSnapshot, MonotonicClock};
 pub use snapshot::Snapshot;
 pub use stream_engine::StreamEngine;
 pub use value::{Row, Value};

@@ -42,6 +42,7 @@ use crate::fault::{
     panic_message, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultPolicy,
     QuarantinedRow,
 };
+use crate::metrics::{names, EngineMetrics};
 use crate::query::{AggregateResult, QuerySpec};
 use crate::value::{Row, Value};
 
@@ -66,6 +67,11 @@ pub struct ShardedEngine {
     /// Rows the router itself quarantined (too short to project a grouping
     /// key, so never routable to a shard).
     router_dead: DeadLetters,
+    /// Batch-level telemetry owned by the router. Row-level counters live
+    /// in each shard; the router bumps the batch counters and latency
+    /// exactly once per multi-shard batch (workers bypass the shards'
+    /// own `process_batch`, so nothing double-counts).
+    router_metrics: EngineMetrics,
 }
 
 /// What one shard worker did with its slice of the batch.
@@ -124,6 +130,7 @@ impl ShardedEngine {
             channel_depth,
             fault_policy: FaultPolicy::default(),
             router_dead: DeadLetters::default(),
+            router_metrics: EngineMetrics::new(),
         })
     }
 
@@ -142,6 +149,7 @@ impl ShardedEngine {
             channel_depth,
             fault_policy: FaultPolicy::default(),
             router_dead: DeadLetters::default(),
+            router_metrics: EngineMetrics::new(),
         }
     }
 
@@ -180,6 +188,11 @@ impl ShardedEngine {
             // The router must project grouping keys, so arity is validated
             // for the whole batch up front — nothing is ingested at all.
             if let Some(idx) = rows.iter().position(|r| r.len() <= max_field) {
+                // Counted as a rollback for parity with the sequential
+                // engine, which would ingest up to `idx` and roll back.
+                if self.router_metrics.enabled {
+                    self.router_metrics.batches_rolled_back.inc();
+                }
                 return Err(BatchError {
                     row: Some(idx),
                     shard: None,
@@ -200,6 +213,7 @@ impl ShardedEngine {
                 e
             });
         }
+        let start = self.router_metrics.start_batch();
         let spec = &self.spec;
         let depth = self.channel_depth;
         let shards = &mut self.shards;
@@ -257,6 +271,11 @@ impl ShardedEngine {
                 for shard in self.shards.iter_mut() {
                     shard.rollback_batch();
                 }
+                if self.router_metrics.enabled {
+                    self.router_metrics.batches_rolled_back.inc();
+                    self.router_metrics.panics_contained.inc();
+                }
+                self.router_metrics.finish_batch(start);
                 return Err(BatchError {
                     row: None,
                     shard: None,
@@ -273,9 +292,15 @@ impl ShardedEngine {
                 failures.push((i, row, cause));
             }
         }
-        if failures.is_empty() {
+        let result = if failures.is_empty() {
             for shard in self.shards.iter_mut() {
                 shard.commit_batch();
+            }
+            if self.router_metrics.enabled {
+                self.router_metrics.batches_committed.inc();
+                self.router_metrics
+                    .rows_quarantined
+                    .add(router_quarantine.len() as u64);
             }
             for q in router_quarantine {
                 summary.rows_quarantined += 1;
@@ -290,12 +315,20 @@ impl ShardedEngine {
             // (failures without a row index sort last), then lowest shard.
             failures.sort_by_key(|&(shard, row, _)| (row.unwrap_or(usize::MAX), shard));
             let (shard, row, cause) = failures.swap_remove(0);
+            if self.router_metrics.enabled {
+                self.router_metrics.batches_rolled_back.inc();
+                if matches!(cause, BatchCause::WorkerPanic(_)) {
+                    self.router_metrics.panics_contained.inc();
+                }
+            }
             Err(BatchError {
                 row,
                 shard: Some(shard),
                 cause,
             })
-        }
+        };
+        self.router_metrics.finish_batch(start);
+        result
     }
 
     /// Reports the aggregates of one group (`None` if never seen). The
@@ -343,6 +376,7 @@ impl ShardedEngine {
                 .map_err(|e| SketchError::incompatible(format!("shard {i}: {e}")))?;
         }
         self.router_dead.absorb(other.router_dead(), None);
+        self.router_metrics.absorb(&other.router_metrics);
         Ok(())
     }
 
@@ -465,6 +499,43 @@ impl ShardedEngine {
             all.absorb(&shard.dead_letters(), Some(i));
         }
         all
+    }
+
+    /// Cuts a telemetry snapshot merged across the router and every
+    /// shard: counters and gauges add, latency histograms KLL-merge
+    /// (lossless — no averaged percentiles), so the totals are exactly
+    /// what a sequential engine fed the same stream would report. Also
+    /// exports one `shard_rows_routed{shard="i"}` gauge per shard, making
+    /// routing skew directly observable.
+    #[must_use]
+    pub fn metrics(&self) -> sketches_obs::MetricsSnapshot {
+        let mut snap = self.router_metrics.snapshot();
+        for (i, shard) in self.shards.iter().enumerate() {
+            snap.merge(&shard.metrics())
+                // lint: panic-ok(every obs histogram shares one fixed (k, seed), so snapshot merge cannot fail)
+                .expect("obs snapshots share one KLL shape");
+            snap.add_gauge(&names::shard_rows_routed(i), shard.rows_processed());
+        }
+        snap.add_gauge(names::SHARDS, self.shards.len() as u64);
+        snap
+    }
+
+    /// Enables or disables metric recording on the router and every
+    /// shard (on by default).
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.router_metrics.enabled = enabled;
+        for shard in &mut self.shards {
+            shard.set_metrics_enabled(enabled);
+        }
+    }
+
+    /// Installs the time source behind the batch-latency histograms on
+    /// the router and every shard (see [`SketchEngine::set_clock`]).
+    pub fn set_clock(&mut self, clock: std::sync::Arc<dyn sketches_obs::Clock>) {
+        self.router_metrics.clock = clock.clone();
+        for shard in &mut self.shards {
+            shard.set_clock(clock.clone());
+        }
     }
 }
 

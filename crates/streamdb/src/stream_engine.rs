@@ -29,6 +29,7 @@
 //! not re-export a drill harness as part of its persistence contract.
 
 use sketches_core::SketchResult;
+use sketches_obs::MetricsSnapshot;
 
 use crate::engine::SketchEngine;
 use crate::fault::{BatchError, BatchSummary, DeadLetters, FaultPolicy};
@@ -101,6 +102,13 @@ pub trait StreamEngine: Sized {
     /// The quarantined-row buffer, as an owned aggregated view.
     fn dead_letters(&self) -> DeadLetters;
 
+    /// Cuts a telemetry snapshot: hot-path counters, point-in-time
+    /// gauges, and the batch-latency histogram. Snapshots from any two
+    /// engines merge exactly — counters/gauges add, histograms
+    /// KLL-merge — so a sharded engine's totals equal a sequential
+    /// engine's on the same stream.
+    fn metrics(&self) -> MetricsSnapshot;
+
     /// Serializes the engine as a checksummed snapshot envelope.
     fn to_snapshot_bytes(&self) -> Vec<u8>;
 
@@ -158,6 +166,10 @@ impl StreamEngine for SketchEngine {
         SketchEngine::dead_letters(self)
     }
 
+    fn metrics(&self) -> MetricsSnapshot {
+        SketchEngine::metrics(self)
+    }
+
     fn to_snapshot_bytes(&self) -> Vec<u8> {
         SketchEngine::to_snapshot_bytes(self)
     }
@@ -210,6 +222,10 @@ impl StreamEngine for ShardedEngine {
 
     fn dead_letters(&self) -> DeadLetters {
         ShardedEngine::dead_letters(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedEngine::metrics(self)
     }
 
     fn to_snapshot_bytes(&self) -> Vec<u8> {
