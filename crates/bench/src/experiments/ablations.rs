@@ -170,7 +170,7 @@ pub fn a5() {
     let updates = 4_000_000u64;
     trow!("buffer size", "updates/s", "max staleness (updates)");
     for buffer in [16usize, 256, 4096, 65_536] {
-        let conc = BufferedConcurrent::new(HyperLogLog::new(12, 1).unwrap(), buffer);
+        let conc = BufferedConcurrent::new(HyperLogLog::new(12, 1).unwrap(), buffer).unwrap();
         let mut w = conc.writer();
         let start = Instant::now();
         for i in 0..updates {

@@ -42,7 +42,7 @@ pub fn e14() {
         let mutex_secs = start.elapsed().as_secs_f64();
 
         // Buffered concurrent HLL.
-        let buffered = BufferedConcurrent::new(HyperLogLog::new(12, 1).unwrap(), 4096);
+        let buffered = BufferedConcurrent::new(HyperLogLog::new(12, 1).unwrap(), 4096).unwrap();
         let start = Instant::now();
         crossbeam::scope(|scope| {
             for t in 0..threads {

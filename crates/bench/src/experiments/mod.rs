@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E24), each
+//! The experiment suite: one function per experiment id (E1–E25), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -143,6 +143,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e24",
             "Self-hosted telemetry costs <5% on the hot path; snapshots merge exactly",
             streamdb_exps::e24,
+        ),
+        (
+            "e25",
+            "Concurrent serving: reads stay available during ingest; quiescence is exact",
+            streamdb_exps::e25,
         ),
         (
             "a1",

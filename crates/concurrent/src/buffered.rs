@@ -1,9 +1,27 @@
 //! The buffered (thread-local + epoch-merge) concurrent sketch wrapper.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sketches_core::{Clear, MergeSketch, SketchResult, Update};
+use sketches_core::{Clear, MergeSketch, SketchError, SketchResult, Update};
+
+/// Process-wide count of buffered updates that were lost because a
+/// [`WriterHandle`] was dropped while its final flush failed (see
+/// [`lost_updates`]). Monotone; never reset.
+static LOST_UPDATES: AtomicU64 = AtomicU64::new(0);
+
+/// Buffered updates lost to failed drop-time flushes, process-wide.
+///
+/// A [`WriterHandle`] dropped with pending updates flushes them as a last
+/// resort, but `Drop` cannot surface a flush error — the loss is recorded
+/// here instead so operators (and tests) can observe it. Call
+/// [`WriterHandle::close`] to surface the error as a `Result` and keep
+/// this counter at zero.
+#[must_use]
+pub fn lost_updates() -> u64 {
+    LOST_UPDATES.load(Ordering::Relaxed)
+}
 
 /// A concurrent wrapper around any mergeable sketch `S`.
 ///
@@ -31,15 +49,26 @@ impl<S: MergeSketch + Clear + Clone> BufferedConcurrent<S> {
     /// concurrent writers). The writer template is cleared here, so
     /// [`writer`](Self::writer) handles always start empty and never
     /// re-merge the baseline.
-    #[must_use]
-    pub fn new(sketch: S, buffer_size: usize) -> Self {
+    ///
+    /// # Errors
+    /// Returns a typed [`SketchError::InvalidParameter`] if
+    /// `buffer_size == 0` — the same contract as every other capacity
+    /// parameter in the workspace. (Before this validation the zero was
+    /// silently clamped to 1, hiding caller bugs.)
+    pub fn new(sketch: S, buffer_size: usize) -> SketchResult<Self> {
+        if buffer_size == 0 {
+            return Err(SketchError::invalid(
+                "buffer_size",
+                "need a buffer of at least one update",
+            ));
+        }
         let mut template = sketch.clone();
         template.clear();
-        Self {
+        Ok(Self {
             template,
             global: Arc::new(RwLock::new(sketch)),
-            buffer_size: buffer_size.max(1),
-        }
+            buffer_size,
+        })
     }
 
     /// Mints a writer handle with its own (empty) local sketch.
@@ -61,10 +90,16 @@ impl<S: MergeSketch + Clear + Clone> BufferedConcurrent<S> {
         self.global.read().clone()
     }
 
-    /// Applies `f` to the global sketch under the read lock (cheaper than
-    /// a snapshot for one-off queries).
+    /// Applies `f` to a fresh snapshot of the global sketch.
+    ///
+    /// The closure runs on a clone taken *after* the read lock has been
+    /// released, so `f` may freely touch this wrapper again (call
+    /// [`snapshot`](Self::snapshot), mint a writer, even flush) without
+    /// deadlocking. An earlier version ran `f` under the `parking_lot`
+    /// read lock, which is not reentrant — a closure that re-entered the
+    /// wrapper could deadlock against a queued writer.
     pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
-        f(&self.global.read())
+        f(&self.snapshot())
     }
 }
 
@@ -112,11 +147,40 @@ impl<S: MergeSketch + Clear> WriterHandle<S> {
     pub fn pending(&self) -> usize {
         self.pending
     }
+
+    /// Flushes any pending updates and consumes the handle, surfacing the
+    /// flush error that `Drop` would otherwise have to swallow.
+    ///
+    /// On error the buffered updates are discarded (they could not be
+    /// merged) but the loss is *reported to the caller* rather than
+    /// counted in [`lost_updates`]; prefer this over relying on `Drop`
+    /// whenever the flush result matters.
+    ///
+    /// # Errors
+    /// Propagates merge incompatibility from the final flush (impossible
+    /// for handles minted by [`BufferedConcurrent::writer`], possible if
+    /// the handle outlived a global swapped to an incompatible sketch).
+    pub fn close(mut self) -> SketchResult<()> {
+        let result = self.flush();
+        if result.is_err() {
+            // The error is being surfaced to the caller; zero the buffer so
+            // the upcoming Drop does not also count the loss in
+            // `lost_updates` (that counter is for *silent* losses only).
+            self.local.clear();
+            self.pending = 0;
+        }
+        result
+    }
 }
 
 impl<S: MergeSketch + Clear> Drop for WriterHandle<S> {
     fn drop(&mut self) {
-        let _ = self.flush();
+        // `flush` leaves `pending` untouched on error, so on failure it
+        // still counts the updates that just vanished. Drop cannot return
+        // the error; record the loss where operators and tests can see it.
+        if self.flush().is_err() {
+            LOST_UPDATES.fetch_add(self.pending as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -128,10 +192,51 @@ mod tests {
     use sketches_core::FrequencyEstimator;
     use sketches_frequency::CountMinSketch;
 
+    /// A sketch whose merges can be made to fail on demand: flipping
+    /// `reject_merges` on the *global* simulates a merge-incompatible
+    /// global (wrong seeds / swapped sketch) without unsafe tricks.
+    /// `Clear` preserves the flag, so a rejecting global stays rejecting.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct RejectingMerge {
+        count: u64,
+        reject_merges: bool,
+    }
+
+    impl RejectingMerge {
+        fn new() -> Self {
+            Self {
+                count: 0,
+                reject_merges: false,
+            }
+        }
+    }
+
+    impl Update<u64> for RejectingMerge {
+        fn update(&mut self, _item: &u64) {
+            self.count += 1;
+        }
+    }
+
+    impl MergeSketch for RejectingMerge {
+        fn merge(&mut self, other: &Self) -> SketchResult<()> {
+            if self.reject_merges {
+                return Err(SketchError::incompatible("merge rejected by test"));
+            }
+            self.count += other.count;
+            Ok(())
+        }
+    }
+
+    impl Clear for RejectingMerge {
+        fn clear(&mut self) {
+            self.count = 0;
+        }
+    }
+
     #[test]
     fn single_writer_roundtrip() {
         let hll = HyperLogLog::new(12, 1).unwrap();
-        let conc = BufferedConcurrent::new(hll, 64);
+        let conc = BufferedConcurrent::new(hll, 64).unwrap();
         let mut w = conc.writer();
         for i in 0..10_000u64 {
             w.update(&i);
@@ -145,7 +250,7 @@ mod tests {
     #[test]
     fn snapshot_lags_by_at_most_buffer() {
         let hll = HyperLogLog::new(10, 2).unwrap();
-        let conc = BufferedConcurrent::new(hll, 100);
+        let conc = BufferedConcurrent::new(hll, 100).unwrap();
         let mut w = conc.writer();
         for i in 0..50u64 {
             w.update(&i);
@@ -164,7 +269,7 @@ mod tests {
     #[test]
     fn multi_threaded_writers_converge() {
         let cm = CountMinSketch::new(2048, 5, 3).unwrap();
-        let conc = BufferedConcurrent::new(cm, 256);
+        let conc = BufferedConcurrent::new(cm, 256).unwrap();
         let threads = 8u64;
         let per_thread = 20_000u32;
         crossbeam::scope(|scope| {
@@ -206,7 +311,7 @@ mod tests {
             sketches_core::Update::update(&mut seeded, &i);
         }
         let baseline = seeded.clone();
-        let conc = BufferedConcurrent::new(seeded, 64);
+        let conc = BufferedConcurrent::new(seeded, 64).unwrap();
         // Snapshot reflects the baseline before any writer activity.
         assert_eq!(conc.snapshot(), baseline);
         // A writer flushing nothing new leaves the global bit-identical:
@@ -230,7 +335,7 @@ mod tests {
     #[test]
     fn drop_flushes_pending() {
         let hll = HyperLogLog::new(10, 4).unwrap();
-        let conc = BufferedConcurrent::new(hll, 1_000_000);
+        let conc = BufferedConcurrent::new(hll, 1_000_000).unwrap();
         {
             let mut w = conc.writer();
             for i in 0..500u64 {
@@ -252,7 +357,7 @@ mod tests {
             }
             h
         };
-        let conc = BufferedConcurrent::new(HyperLogLog::new(11, 5).unwrap(), 128);
+        let conc = BufferedConcurrent::new(HyperLogLog::new(11, 5).unwrap(), 128).unwrap();
         crossbeam::scope(|scope| {
             for t in 0..6u64 {
                 let mut w = conc.writer();
@@ -267,5 +372,86 @@ mod tests {
         })
         .expect("join");
         assert_eq!(conc.snapshot(), seq);
+    }
+
+    #[test]
+    fn zero_buffer_size_is_a_typed_error() {
+        // Regression: `new(sketch, 0)` used to silently clamp to 1; it must
+        // reject with the same typed error family as ShardedEngine's
+        // `channel_depth == 0` validation.
+        let hll = HyperLogLog::new(10, 1).unwrap();
+        let err = BufferedConcurrent::new(hll, 0).unwrap_err();
+        assert!(
+            matches!(err, SketchError::InvalidParameter { name, .. } if name == "buffer_size"),
+            "want InvalidParameter(buffer_size), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn close_surfaces_flush_error_without_counting_loss() {
+        // Regression: dropping a writer whose final flush fails used to
+        // swallow the error with no trace. `close()` must surface it.
+        let conc = BufferedConcurrent::new(RejectingMerge::new(), 1_000).unwrap();
+        let mut w = conc.writer();
+        for i in 0..10u64 {
+            w.update(&i); // buffer_size 1000 → no auto-flush
+        }
+        // Sabotage the global so the final merge fails.
+        conc.global.write().reject_merges = true;
+        let before = lost_updates();
+        let err = w.close().unwrap_err();
+        assert!(matches!(err, SketchError::Incompatible { .. }), "{err:?}");
+        // The loss was *reported*, not silent: the counter must not move.
+        assert_eq!(lost_updates(), before);
+    }
+
+    #[test]
+    fn drop_records_silent_loss_in_counter() {
+        // Regression: a failed drop-time flush must be observable.
+        let conc = BufferedConcurrent::new(RejectingMerge::new(), 1_000).unwrap();
+        let mut w = conc.writer();
+        for i in 0..7u64 {
+            w.update(&i);
+        }
+        conc.global.write().reject_merges = true;
+        let before = lost_updates();
+        drop(w);
+        assert_eq!(
+            lost_updates() - before,
+            7,
+            "drop must count every update lost to the failed flush"
+        );
+        // A clean drop (flush succeeds) leaves the counter alone.
+        conc.global.write().reject_merges = false;
+        let mut w2 = conc.writer();
+        w2.update(&1u64);
+        let before = lost_updates();
+        drop(w2);
+        assert_eq!(lost_updates(), before);
+    }
+
+    #[test]
+    fn read_closure_may_reenter_the_wrapper() {
+        // Regression: `read` used to hold the read lock across the caller's
+        // closure; a closure touching the same wrapper could deadlock
+        // against a queued writer. Clone-then-call makes re-entry safe.
+        let hll = HyperLogLog::new(10, 3).unwrap();
+        let conc = BufferedConcurrent::new(hll, 4).unwrap();
+        let mut w = conc.writer();
+        for i in 0..16u64 {
+            w.update(&i);
+        }
+        w.flush().unwrap();
+        let (outer, inner) = conc.read(|snap| {
+            // Re-entering the wrapper inside the closure: snapshot() takes
+            // the read lock again, and a writer flush takes the write lock.
+            let nested = conc.read(|s| s.estimate());
+            let mut w2 = conc.writer();
+            w2.update(&99_999u64);
+            w2.flush().unwrap();
+            (snap.estimate(), nested)
+        });
+        assert_eq!(outer, inner);
+        assert!(conc.snapshot().estimate() > outer);
     }
 }

@@ -1,0 +1,11 @@
+//! L2 fixture: the same worker supervisor, with the published-state
+//! contract declared — readers keep serving the last published epoch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn supervise_worker(poisoned: &AtomicBool, serve: impl FnOnce() + std::panic::UnwindSafe) {
+    // lint: panic-boundary(worker supervisor: poisons the engine so mutations fail typed; reads keep serving the last published epoch)
+    if std::panic::catch_unwind(serve).is_err() {
+        poisoned.store(true, Ordering::Release);
+    }
+}

@@ -1,0 +1,10 @@
+//! L2 fixture: a long-lived shard-worker supervisor containing panics
+//! without declaring what readers observe afterwards.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn supervise_worker(poisoned: &AtomicBool, serve: impl FnOnce() + std::panic::UnwindSafe) {
+    if std::panic::catch_unwind(serve).is_err() {
+        poisoned.store(true, Ordering::Release);
+    }
+}

@@ -80,6 +80,19 @@ fn l2_replay_boundary_pair() {
 }
 
 #[test]
+fn l2_worker_boundary_pair() {
+    // The concurrent engine's shape: a supervisor around a long-lived
+    // shard worker that poisons the engine on panic. The tag must state
+    // what readers observe afterwards (the last published epoch).
+    assert_pair(
+        Rule::L2PanicFree,
+        "l2_worker_boundary_violation.rs",
+        "l2_worker_boundary_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn l3_forbid_unsafe_pair() {
     assert_pair(
         Rule::L3ForbidUnsafe,

@@ -1,0 +1,1517 @@
+//! Concurrent serving: ingest and query at the same time.
+//!
+//! [`ShardedEngine`] parallelizes *one batch* but still stops the world
+//! around it — `process_batch` takes `&mut self`, so `report()` cannot run
+//! until the batch finishes. [`ConcurrentEngine`] removes that coupling
+//! with the recipe of "Fast Concurrent Data Sketches" (Rinberg et al.),
+//! generalized from one sketch (`sketches-concurrent`'s
+//! `BufferedConcurrent`) to whole per-shard GROUP BY state:
+//!
+//! * **Long-lived shard workers.** N worker threads, each *owning* a
+//!   complete [`SketchEngine`] shard for the engine's whole lifetime
+//!   (not scoped per batch). A coordinator thread serializes mutating
+//!   commands and feeds row indices to workers over bounded channels —
+//!   the same routing, supervision, and undo-log machinery as
+//!   [`ShardedEngine`], so per-group results stay *identical* to the
+//!   sequential engine.
+//! * **Submit/poll ingest.** [`ConcurrentEngine::submit_batch`] takes
+//!   `&self`, enqueues the batch, and returns a [`BatchTicket`];
+//!   [`BatchTicket::poll`] / [`BatchTicket::wait`] resolve it to the same
+//!   [`BatchSummary`] / [`BatchError`] the synchronous engines report,
+//!   with batch-level rollback and quarantine semantics preserved.
+//! * **Published snapshots with epochs.** After every committed batch
+//!   (and every flush/merge) a worker publishes an immutable
+//!   `Arc<SketchEngine>` snapshot of its shard into a shared slot and
+//!   bumps the shard's epoch counter. Reads —
+//!   [`report`](ConcurrentEngine::report),
+//!   [`groups`](ConcurrentEngine::groups), metrics, snapshots — clone the
+//!   latest published `Arc` (a pointer copy under a lock held only for
+//!   the swap/clone instant) and never touch worker state, so queries
+//!   are never blocked behind ingest work and ingest never waits for
+//!   readers.
+//!
+//! # Consistency model
+//!
+//! Reads serve the **latest published epoch**: a prefix of the submitted
+//! stream. The lag is bounded by what is queued plus in flight — at most
+//! the submit-queue capacity plus one resolving batch — and is exported
+//! as the `publish_lag_rows` gauge. A batch is published *before* its
+//! ticket resolves, so once [`BatchTicket::wait`] returns, every
+//! subsequent read observes that batch. At quiescence (all tickets
+//! resolved) reports are **byte-identical** to a [`SketchEngine`] fed the
+//! same rows, and snapshots are byte-identical to a [`ShardedEngine`]
+//! with the same shard count — experiment E25 asserts both.
+//!
+//! # Failure model
+//!
+//! Worker panics during ingest are contained per batch (the shared
+//! `worker_ingest` supervisor) and roll the whole batch back. If a
+//! worker or the coordinator *thread* dies outright, the engine is
+//! **poisoned** ([`ConcurrentEngine::is_poisoned`]): outstanding and
+//! future tickets resolve to a typed [`BatchError`], mutating calls
+//! become typed errors or no-ops, and reads keep serving the last
+//! published epoch — degraded to read-only rather than wedged.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+use sketches_core::{SketchError, SketchResult};
+use sketches_obs::{Clock, MetricsSnapshot};
+
+use crate::engine::{EngineConfig, SketchEngine};
+use crate::fault::{
+    BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultPolicy, QuarantinedRow,
+};
+use crate::metrics::{names, EngineMetrics};
+use crate::query::{AggregateResult, QuerySpec};
+use crate::sharded::{worker_ingest, ShardedEngine, WorkerOutcome, DEFAULT_CHANNEL_DEPTH};
+use crate::value::{Row, Value};
+
+/// Capacity of the submit queue, in batches. Submitting beyond it blocks
+/// the caller (backpressure), which also bounds read lag: at most this
+/// many batches plus the one being resolved can be invisible to readers.
+const SUBMIT_QUEUE_DEPTH: usize = 32;
+
+/// Capacity of each worker's command channel. Commands are coarse (one
+/// per batch phase), so a small buffer keeps the coordinator from
+/// blocking on hand-off without queueing meaningful work.
+const WORKER_CMD_DEPTH: usize = 4;
+
+/// The ascending-key window listing both flush paths resolve to.
+type WindowRows = Vec<(Vec<Value>, Vec<AggregateResult>)>;
+
+/// The typed error every ticket and mutating call resolves to once the
+/// engine is poisoned (a worker or coordinator thread died).
+fn poisoned_batch_error() -> BatchError {
+    BatchError {
+        row: None,
+        shard: None,
+        cause: BatchCause::WorkerPanic(
+            "concurrent engine poisoned: a worker or coordinator thread died".to_string(),
+        ),
+    }
+}
+
+fn poisoned_sketch_error() -> SketchError {
+    SketchError::incompatible("concurrent engine poisoned: a worker or coordinator thread died")
+}
+
+/// Read-side state shared between the engine handle, the coordinator,
+/// and the workers. Everything here is either atomic or swapped under a
+/// lock held only for the pointer exchange.
+#[derive(Debug)]
+struct Shared {
+    /// Latest published snapshot per shard. The write lock is held only
+    /// for an `Arc` swap, the read lock only for an `Arc` clone, so
+    /// readers and publishers exchange a pointer, never sketch work.
+    published: Vec<RwLock<Arc<SketchEngine>>>,
+    /// Publish epoch per shard: bumped after each snapshot swap.
+    epochs: Vec<AtomicU64>,
+    /// Latest published router state (dead letters, metrics, policy).
+    router: RwLock<RouterPublished>,
+    /// Rows handed to `submit_batch` so far.
+    rows_submitted: AtomicU64,
+    /// Rows whose batch has resolved (committed *or* rolled back).
+    rows_resolved: AtomicU64,
+    /// Ingest jobs submitted but not yet resolved.
+    queue_depth: AtomicU64,
+    /// Snapshot publishes across all shards (commit, flush, merge).
+    snapshots_published: AtomicU64,
+    /// Set when a worker or the coordinator thread dies.
+    poisoned: AtomicBool,
+}
+
+/// The router-level state snapshot published after every job.
+#[derive(Debug, Clone)]
+struct RouterPublished {
+    dead: DeadLetters,
+    metrics: EngineMetrics,
+    policy: FaultPolicy,
+}
+
+/// Jobs the engine handle sends to the coordinator thread. One bounded
+/// queue serializes all mutations, so job effects are applied (and
+/// published) in submission order.
+enum Job {
+    Ingest {
+        rows: Vec<Row>,
+        done: channel::Sender<Result<BatchSummary, BatchError>>,
+    },
+    FlushWindow {
+        done: channel::Sender<SketchResult<WindowRows>>,
+    },
+    MergeFrom {
+        shards: Vec<SketchEngine>,
+        dead: DeadLetters,
+        metrics: EngineMetrics,
+        done: channel::Sender<SketchResult<()>>,
+    },
+    SetPolicy {
+        policy: FaultPolicy,
+        done: channel::Sender<()>,
+    },
+    ArmFaults {
+        shard: usize,
+        injector: FaultInjector,
+        done: channel::Sender<SketchResult<()>>,
+    },
+    DisarmFaults {
+        done: channel::Sender<Vec<(usize, FaultInjector)>>,
+    },
+    SetMetricsEnabled {
+        enabled: bool,
+        done: channel::Sender<()>,
+    },
+    SetClock {
+        clock: Arc<dyn Clock>,
+        done: channel::Sender<()>,
+    },
+    Shutdown,
+}
+
+/// Commands the coordinator sends to one shard worker.
+enum Cmd {
+    Ingest {
+        rows: Arc<Vec<Row>>,
+        indices: channel::Receiver<usize>,
+        outcome: channel::Sender<(usize, WorkerOutcome)>,
+    },
+    Commit {
+        ack: channel::Sender<()>,
+    },
+    Rollback {
+        ack: channel::Sender<()>,
+    },
+    FlushWindow {
+        done: channel::Sender<SketchResult<WindowRows>>,
+    },
+    Merge {
+        other: Box<SketchEngine>,
+        done: channel::Sender<SketchResult<()>>,
+    },
+    SetPolicy {
+        policy: FaultPolicy,
+        ack: channel::Sender<()>,
+    },
+    ArmFaults {
+        injector: FaultInjector,
+        ack: channel::Sender<()>,
+    },
+    DisarmFaults {
+        done: channel::Sender<Option<FaultInjector>>,
+    },
+    SetMetricsEnabled {
+        enabled: bool,
+        ack: channel::Sender<()>,
+    },
+    SetClock {
+        clock: Arc<dyn Clock>,
+        ack: channel::Sender<()>,
+    },
+    Shutdown,
+}
+
+/// A pending batch: resolves to the same summary/error the synchronous
+/// engines report, once the coordinator has committed or rolled back.
+///
+/// Dropping a ticket is allowed — the batch still commits (or rolls
+/// back); only the notification is discarded.
+#[derive(Debug)]
+pub struct BatchTicket {
+    rx: channel::Receiver<Result<BatchSummary, BatchError>>,
+    resolved: Option<Result<BatchSummary, BatchError>>,
+}
+
+impl BatchTicket {
+    /// Checks for the batch outcome without blocking. Returns `None`
+    /// while the batch is still queued or in flight; once resolved, every
+    /// call returns the same outcome.
+    pub fn poll(&mut self) -> Option<&Result<BatchSummary, BatchError>> {
+        if self.resolved.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.resolved = Some(result),
+                Err(channel::TryRecvError::Empty) => {}
+                Err(channel::TryRecvError::Disconnected) => {
+                    self.resolved = Some(Err(poisoned_batch_error()));
+                }
+            }
+        }
+        self.resolved.as_ref()
+    }
+
+    /// Blocks until the batch resolves.
+    ///
+    /// # Errors
+    /// The batch's [`BatchError`] (poison row, injected fault, contained
+    /// panic — the engine rolled back), or a `WorkerPanic` error if the
+    /// engine was poisoned before the batch could resolve.
+    pub fn wait(mut self) -> Result<BatchSummary, BatchError> {
+        if let Some(result) = self.resolved.take() {
+            return result;
+        }
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(poisoned_batch_error()))
+    }
+}
+
+/// A GROUP BY engine that serves queries *while* ingesting: long-lived
+/// shard workers, a submit/poll batch API, and epoch-published immutable
+/// snapshots for wait-free-style reads (see the module docs).
+#[derive(Debug)]
+pub struct ConcurrentEngine {
+    submit_tx: channel::Sender<Job>,
+    shared: Arc<Shared>,
+    coordinator: Option<std::thread::JoinHandle<()>>,
+    spec: QuerySpec,
+    config: EngineConfig,
+    channel_depth: usize,
+    num_shards: usize,
+}
+
+impl ConcurrentEngine {
+    /// Creates a concurrent engine with default sketch parameters and
+    /// channel depth.
+    ///
+    /// # Errors
+    /// Returns an error if `num_shards == 0` or the spec/config produce
+    /// invalid sketches.
+    pub fn new(spec: QuerySpec, num_shards: usize) -> SketchResult<Self> {
+        Self::with_config(
+            spec,
+            EngineConfig::default(),
+            num_shards,
+            DEFAULT_CHANNEL_DEPTH,
+        )
+    }
+
+    /// Creates a concurrent engine with explicit sketch parameters and
+    /// router→worker channel capacity (the same knobs as
+    /// [`ShardedEngine::with_config`], so the two topologies are
+    /// interchangeable).
+    ///
+    /// # Errors
+    /// Returns an error if `num_shards == 0`, `channel_depth == 0`, or
+    /// the spec/config produce invalid sketches.
+    pub fn with_config(
+        spec: QuerySpec,
+        config: EngineConfig,
+        num_shards: usize,
+        channel_depth: usize,
+    ) -> SketchResult<Self> {
+        if num_shards == 0 {
+            return Err(SketchError::invalid(
+                "num_shards",
+                "need at least one shard",
+            ));
+        }
+        if channel_depth == 0 {
+            return Err(SketchError::invalid("channel_depth", "need capacity >= 1"));
+        }
+        let shards = (0..num_shards)
+            .map(|_| SketchEngine::with_config(spec.clone(), config))
+            .collect::<SketchResult<Vec<_>>>()?;
+        Ok(Self::from_parts(shards, spec, config, channel_depth))
+    }
+
+    /// Assembles the engine around pre-built shards (fresh construction
+    /// and snapshot restore share this path): publishes epoch-0
+    /// snapshots, spawns the workers, then the coordinator.
+    fn from_parts(
+        shards: Vec<SketchEngine>,
+        spec: QuerySpec,
+        config: EngineConfig,
+        channel_depth: usize,
+    ) -> Self {
+        let num_shards = shards.len();
+        let shared = Arc::new(Shared {
+            published: shards
+                .iter()
+                .map(|s| RwLock::new(Arc::new(s.clone())))
+                .collect(),
+            epochs: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            router: RwLock::new(RouterPublished {
+                dead: DeadLetters::default(),
+                metrics: EngineMetrics::new(),
+                policy: FaultPolicy::default(),
+            }),
+            rows_submitted: AtomicU64::new(0),
+            rows_resolved: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        });
+
+        let mut worker_txs = Vec::with_capacity(num_shards);
+        let mut worker_handles = Vec::with_capacity(num_shards);
+        for (shard_id, shard) in shards.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::bounded::<Cmd>(WORKER_CMD_DEPTH);
+            worker_txs.push(cmd_tx);
+            let worker_shared = Arc::clone(&shared);
+            worker_handles.push(std::thread::spawn(move || {
+                let poison_on_exit = Arc::clone(&worker_shared);
+                // lint: panic-boundary(worker supervisor: a dying shard worker must poison the engine, not abort the process)
+                let caught = catch_unwind(AssertUnwindSafe(move || {
+                    worker_main(shard, shard_id, &worker_shared, &cmd_rx);
+                }));
+                if caught.is_err() {
+                    poison_on_exit.poisoned.store(true, Ordering::Release);
+                }
+            }));
+        }
+
+        let (submit_tx, submit_rx) = channel::bounded::<Job>(SUBMIT_QUEUE_DEPTH);
+        let coordinator_shared = Arc::clone(&shared);
+        let coordinator_spec = spec.clone();
+        let coordinator = std::thread::spawn(move || {
+            let mut coordinator = Coordinator {
+                spec: coordinator_spec,
+                channel_depth,
+                worker_txs,
+                worker_handles,
+                fault_policy: FaultPolicy::default(),
+                router_dead: DeadLetters::default(),
+                router_metrics: EngineMetrics::new(),
+                shared: Arc::clone(&coordinator_shared),
+            };
+            // lint: panic-boundary(coordinator supervisor: a dying coordinator must poison the engine, not abort the process)
+            let caught = catch_unwind(AssertUnwindSafe(move || coordinator.run(&submit_rx)));
+            if caught.is_err() {
+                coordinator_shared.poisoned.store(true, Ordering::Release);
+            }
+        });
+
+        Self {
+            submit_tx,
+            shared,
+            coordinator: Some(coordinator),
+            spec,
+            config,
+            channel_depth,
+            num_shards,
+        }
+    }
+
+    /// Enqueues a batch for ingest and returns a ticket, **without**
+    /// taking `&mut self`: ingest and queries interleave freely. Blocks
+    /// only if the submit queue (capacity `SUBMIT_QUEUE_DEPTH` batches)
+    /// is full — backpressure that also bounds read lag.
+    ///
+    /// Batches are applied in submission order with the transactional
+    /// semantics of [`ShardedEngine::process_batch`]: all-or-nothing,
+    /// quarantine per [`FaultPolicy`], typed errors on failure.
+    pub fn submit_batch(&self, rows: Vec<Row>) -> BatchTicket {
+        let n = rows.len() as u64;
+        let (done_tx, done_rx) = channel::bounded(1);
+        self.shared.rows_submitted.fetch_add(n, Ordering::Relaxed);
+        self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if let Err(channel::SendError(job)) = self.submit_tx.send(Job::Ingest {
+            rows,
+            done: done_tx,
+        }) {
+            // Coordinator is gone: resolve the ticket immediately with the
+            // poisoned error and undo the submission accounting.
+            self.shared.rows_resolved.fetch_add(n, Ordering::Relaxed);
+            self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            if let Job::Ingest { done, .. } = job {
+                let _ = done.send(Err(poisoned_batch_error()));
+            }
+        }
+        BatchTicket {
+            rx: done_rx,
+            resolved: None,
+        }
+    }
+
+    /// Whether a worker or coordinator thread has died. A poisoned engine
+    /// keeps serving reads from the last published epoch; every mutation
+    /// resolves to a typed error.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The latest published snapshot of one shard (an `Arc` clone; the
+    /// slot lock is held only for the clone).
+    fn published_shard(&self, shard: usize) -> Arc<SketchEngine> {
+        Arc::clone(&self.shared.published[shard].read())
+    }
+
+    fn shard_of_key(&self, key: &[Value]) -> usize {
+        (ShardedEngine::key_hash(key.iter()) % self.num_shards as u64) as usize
+    }
+
+    /// Reports the aggregates of one group from the latest published
+    /// epoch (`None` if never seen there). Never blocked by in-flight
+    /// ingest; lags it by at most the published-snapshot window.
+    ///
+    /// # Errors
+    /// Returns an error only for internal sketch query failures.
+    pub fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
+        self.published_shard(self.shard_of_key(key)).report(key)
+    }
+
+    /// All group keys in the latest published epoch, in ascending key
+    /// order across all shards (the unified listing contract).
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<Value>> {
+        // lint: sorted-iteration-ok(per-shard listings collected then fully sorted by the key total order below)
+        let mut keys: Vec<Vec<Value>> = (0..self.num_shards)
+            .flat_map(|i| {
+                self.published_shard(i)
+                    .groups()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Groups tracked in the latest published epoch.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).num_groups())
+            .sum()
+    }
+
+    /// Rows committed into the latest published epoch.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).rows_processed())
+            .sum()
+    }
+
+    /// Sketch memory across the latest published epoch, in bytes.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).state_bytes())
+            .sum()
+    }
+
+    /// Number of shards (fixed for the engine's lifetime).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The poison-row policy of the latest published epoch.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.shared.router.read().policy
+    }
+
+    /// Sets the poison-row policy, blocking until the coordinator has
+    /// mirrored it into every worker (so the next submitted batch sees
+    /// it). No-op on a poisoned engine.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::SetPolicy {
+                policy,
+                done: done_tx,
+            })
+            .is_ok()
+        {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Aggregated dead letters of the latest published epoch: router
+    /// quarantine plus every shard's, samples stamped with their shard.
+    #[must_use]
+    pub fn dead_letters(&self) -> DeadLetters {
+        let mut all = self.shared.router.read().dead.clone();
+        for i in 0..self.num_shards {
+            all.absorb(&self.published_shard(i).dead_letters(), Some(i));
+        }
+        all
+    }
+
+    /// Arms a deterministic fault injector on one shard worker (recovery
+    /// drills; attempts count from the next batch the worker ingests).
+    ///
+    /// # Errors
+    /// Returns an error if `shard` is out of range or the engine is
+    /// poisoned.
+    pub fn arm_faults(&mut self, shard: usize, injector: FaultInjector) -> SketchResult<()> {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::ArmFaults {
+                shard,
+                injector,
+                done: done_tx,
+            })
+            .is_err()
+        {
+            return Err(poisoned_sketch_error());
+        }
+        done_rx
+            .recv()
+            .unwrap_or_else(|_| Err(poisoned_sketch_error()))
+    }
+
+    /// Disarms the fault injectors on every shard worker, returning each
+    /// armed injector with its shard index (empty on a poisoned engine).
+    pub fn disarm_faults(&mut self) -> Vec<(usize, FaultInjector)> {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::DisarmFaults { done: done_tx })
+            .is_err()
+        {
+            return Vec::new();
+        }
+        done_rx.recv().unwrap_or_default()
+    }
+
+    /// Enables or disables metric recording on the router and every
+    /// worker (on by default). No-op on a poisoned engine.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::SetMetricsEnabled {
+                enabled,
+                done: done_tx,
+            })
+            .is_ok()
+        {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Installs the time source behind the batch-latency histograms on
+    /// the router and every worker. No-op on a poisoned engine.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::SetClock {
+                clock,
+                done: done_tx,
+            })
+            .is_ok()
+        {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Finishes a tumbling window against the *worker* state (every
+    /// submitted batch ahead of this call is applied first — jobs are
+    /// FIFO): every group's report in ascending key order, then a full
+    /// reset, published as a new epoch.
+    ///
+    /// # Errors
+    /// Propagates report errors, or a typed error on a poisoned engine.
+    pub fn flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::FlushWindow { done: done_tx })
+            .is_err()
+        {
+            return Err(poisoned_sketch_error());
+        }
+        done_rx
+            .recv()
+            .unwrap_or_else(|_| Err(poisoned_sketch_error()))
+    }
+
+    /// Merges another concurrent engine's **latest published epoch** into
+    /// this one (distributed GROUP BY). Quiesce `other` first (resolve
+    /// its tickets) to merge its complete state; shard counts must match,
+    /// as for [`ShardedEngine::merge`].
+    ///
+    /// # Errors
+    /// Returns an error if shard counts or specs/configs differ, or if
+    /// either engine is poisoned.
+    pub fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        if self.num_shards != other.num_shards {
+            return Err(SketchError::incompatible("shard counts differ"));
+        }
+        let shards: Vec<SketchEngine> = (0..other.num_shards)
+            .map(|i| (*other.published_shard(i)).clone())
+            .collect();
+        let router = other.shared.router.read().clone();
+        let (done_tx, done_rx) = channel::bounded(1);
+        if self
+            .submit_tx
+            .send(Job::MergeFrom {
+                shards,
+                dead: router.dead,
+                metrics: router.metrics,
+                done: done_tx,
+            })
+            .is_err()
+        {
+            return Err(poisoned_sketch_error());
+        }
+        done_rx
+            .recv()
+            .unwrap_or_else(|_| Err(poisoned_sketch_error()))
+    }
+
+    /// Cuts a telemetry snapshot from the latest published epoch: the
+    /// router block plus every shard's, with the concurrent-serving
+    /// gauges — `publish_epoch{shard}`, `publish_lag_rows`,
+    /// `submit_queue_depth` — and the `snapshots_published_total`
+    /// counter.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let router = self.shared.router.read().clone();
+        let mut snap = router.metrics.snapshot();
+        for i in 0..self.num_shards {
+            let shard = self.published_shard(i);
+            snap.merge(&shard.metrics())
+                // lint: panic-ok(every obs histogram shares one fixed (k, seed), so snapshot merge cannot fail)
+                .expect("obs snapshots share one KLL shape");
+            snap.add_gauge(&names::shard_rows_routed(i), shard.rows_processed());
+            snap.add_gauge(
+                &names::publish_epoch(i),
+                self.shared.epochs[i].load(Ordering::Acquire),
+            );
+        }
+        snap.add_gauge(names::SHARDS, self.num_shards as u64);
+        snap.add_gauge(
+            names::SUBMIT_QUEUE_DEPTH,
+            self.shared.queue_depth.load(Ordering::Relaxed),
+        );
+        let submitted = self.shared.rows_submitted.load(Ordering::Relaxed);
+        let resolved = self.shared.rows_resolved.load(Ordering::Relaxed);
+        snap.add_gauge(names::PUBLISH_LAG_ROWS, submitted.saturating_sub(resolved));
+        snap.add_counter(
+            names::SNAPSHOTS_PUBLISHED,
+            self.shared.snapshots_published.load(Ordering::Relaxed),
+        );
+        snap
+    }
+
+    /// Serializes the latest published epoch as a checksummed snapshot —
+    /// **byte-identical to [`ShardedEngine::to_snapshot_bytes`]** on the
+    /// same shards, so state moves freely between the two topologies.
+    #[must_use]
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let shards: Vec<SketchEngine> = (0..self.num_shards)
+            .map(|i| (*self.published_shard(i)).clone())
+            .collect();
+        ShardedEngine::from_restored_shards(
+            shards,
+            self.spec.clone(),
+            self.config,
+            self.channel_depth,
+        )
+        .to_snapshot_bytes()
+    }
+
+    /// Restores a concurrent engine from a sharded-kind snapshot
+    /// (produced by [`to_snapshot_bytes`](Self::to_snapshot_bytes) *or*
+    /// by a [`ShardedEngine`] — the formats are identical).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on any damage or if the bytes
+    /// hold a sequential-engine snapshot.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> SketchResult<Self> {
+        let restored = ShardedEngine::from_snapshot_bytes(bytes)?;
+        let ShardedEngine {
+            shards,
+            spec,
+            config,
+            channel_depth,
+            ..
+        } = restored;
+        Ok(Self::from_parts(shards, spec, config, channel_depth))
+    }
+}
+
+impl Drop for ConcurrentEngine {
+    fn drop(&mut self) {
+        // FIFO shutdown: every batch submitted before the drop still
+        // resolves (its ticket may already be gone, but the state effects
+        // land) before workers are joined.
+        let _ = self.submit_tx.send(Job::Shutdown);
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Publishes one shard's current state as a fresh immutable snapshot.
+fn publish(shared: &Shared, shard_id: usize, shard: &SketchEngine) {
+    let snap = Arc::new(shard.clone());
+    *shared.published[shard_id].write() = snap;
+    shared.epochs[shard_id].fetch_add(1, Ordering::Release);
+    shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One long-lived shard worker: owns its [`SketchEngine`] for the
+/// engine's lifetime, applying commands in order and publishing a new
+/// snapshot after every state change.
+fn worker_main(
+    mut shard: SketchEngine,
+    shard_id: usize,
+    shared: &Shared,
+    cmds: &channel::Receiver<Cmd>,
+) {
+    loop {
+        let Ok(cmd) = cmds.recv() else {
+            // Coordinator gone without a Shutdown: exit quietly (the
+            // coordinator's own supervisor flags the poisoning).
+            return;
+        };
+        match cmd {
+            Cmd::Ingest {
+                rows,
+                indices,
+                outcome,
+            } => {
+                let out = worker_ingest(&mut shard, &rows, &indices);
+                // Close the index channel *before* reporting: on failure
+                // the router's next send errors out and it stops feeding
+                // (the scoped version got this by dropping the receiver
+                // on return; long-lived workers must do it explicitly).
+                drop(indices);
+                let _ = outcome.send((shard_id, out));
+            }
+            Cmd::Commit { ack } => {
+                shard.commit_batch();
+                publish(shared, shard_id, &shard);
+                let _ = ack.send(());
+            }
+            Cmd::Rollback { ack } => {
+                shard.rollback_batch();
+                // Rolled-back state equals the already-published state, so
+                // no publish: readers never see any of the torn batch.
+                let _ = ack.send(());
+            }
+            Cmd::FlushWindow { done } => {
+                let result = shard.flush_window();
+                publish(shared, shard_id, &shard);
+                let _ = done.send(result);
+            }
+            Cmd::Merge { other, done } => {
+                let result = shard.merge(&other);
+                if result.is_ok() {
+                    publish(shared, shard_id, &shard);
+                }
+                let _ = done.send(result);
+            }
+            Cmd::SetPolicy { policy, ack } => {
+                shard.set_fault_policy(policy);
+                let _ = ack.send(());
+            }
+            Cmd::ArmFaults { injector, ack } => {
+                shard.arm_faults(injector);
+                let _ = ack.send(());
+            }
+            Cmd::DisarmFaults { done } => {
+                let _ = done.send(shard.disarm_faults());
+            }
+            Cmd::SetMetricsEnabled { enabled, ack } => {
+                shard.set_metrics_enabled(enabled);
+                let _ = ack.send(());
+            }
+            Cmd::SetClock { clock, ack } => {
+                shard.set_clock(clock);
+                let _ = ack.send(());
+            }
+            Cmd::Shutdown => return,
+        }
+    }
+}
+
+/// The coordinator: drains the submit queue, serializing every mutation
+/// across the worker pool with the same commit-all-or-rollback-all
+/// discipline as [`ShardedEngine::process_batch`].
+struct Coordinator {
+    spec: QuerySpec,
+    channel_depth: usize,
+    worker_txs: Vec<channel::Sender<Cmd>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    fault_policy: FaultPolicy,
+    router_dead: DeadLetters,
+    router_metrics: EngineMetrics,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    fn run(&mut self, jobs: &channel::Receiver<Job>) {
+        loop {
+            let Ok(job) = jobs.recv() else {
+                // Handle dropped without Shutdown (it always sends one,
+                // but be safe): stop the workers and exit.
+                self.shutdown_workers();
+                return;
+            };
+            match job {
+                Job::Ingest { rows, done } => {
+                    let n = rows.len() as u64;
+                    let result = self.handle_ingest(rows);
+                    self.publish_router();
+                    self.shared.rows_resolved.fetch_add(n, Ordering::Relaxed);
+                    self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    // Resolve *after* publishing: a resolved ticket
+                    // guarantees reads observe the batch.
+                    let _ = done.send(result);
+                }
+                Job::FlushWindow { done } => {
+                    let result = self.handle_flush_window();
+                    self.publish_router();
+                    let _ = done.send(result);
+                }
+                Job::MergeFrom {
+                    shards,
+                    dead,
+                    metrics,
+                    done,
+                } => {
+                    let result = self.handle_merge(shards, &dead, &metrics);
+                    self.publish_router();
+                    let _ = done.send(result);
+                }
+                Job::SetPolicy { policy, done } => {
+                    self.fault_policy = policy;
+                    if let FaultPolicy::Quarantine { max_samples } = policy {
+                        self.router_dead.set_max_samples(max_samples);
+                    }
+                    self.broadcast_ack(|ack| Cmd::SetPolicy { policy, ack });
+                    self.publish_router();
+                    let _ = done.send(());
+                }
+                Job::ArmFaults {
+                    shard,
+                    injector,
+                    done,
+                } => {
+                    let _ = done.send(self.handle_arm_faults(shard, injector));
+                }
+                Job::DisarmFaults { done } => {
+                    let mut out = Vec::new();
+                    for (i, tx) in self.worker_txs.iter().enumerate() {
+                        let (reply_tx, reply_rx) = channel::bounded(1);
+                        if tx.send(Cmd::DisarmFaults { done: reply_tx }).is_ok() {
+                            if let Ok(Some(injector)) = reply_rx.recv() {
+                                out.push((i, injector));
+                            }
+                        }
+                    }
+                    let _ = done.send(out);
+                }
+                Job::SetMetricsEnabled { enabled, done } => {
+                    self.router_metrics.enabled = enabled;
+                    self.broadcast_ack(|ack| Cmd::SetMetricsEnabled { enabled, ack });
+                    self.publish_router();
+                    let _ = done.send(());
+                }
+                Job::SetClock { clock, done } => {
+                    self.router_metrics.clock = clock.clone();
+                    self.broadcast_ack(|ack| Cmd::SetClock {
+                        clock: clock.clone(),
+                        ack,
+                    });
+                    let _ = done.send(());
+                }
+                Job::Shutdown => {
+                    self.shutdown_workers();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Publishes the router-level state (dead letters, metrics, policy)
+    /// so reads see it without touching the coordinator.
+    fn publish_router(&self) {
+        *self.shared.router.write() = RouterPublished {
+            dead: self.router_dead.clone(),
+            metrics: self.router_metrics.clone(),
+            policy: self.fault_policy,
+        };
+    }
+
+    /// Sends one ack-carrying command to every worker and waits for all
+    /// acks. Returns `false` (and poisons the engine) if any worker died.
+    fn broadcast_ack(&self, make: impl Fn(channel::Sender<()>) -> Cmd) -> bool {
+        let num = self.worker_txs.len();
+        let (ack_tx, ack_rx) = channel::bounded(num);
+        let mut sent = 0usize;
+        for tx in &self.worker_txs {
+            if tx.send(make(ack_tx.clone())).is_ok() {
+                sent += 1;
+            }
+        }
+        drop(ack_tx);
+        let acked = ack_rx.iter().count();
+        let ok = sent == num && acked == num;
+        if !ok {
+            self.shared.poisoned.store(true, Ordering::Release);
+        }
+        ok
+    }
+
+    fn handle_ingest(&mut self, rows: Vec<Row>) -> Result<BatchSummary, BatchError> {
+        let num = self.worker_txs.len();
+        let max_field = self.spec.max_field();
+        if matches!(self.fault_policy, FaultPolicy::FailBatch) {
+            // Same router-level arity prevalidation as the sharded engine:
+            // under FailBatch nothing is ingested at all.
+            if let Some(idx) = rows.iter().position(|r| r.len() <= max_field) {
+                if self.router_metrics.enabled {
+                    self.router_metrics.batches_rolled_back.inc();
+                }
+                return Err(BatchError {
+                    row: Some(idx),
+                    shard: None,
+                    cause: BatchCause::Row(SketchError::invalid(
+                        "row",
+                        "row shorter than query fields",
+                    )),
+                });
+            }
+        }
+        let start = self.router_metrics.start_batch();
+        let rows = Arc::new(rows);
+        let (outcome_tx, outcome_rx) = channel::bounded(num);
+        let mut index_txs = Vec::with_capacity(num);
+        let mut dispatched = true;
+        for tx in &self.worker_txs {
+            let (idx_tx, idx_rx) = channel::bounded::<usize>(self.channel_depth);
+            if tx
+                .send(Cmd::Ingest {
+                    rows: Arc::clone(&rows),
+                    indices: idx_rx,
+                    outcome: outcome_tx.clone(),
+                })
+                .is_err()
+            {
+                dispatched = false;
+                break;
+            }
+            index_txs.push(idx_tx);
+        }
+        drop(outcome_tx);
+        if !dispatched {
+            // A worker thread is gone before the batch even started: no
+            // shard holds an undo log for it, so fail fast and poison.
+            drop(index_txs);
+            for _ in &outcome_rx {}
+            self.shared.poisoned.store(true, Ordering::Release);
+            self.router_metrics.finish_batch(start);
+            return Err(poisoned_batch_error());
+        }
+
+        // Route rows to shards; stage router-level quarantine locally so
+        // batch atomicity covers dead letters too.
+        let mut router_quarantine: Vec<QuarantinedRow> = Vec::new();
+        for (idx, row) in rows.iter().enumerate() {
+            if row.len() <= max_field {
+                // FailBatch pre-validated arity above, so reaching this
+                // branch means the policy is Quarantine.
+                router_quarantine.push(QuarantinedRow {
+                    row_index: idx,
+                    shard: None,
+                    reason: SketchError::invalid("row", "row shorter than query fields"),
+                    row: row.clone(),
+                });
+                continue;
+            }
+            let fields = self.spec.group_by.iter().map(|&i| &row[i]);
+            let s = (ShardedEngine::key_hash(fields) % num as u64) as usize;
+            if index_txs[s].send(idx).is_err() {
+                // The worker closed its index channel — it failed. Stop
+                // feeding; the supervisor below rolls everything back.
+                break;
+            }
+        }
+        drop(index_txs);
+
+        // Collect one outcome per worker; a missing outcome means the
+        // worker thread died mid-batch.
+        let mut outcomes: Vec<Option<WorkerOutcome>> = (0..num).map(|_| None).collect();
+        for (shard_id, outcome) in &outcome_rx {
+            outcomes[shard_id] = Some(outcome);
+        }
+        let mut summary = BatchSummary::default();
+        let mut failures: Vec<(usize, Option<usize>, BatchCause)> = Vec::new();
+        let mut worker_died = false;
+        for (i, slot) in outcomes.into_iter().enumerate() {
+            match slot {
+                Some(out) => {
+                    summary.rows_ingested += out.ingested;
+                    summary.rows_quarantined += out.quarantined;
+                    if let Some((row, cause)) = out.failure {
+                        failures.push((i, row, cause));
+                    }
+                }
+                None => {
+                    worker_died = true;
+                    failures.push((
+                        i,
+                        None,
+                        BatchCause::WorkerPanic("shard worker thread died".to_string()),
+                    ));
+                }
+            }
+        }
+
+        let result = if failures.is_empty() {
+            if !self.broadcast_ack(|ack| Cmd::Commit { ack }) {
+                self.router_metrics.finish_batch(start);
+                return Err(poisoned_batch_error());
+            }
+            if self.router_metrics.enabled {
+                self.router_metrics.batches_committed.inc();
+                self.router_metrics
+                    .rows_quarantined
+                    .add(router_quarantine.len() as u64);
+            }
+            for q in router_quarantine {
+                summary.rows_quarantined += 1;
+                self.router_dead.record(q);
+            }
+            Ok(summary)
+        } else {
+            if worker_died {
+                self.shared.poisoned.store(true, Ordering::Release);
+            }
+            if !self.broadcast_ack(|ack| Cmd::Rollback { ack }) {
+                self.router_metrics.finish_batch(start);
+                return Err(poisoned_batch_error());
+            }
+            // Deterministic report: the earliest failing row across shards
+            // (failures without a row index sort last), then lowest shard.
+            failures.sort_by_key(|&(shard, row, _)| (row.unwrap_or(usize::MAX), shard));
+            let (shard, row, cause) = failures.swap_remove(0);
+            if self.router_metrics.enabled {
+                self.router_metrics.batches_rolled_back.inc();
+                if matches!(cause, BatchCause::WorkerPanic(_)) {
+                    self.router_metrics.panics_contained.inc();
+                }
+            }
+            Err(BatchError {
+                row,
+                shard: Some(shard),
+                cause,
+            })
+        };
+        self.router_metrics.finish_batch(start);
+        result
+    }
+
+    fn handle_flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
+        let mut replies = Vec::with_capacity(self.worker_txs.len());
+        for tx in &self.worker_txs {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            if tx.send(Cmd::FlushWindow { done: reply_tx }).is_err() {
+                self.shared.poisoned.store(true, Ordering::Release);
+                return Err(poisoned_sketch_error());
+            }
+            replies.push(reply_rx);
+        }
+        let mut out = Vec::new();
+        for reply in replies {
+            match reply.recv() {
+                Ok(result) => out.extend(result?),
+                Err(_) => {
+                    self.shared.poisoned.store(true, Ordering::Release);
+                    return Err(poisoned_sketch_error());
+                }
+            }
+        }
+        // Per-shard windows are each sorted; a full sort restores the
+        // global key order the sequential engine emits.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.router_dead.clear();
+        Ok(out)
+    }
+
+    fn handle_merge(
+        &mut self,
+        shards: Vec<SketchEngine>,
+        dead: &DeadLetters,
+        metrics: &EngineMetrics,
+    ) -> SketchResult<()> {
+        if shards.len() != self.worker_txs.len() {
+            return Err(SketchError::incompatible("shard counts differ"));
+        }
+        let mut replies = Vec::with_capacity(shards.len());
+        for (tx, other) in self.worker_txs.iter().zip(shards) {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            if tx
+                .send(Cmd::Merge {
+                    other: Box::new(other),
+                    done: reply_tx,
+                })
+                .is_err()
+            {
+                self.shared.poisoned.store(true, Ordering::Release);
+                return Err(poisoned_sketch_error());
+            }
+            replies.push(reply_rx);
+        }
+        for (i, reply) in replies.into_iter().enumerate() {
+            match reply.recv() {
+                Ok(result) => {
+                    result.map_err(|e| SketchError::incompatible(format!("shard {i}: {e}")))?
+                }
+                Err(_) => {
+                    self.shared.poisoned.store(true, Ordering::Release);
+                    return Err(poisoned_sketch_error());
+                }
+            }
+        }
+        self.router_dead.absorb(dead, None);
+        self.router_metrics.absorb(metrics);
+        Ok(())
+    }
+
+    fn handle_arm_faults(&mut self, shard: usize, injector: FaultInjector) -> SketchResult<()> {
+        let num = self.worker_txs.len();
+        let Some(tx) = self.worker_txs.get(shard) else {
+            return Err(SketchError::invalid(
+                "shard",
+                format!("no shard {shard} (of {num})"),
+            ));
+        };
+        let (ack_tx, ack_rx) = channel::bounded(1);
+        if tx
+            .send(Cmd::ArmFaults {
+                injector,
+                ack: ack_tx,
+            })
+            .is_err()
+            || ack_rx.recv().is_err()
+        {
+            self.shared.poisoned.store(true, Ordering::Release);
+            return Err(poisoned_sketch_error());
+        }
+        Ok(())
+    }
+
+    fn shutdown_workers(&mut self) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        self.worker_txs.clear();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+// `row!` expands to `vec![...]`, which tests also pass to slice-taking
+// query methods — fine here.
+#[allow(clippy::useless_vec)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use crate::query::Aggregate;
+    use crate::row;
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new(
+            vec![0],
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum { field: 2 },
+                Aggregate::CountDistinct { field: 1 },
+                Aggregate::Quantiles { field: 2 },
+                Aggregate::TopK { field: 1, k: 3 },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rows(n: u64, num_groups: u64) -> Vec<Row> {
+        (0..n)
+            .map(|i| row![i % num_groups, i % 97, (i % 1_000) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn rejects_zero_shards_and_zero_depth() {
+        assert!(ConcurrentEngine::new(spec(), 0).is_err());
+        assert!(ConcurrentEngine::with_config(spec(), EngineConfig::default(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn quiescent_reports_match_sequential_at_every_shard_count() {
+        let data = rows(20_000, 23);
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&data).unwrap();
+        for shards in [1usize, 2, 4] {
+            let conc = ConcurrentEngine::new(spec(), shards).unwrap();
+            conc.submit_batch(data.clone()).wait().unwrap();
+            assert_eq!(conc.rows_processed(), seq.rows_processed());
+            assert_eq!(conc.num_groups(), seq.num_groups());
+            for g in 0..23u64 {
+                assert_eq!(
+                    conc.report(&row![g]).unwrap(),
+                    seq.report(&row![g]).unwrap(),
+                    "group {g} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_snapshot_is_byte_identical_to_sharded() {
+        let data = rows(8_000, 13);
+        let mut sharded = ShardedEngine::new(spec(), 4).unwrap();
+        sharded.process_batch(&data).unwrap();
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.submit_batch(data).wait().unwrap();
+        assert_eq!(conc.to_snapshot_bytes(), sharded.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn submitted_batches_apply_in_order_and_poll_resolves() {
+        let conc = ConcurrentEngine::new(spec(), 3).unwrap();
+        let mut tickets: Vec<BatchTicket> = rows(9_000, 11)
+            .chunks(500)
+            .map(|chunk| conc.submit_batch(chunk.to_vec()))
+            .collect();
+        let mut pending = tickets.len();
+        while pending > 0 {
+            pending = 0;
+            for t in &mut tickets {
+                match t.poll() {
+                    Some(result) => assert!(result.is_ok(), "{result:?}"),
+                    None => pending += 1,
+                }
+            }
+            std::thread::yield_now();
+        }
+        // Polling again after resolution returns the cached outcome.
+        assert!(tickets[0].poll().unwrap().is_ok());
+
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&rows(9_000, 11)).unwrap();
+        for g in 0..11u64 {
+            assert_eq!(
+                conc.report(&row![g]).unwrap(),
+                seq.report(&row![g]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn wait_implies_published() {
+        // The commit ack is sent only after the shard published, so a
+        // resolved ticket means reads observe the batch — every time.
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        let mut expected = 0u64;
+        for chunk in rows(5_000, 7).chunks(250) {
+            let summary = conc.submit_batch(chunk.to_vec()).wait().unwrap();
+            expected += summary.rows_ingested as u64;
+            assert_eq!(conc.rows_processed(), expected);
+        }
+    }
+
+    #[test]
+    fn poison_row_rolls_back_and_publishes_nothing() {
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.submit_batch(rows(500, 7)).wait().unwrap();
+        let before = conc.to_snapshot_bytes();
+        let epoch_before = conc.metrics().gauges[&names::publish_epoch(0)];
+
+        let mut batch = rows(200, 7);
+        batch.insert(60, row![0u64, 1u64, "not-a-number"]);
+        let err = conc.submit_batch(batch).wait().unwrap_err();
+        assert_eq!(err.row, Some(60));
+        assert!(err.shard.is_some());
+        assert!(matches!(err.cause, BatchCause::Row(_)));
+        // Rolled back and *not* republished: readers never saw any of it.
+        assert_eq!(conc.to_snapshot_bytes(), before);
+        assert_eq!(conc.rows_processed(), 500);
+        assert_eq!(
+            conc.metrics().gauges[&names::publish_epoch(0)],
+            epoch_before
+        );
+        assert!(!conc.is_poisoned());
+    }
+
+    #[test]
+    fn quarantine_policy_diverts_rows() {
+        let mut conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.set_fault_policy(FaultPolicy::Quarantine { max_samples: 8 });
+        assert!(matches!(
+            conc.fault_policy(),
+            FaultPolicy::Quarantine { max_samples: 8 }
+        ));
+        let mut batch = rows(100, 5);
+        batch.insert(3, row![7u64]); // short: router quarantines it
+        batch.insert(50, row![0u64, 1u64, "bad"]); // shard quarantines it
+        let summary = conc.submit_batch(batch).wait().unwrap();
+        assert_eq!(summary.rows_ingested, 100);
+        assert_eq!(summary.rows_quarantined, 2);
+
+        let all = conc.dead_letters();
+        assert_eq!(all.count(), 2);
+        let router_sample = all.samples().iter().find(|q| q.row_index == 3).unwrap();
+        assert_eq!(router_sample.shard, None);
+        let shard_sample = all.samples().iter().find(|q| q.row_index == 50).unwrap();
+        assert!(shard_sample.shard.is_some());
+
+        // Dead letters are window state.
+        conc.flush_window().unwrap();
+        assert!(conc.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_batch_retryable() {
+        crate::fault::silence_injected_panics();
+        let mut conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.submit_batch(rows(300, 9)).wait().unwrap();
+        let before = conc.to_snapshot_bytes();
+
+        conc.arm_faults(2, FaultInjector::new().at(10, FaultKind::Panic))
+            .unwrap();
+        let batch = rows(400, 9);
+        let err = conc.submit_batch(batch.clone()).wait().unwrap_err();
+        assert_eq!(err.shard, Some(2));
+        assert!(matches!(err.cause, BatchCause::WorkerPanic(_)));
+        assert_eq!(conc.to_snapshot_bytes(), before);
+        // The panic was contained inside the batch supervisor: the worker
+        // thread is alive and the engine is not poisoned.
+        assert!(!conc.is_poisoned());
+
+        // Retry gets past the transient fault and converges with a
+        // never-faulted sharded engine.
+        conc.submit_batch(batch.clone()).wait().unwrap();
+        let disarmed = conc.disarm_faults();
+        assert_eq!(disarmed.len(), 1);
+        assert_eq!(disarmed[0].0, 2);
+        let mut baseline = ShardedEngine::new(spec(), 4).unwrap();
+        baseline.process_batch(&rows(300, 9)).unwrap();
+        baseline.process_batch(&batch).unwrap();
+        assert_eq!(conc.to_snapshot_bytes(), baseline.to_snapshot_bytes());
+    }
+
+    #[test]
+    fn snapshot_round_trips_across_topologies() {
+        let data = rows(6_000, 11);
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.submit_batch(data.clone()).wait().unwrap();
+        let bytes = conc.to_snapshot_bytes();
+
+        // Concurrent → concurrent.
+        let restored = ConcurrentEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.num_shards(), 4);
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+
+        // Concurrent → sharded and back: the formats are identical.
+        let as_sharded = ShardedEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(as_sharded.to_snapshot_bytes(), bytes);
+        let back = ConcurrentEngine::from_snapshot_bytes(&as_sharded.to_snapshot_bytes()).unwrap();
+        for g in 0..11u64 {
+            assert_eq!(
+                back.report(&row![g]).unwrap(),
+                conc.report(&row![g]).unwrap()
+            );
+        }
+
+        // Sequential snapshots are a typed kind mismatch.
+        let seq = SketchEngine::new(spec()).unwrap();
+        assert!(matches!(
+            ConcurrentEngine::from_snapshot_bytes(&seq.to_snapshot_bytes()),
+            Err(SketchError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_combines_published_states() {
+        let data = rows(12_000, 13);
+        let (left, right) = data.split_at(7_000);
+        let mut a = ConcurrentEngine::new(spec(), 4).unwrap();
+        let b = ConcurrentEngine::new(spec(), 4).unwrap();
+        a.submit_batch(left.to_vec()).wait().unwrap();
+        b.submit_batch(right.to_vec()).wait().unwrap();
+        a.merge(&b).unwrap();
+
+        let mut sa = ShardedEngine::new(spec(), 4).unwrap();
+        let mut sb = ShardedEngine::new(spec(), 4).unwrap();
+        sa.process_batch(left).unwrap();
+        sb.process_batch(right).unwrap();
+        sa.merge(&sb).unwrap();
+        assert_eq!(a.rows_processed(), sa.rows_processed());
+        for g in 0..13u64 {
+            assert_eq!(a.report(&row![g]).unwrap(), sa.report(&row![g]).unwrap());
+        }
+
+        let mismatched = ConcurrentEngine::new(spec(), 2).unwrap();
+        assert!(a.merge(&mismatched).is_err());
+    }
+
+    #[test]
+    fn metrics_export_concurrency_gauges() {
+        let conc = ConcurrentEngine::new(spec(), 3).unwrap();
+        conc.submit_batch(rows(1_000, 7)).wait().unwrap();
+        let snap = conc.metrics();
+        assert_eq!(snap.counters[names::ROWS_INGESTED], 1_000);
+        assert_eq!(snap.counters[names::BATCHES_COMMITTED], 1);
+        assert_eq!(snap.counters[names::SNAPSHOTS_PUBLISHED], 3);
+        assert_eq!(snap.gauges[names::SHARDS], 3);
+        // Quiescent: nothing queued, nothing unresolved, every shard
+        // published exactly one epoch.
+        assert_eq!(snap.gauges[names::SUBMIT_QUEUE_DEPTH], 0);
+        assert_eq!(snap.gauges[names::PUBLISH_LAG_ROWS], 0);
+        for i in 0..3 {
+            assert_eq!(snap.gauges[&names::publish_epoch(i)], 1);
+        }
+    }
+
+    #[test]
+    fn reads_never_block_during_ingest() {
+        // Readers spin on report()/groups() while batches are in flight;
+        // every read must succeed against some published prefix.
+        let conc = Arc::new(ConcurrentEngine::new(spec(), 4).unwrap());
+        let reader = {
+            let conc = Arc::clone(&conc);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                let mut last_rows = 0u64;
+                while conc.rows_processed() < 20_000 {
+                    for g in 0..7u64 {
+                        assert!(conc.report(&row![g]).is_ok());
+                    }
+                    let now = conc.rows_processed();
+                    // Published row counts are monotone: batches publish
+                    // whole, in order.
+                    assert!(now >= last_rows, "rows went backwards");
+                    last_rows = now;
+                    reads += 1;
+                }
+                reads
+            })
+        };
+        for chunk in rows(20_000, 7).chunks(1_000) {
+            conc.submit_batch(chunk.to_vec()).wait().unwrap();
+        }
+        let reads = reader.join().expect("reader thread");
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn drop_with_unresolved_tickets_does_not_hang() {
+        let conc = ConcurrentEngine::new(spec(), 3).unwrap();
+        let mut tickets: Vec<BatchTicket> = rows(4_000, 5)
+            .chunks(200)
+            .map(|chunk| conc.submit_batch(chunk.to_vec()))
+            .collect();
+        drop(conc);
+        // Every submitted batch still resolved (FIFO before shutdown).
+        for t in &mut tickets {
+            assert!(t.poll().expect("resolved by shutdown").is_ok());
+        }
+    }
+}

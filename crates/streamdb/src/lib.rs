@@ -15,6 +15,10 @@
 //! * [`sharded`] — [`sharded::ShardedEngine`]: thread-parallel ingest over
 //!   N engine shards, routing rows by grouping-key hash; per-group results
 //!   identical to the sequential engine.
+//! * [`concurrent`] — [`concurrent::ConcurrentEngine`]: serve while
+//!   ingesting — long-lived shard workers, a submit/poll batch API
+//!   ([`concurrent::BatchTicket`]), and epoch-published immutable
+//!   snapshots so reads never block behind ingest.
 //! * [`exact`] — [`exact::ExactEngine`]: the same query model over exact
 //!   per-group state, the baseline of experiment E16.
 //! * [`fault`] — the fault model: transactional batches with typed
@@ -38,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod durable;
 pub mod engine;
 pub mod exact;
@@ -49,6 +54,7 @@ pub mod snapshot;
 pub mod stream_engine;
 pub mod value;
 
+pub use concurrent::{BatchTicket, ConcurrentEngine};
 pub use durable::{
     CheckpointPolicy, DurableEngine, KillPoint, RecoveryReport, SIMULATED_CRASH_MARKER,
 };

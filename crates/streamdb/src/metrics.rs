@@ -88,10 +88,28 @@ pub mod names {
     /// Checkpoint epochs examined during recovery (1 on a clean load).
     pub const RECOVERY_EPOCHS_SCANNED: &str = "recovery_epochs_scanned_total";
 
+    /// Ingest jobs submitted to a concurrent engine but not yet resolved
+    /// (gauge).
+    pub const SUBMIT_QUEUE_DEPTH: &str = "submit_queue_depth";
+    /// Rows submitted to a concurrent engine whose batch has not resolved
+    /// yet — the bound on how far published reads lag ingest (gauge).
+    pub const PUBLISH_LAG_ROWS: &str = "publish_lag_rows";
+    /// Shard snapshots published by a concurrent engine (commit, window
+    /// flush, or merge).
+    pub const SNAPSHOTS_PUBLISHED: &str = "snapshots_published_total";
+
     /// The per-shard routed-row gauge name, `shard_rows_routed{shard="i"}`.
     #[must_use]
     pub fn shard_rows_routed(shard: usize) -> String {
         format!("shard_rows_routed{{shard=\"{shard}\"}}")
+    }
+
+    /// The per-shard publish-epoch gauge name, `publish_epoch{shard="i"}`
+    /// — how many snapshots the shard has published; a frozen epoch under
+    /// live ingest means the shard stopped publishing.
+    #[must_use]
+    pub fn publish_epoch(shard: usize) -> String {
+        format!("publish_epoch{{shard=\"{shard}\"}}")
     }
 
     /// The labelled checkpoint counter name,

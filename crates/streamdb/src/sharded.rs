@@ -51,8 +51,9 @@ use crate::value::{Row, Value};
 const ROUTE_SEED: u64 = 0x0005_AAED_0C0D;
 
 /// Default bounded-channel capacity between the router and each shard
-/// worker (row indices, so 8 KiB per shard at the default).
-const DEFAULT_CHANNEL_DEPTH: usize = 1024;
+/// worker (row indices, so 8 KiB per shard at the default). Shared with
+/// [`crate::concurrent::ConcurrentEngine`].
+pub(crate) const DEFAULT_CHANNEL_DEPTH: usize = 1024;
 
 /// A sharded GROUP BY engine: N [`SketchEngine`] partitions driven in
 /// parallel, with per-group results identical to a single engine.
@@ -74,13 +75,15 @@ pub struct ShardedEngine {
     router_metrics: EngineMetrics,
 }
 
-/// What one shard worker did with its slice of the batch.
-struct WorkerOutcome {
-    ingested: usize,
-    quarantined: usize,
+/// What one shard worker did with its slice of the batch. Shared with
+/// [`crate::concurrent::ConcurrentEngine`], whose long-lived workers run
+/// the same supervised ingest loop.
+pub(crate) struct WorkerOutcome {
+    pub(crate) ingested: usize,
+    pub(crate) quarantined: usize,
     /// `Some((row, cause))` if the worker failed (its shard still holds an
     /// undo log; the supervisor decides commit vs rollback globally).
-    failure: Option<(Option<usize>, BatchCause)>,
+    pub(crate) failure: Option<(Option<usize>, BatchCause)>,
 }
 
 impl ShardedEngine {
@@ -153,8 +156,10 @@ impl ShardedEngine {
         }
     }
 
-    /// Order-sensitive hash of a grouping-key value sequence.
-    fn key_hash<'a>(fields: impl Iterator<Item = &'a Value>) -> u64 {
+    /// Order-sensitive hash of a grouping-key value sequence. Shared with
+    /// [`crate::concurrent::ConcurrentEngine`] so both topologies place
+    /// every group on the same shard for a given shard count.
+    pub(crate) fn key_hash<'a>(fields: impl Iterator<Item = &'a Value>) -> u64 {
         let mut acc = ROUTE_SEED;
         for v in fields {
             acc = mix64(acc ^ hash_item(v, ROUTE_SEED));
@@ -543,7 +548,9 @@ impl ShardedEngine {
 /// [`SketchEngine::ingest_row`] (including injected ones) are contained
 /// here and reported as a [`BatchCause::WorkerPanic`], leaving the shard's
 /// undo log intact so the supervisor can roll the whole batch back.
-fn worker_ingest(
+/// Shared with [`crate::concurrent::ConcurrentEngine`]'s long-lived
+/// workers, so both topologies ingest identically.
+pub(crate) fn worker_ingest(
     shard: &mut SketchEngine,
     rows: &[Row],
     rx: &channel::Receiver<usize>,

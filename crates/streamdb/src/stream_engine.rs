@@ -31,6 +31,7 @@
 use sketches_core::SketchResult;
 use sketches_obs::MetricsSnapshot;
 
+use crate::concurrent::ConcurrentEngine;
 use crate::engine::SketchEngine;
 use crate::fault::{BatchError, BatchSummary, DeadLetters, FaultPolicy};
 use crate::query::AggregateResult;
@@ -237,6 +238,70 @@ impl StreamEngine for ShardedEngine {
     }
 }
 
+impl StreamEngine for ConcurrentEngine {
+    /// Submit-and-wait: the synchronous adapter over the concurrent
+    /// engine's submit/poll API. Rows are cloned into the submit queue
+    /// (the async API owns its rows); the returned ticket is awaited, so
+    /// on return the batch is committed *and published* — generic
+    /// callers (the durable layer, equivalence tests) observe the same
+    /// synchronous semantics as the other engines.
+    fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError> {
+        self.submit_batch(rows.to_vec()).wait()
+    }
+
+    fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
+        ConcurrentEngine::report(self, key)
+    }
+
+    fn flush_window(&mut self) -> SketchResult<Vec<(Vec<Value>, Vec<AggregateResult>)>> {
+        ConcurrentEngine::flush_window(self)
+    }
+
+    fn merge(&mut self, other: &Self) -> SketchResult<()> {
+        ConcurrentEngine::merge(self, other)
+    }
+
+    fn groups(&self) -> Vec<Vec<Value>> {
+        ConcurrentEngine::groups(self)
+    }
+
+    fn num_groups(&self) -> usize {
+        ConcurrentEngine::num_groups(self)
+    }
+
+    fn rows_processed(&self) -> u64 {
+        ConcurrentEngine::rows_processed(self)
+    }
+
+    fn state_bytes(&self) -> usize {
+        ConcurrentEngine::state_bytes(self)
+    }
+
+    fn fault_policy(&self) -> FaultPolicy {
+        ConcurrentEngine::fault_policy(self)
+    }
+
+    fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        ConcurrentEngine::set_fault_policy(self, policy);
+    }
+
+    fn dead_letters(&self) -> DeadLetters {
+        ConcurrentEngine::dead_letters(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ConcurrentEngine::metrics(self)
+    }
+
+    fn to_snapshot_bytes(&self) -> Vec<u8> {
+        ConcurrentEngine::to_snapshot_bytes(self)
+    }
+
+    fn from_snapshot_bytes(bytes: &[u8]) -> SketchResult<Self> {
+        ConcurrentEngine::from_snapshot_bytes(bytes)
+    }
+}
+
 #[cfg(test)]
 // `row!` expands to `vec![...]`, which tests also pass to slice-taking
 // query methods — fine here.
@@ -292,6 +357,11 @@ mod tests {
     #[test]
     fn trait_surface_sharded() {
         exercise(ShardedEngine::new(spec(), 3).unwrap());
+    }
+
+    #[test]
+    fn trait_surface_concurrent() {
+        exercise(ConcurrentEngine::new(spec(), 3).unwrap());
     }
 
     #[test]

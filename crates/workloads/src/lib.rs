@@ -18,6 +18,8 @@
 //!   errors in EXPERIMENTS.md tables.
 //! * [`faults`] — seeded fault plans (injected ingest errors/panics,
 //!   snapshot bit flips and truncations) for the recovery drills of E22.
+//! * [`serving`] — mixed ingest+query serving workload (Zipf-hot groups,
+//!   independent seeded query schedule) for the concurrency drill of E25.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +27,7 @@ pub mod ads;
 pub mod exact;
 pub mod faults;
 pub mod flows;
+pub mod serving;
 pub mod stats;
 pub mod streams;
 pub mod zipf;
@@ -33,5 +36,6 @@ pub use ads::{AdImpression, AdWorkload};
 pub use exact::{ExactDistinct, ExactFrequency};
 pub use faults::{Corruption, CrashOp, CrashPlan, FaultPlan, IngestFault, PlannedFault};
 pub use flows::{FlowRecord, FlowWorkload};
+pub use serving::{ServingEvent, ServingWorkload};
 pub use stats::{mean, percentile, relative_error, stddev};
 pub use zipf::ZipfGenerator;

@@ -1,0 +1,114 @@
+//! Mixed ingest+query serving workload (experiment E25).
+//!
+//! Models the concurrent-serving scenario: a Zipf-skewed GROUP BY stream
+//! arriving in batches while readers query the hottest groups. Both sides
+//! are fully deterministic — ingest events and the query-key schedule come
+//! from seeded generators — so a serving drill is reproducible and two
+//! engines fed the same workload are comparable row for row.
+
+use sketches_core::SketchResult;
+use sketches_hash::mix::mix64_seeded;
+
+use crate::zipf::ZipfGenerator;
+
+/// One ingest event: a Zipf-hot group key, a user id (distinct-count
+/// dimension), and a numeric value (sum/quantile dimension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingEvent {
+    /// Group key, Zipf-distributed in `1..=num_groups`.
+    pub group: u64,
+    /// User id — hashed from the event counter, so distinct counts grow
+    /// with the stream.
+    pub user: u64,
+    /// Numeric measure in `[0, 10_000)`.
+    pub value: f64,
+}
+
+/// Deterministic generator for the mixed ingest+query serving drill.
+#[derive(Debug)]
+pub struct ServingWorkload {
+    groups: ZipfGenerator,
+    queries: ZipfGenerator,
+    seed: u64,
+    counter: u64,
+}
+
+impl ServingWorkload {
+    /// A serving workload over `num_groups` groups with Zipf exponent
+    /// `skew`. The ingest and query sides draw from *independent* seeded
+    /// generators, so interleaving reads never perturbs the ingest
+    /// stream.
+    ///
+    /// # Errors
+    /// Propagates [`ZipfGenerator::new`] parameter errors.
+    pub fn new(num_groups: u64, skew: f64, seed: u64) -> SketchResult<Self> {
+        Ok(Self {
+            groups: ZipfGenerator::new(num_groups, skew, seed)?,
+            queries: ZipfGenerator::new(num_groups, skew, seed ^ 0x9E37_79B9_7F4A_7C15)?,
+            seed,
+            counter: 0,
+        })
+    }
+
+    /// The next ingest event.
+    pub fn next_event(&mut self) -> ServingEvent {
+        let group = self.groups.sample();
+        let user = mix64_seeded(self.counter, self.seed);
+        self.counter += 1;
+        ServingEvent {
+            group,
+            user,
+            value: (user % 10_000) as f64,
+        }
+    }
+
+    /// `num_batches` batches of `batch_size` events each, in arrival
+    /// order (the submit-queue shape of a serving engine).
+    pub fn batches(&mut self, num_batches: usize, batch_size: usize) -> Vec<Vec<ServingEvent>> {
+        (0..num_batches)
+            .map(|_| (0..batch_size).map(|_| self.next_event()).collect())
+            .collect()
+    }
+
+    /// `n` query keys for the read side, Zipf-skewed like the ingest side
+    /// (readers hammer the hot groups) but drawn independently.
+    pub fn query_keys(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.queries.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let mut a = ServingWorkload::new(1_000, 1.2, 42).unwrap();
+        let mut b = ServingWorkload::new(1_000, 1.2, 42).unwrap();
+        assert_eq!(a.batches(4, 100), b.batches(4, 100));
+        assert_eq!(a.query_keys(50), b.query_keys(50));
+    }
+
+    #[test]
+    fn queries_do_not_perturb_ingest() {
+        let mut plain = ServingWorkload::new(500, 1.1, 7).unwrap();
+        let ingest_only = plain.batches(3, 200);
+        let mut mixed = ServingWorkload::new(500, 1.1, 7).unwrap();
+        let first = mixed.batches(1, 200);
+        let _ = mixed.query_keys(1_000); // interleaved reads
+        let rest = mixed.batches(2, 200);
+        assert_eq!(ingest_only[0], first[0]);
+        assert_eq!(&ingest_only[1..], &rest[..]);
+    }
+
+    #[test]
+    fn events_are_in_range_and_skewed() {
+        let mut wl = ServingWorkload::new(100, 1.3, 11).unwrap();
+        let events: Vec<ServingEvent> = (0..10_000).map(|_| wl.next_event()).collect();
+        assert!(events.iter().all(|e| (1..=100).contains(&e.group)));
+        assert!(events.iter().all(|e| (0.0..10_000.0).contains(&e.value)));
+        // Zipf skew: the single hottest group dominates a uniform share.
+        let hot = events.iter().filter(|e| e.group == 1).count();
+        assert!(hot > events.len() / 20, "hot group only {hot} hits");
+    }
+}

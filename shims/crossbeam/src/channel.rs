@@ -2,6 +2,7 @@
 //! `std::sync::mpsc`. Bounded channels block the sender when full, which is
 //! the backpressure contract the ingest pipelines rely on.
 
+use std::fmt;
 use std::sync::mpsc;
 
 /// Error returned when sending on a channel whose receiver is gone.
@@ -11,6 +12,15 @@ pub struct SendError<T>(pub T);
 /// Error returned when receiving on an empty, disconnected channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`] when no value is ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders still exist.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
 
 enum Tx<T> {
     Bounded(mpsc::SyncSender<T>),
@@ -52,9 +62,21 @@ impl<T> Sender<T> {
     }
 }
 
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
 /// The receiving half of a channel (single consumer).
 pub struct Receiver<T> {
     rx: mpsc::Receiver<T>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
 }
 
 impl<T> Receiver<T> {
@@ -64,6 +86,19 @@ impl<T> Receiver<T> {
     /// Returns an error when the channel is empty and all senders dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is queued yet,
+    /// [`TryRecvError::Disconnected`] when the channel is drained and all
+    /// senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
     }
 
     /// A blocking iterator over received values, ending when all senders
@@ -148,6 +183,17 @@ mod tests {
         })
         .expect("join");
         assert_eq!(sum, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]
