@@ -40,7 +40,12 @@ impl<S> MutexSketch<S> {
     }
 
     /// Runs a query under the lock.
+    ///
+    /// The closure executes while the mutex is held: it must not touch
+    /// this `MutexSketch` again (re-entry deadlocks) and should be short —
+    /// use [`snapshot`](Self::snapshot) for anything slow.
     pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        // lint: guard-scope(coarse-lock baseline: query-under-lock is the measured E14 contract; snapshot() is the escape hatch)
         f(&self.inner.lock())
     }
 

@@ -1,0 +1,16 @@
+//! L6 fixture (suppressed): the same send-under-guard, with the hold
+//! justified — the channel is bounded at 1 and the consumer never touches
+//! this lock, so the send cannot wait on the guard.
+
+struct Engine {
+    state: std::sync::Arc<parking_lot::Mutex<u64>>,
+    tx: crossbeam::channel::Sender<u64>,
+}
+
+impl Engine {
+    fn publish(&self) {
+        let guard = self.state.lock();
+        // lint: guard-scope(value must be read and sent atomically; consumer never takes state, so the send cannot block on it)
+        let _ = self.tx.send(*guard);
+    }
+}

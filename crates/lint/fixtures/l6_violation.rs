@@ -1,0 +1,13 @@
+//! L6 fixture: a channel send while a lock guard is live, no escape.
+
+struct Engine {
+    state: std::sync::Arc<parking_lot::Mutex<u64>>,
+    tx: crossbeam::channel::Sender<u64>,
+}
+
+impl Engine {
+    fn publish(&self) {
+        let guard = self.state.lock();
+        let _ = self.tx.send(*guard);
+    }
+}

@@ -1,0 +1,23 @@
+//! L7 fixture (suppressed): the reversed acquisition is justified — the
+//! caller holds an external token that serializes the two paths, so the
+//! opposite orders can never interleave.
+
+struct Shards {
+    a: parking_lot::Mutex<u64>,
+    b: parking_lot::Mutex<u64>,
+}
+
+fn transfer_ab(s: &Shards, amount: u64) {
+    let mut ga = s.a.lock();
+    let mut gb = s.b.lock();
+    *ga -= amount;
+    *gb += amount;
+}
+
+fn transfer_ba(s: &Shards, amount: u64) {
+    let mut gb = s.b.lock();
+    // lint: lock-order-ok(both transfer paths run under the scheduler's per-pair token, so AB and BA never interleave)
+    let mut ga = s.a.lock();
+    *gb -= amount;
+    *ga += amount;
+}

@@ -1,0 +1,21 @@
+//! L7 fixture: two functions acquire the same pair of locks in opposite
+//! orders — the classic AB/BA deadlock, spanning two call paths.
+
+struct Shards {
+    a: parking_lot::Mutex<u64>,
+    b: parking_lot::Mutex<u64>,
+}
+
+fn transfer_ab(s: &Shards, amount: u64) {
+    let mut ga = s.a.lock();
+    let mut gb = s.b.lock();
+    *ga -= amount;
+    *gb += amount;
+}
+
+fn transfer_ba(s: &Shards, amount: u64) {
+    let mut gb = s.b.lock();
+    let mut ga = s.a.lock();
+    *gb -= amount;
+    *ga += amount;
+}

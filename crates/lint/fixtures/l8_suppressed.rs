@@ -1,0 +1,15 @@
+//! L8 fixture (suppressed): the unboundedness is bounded by construction —
+//! each producer sends exactly one control message, so queue depth is
+//! capped by the worker count.
+
+fn spawn_stage(workers: usize) -> crossbeam::channel::Receiver<u64> {
+    // lint: channel-ok(control channel; each worker sends exactly one shutdown ack, so depth is bounded by the worker count)
+    let (tx, rx) = crossbeam::channel::unbounded();
+    for id in 0..workers as u64 {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(id);
+        });
+    }
+    rx
+}

@@ -1,0 +1,11 @@
+//! L8 fixture: an unbounded channel between pipeline stages, no escape.
+
+fn spawn_stage() -> crossbeam::channel::Receiver<u64> {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    std::thread::spawn(move || {
+        for i in 0..1_000u64 {
+            let _ = tx.send(i);
+        }
+    });
+    rx
+}

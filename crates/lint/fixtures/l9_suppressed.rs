@@ -1,0 +1,16 @@
+//! L9 fixture (suppressed): the deregistration lock is justified — it is a
+//! leaf lock never held across other work, and a consuming `shutdown()`
+//! handles the orderly path; Drop is the backstop for panics.
+
+struct Worker {
+    registry: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+    id: u64,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // lint: drop-ok(registry is a leaf lock never held across other work; shutdown() is the orderly path and this is the unwind backstop)
+        let mut reg = self.registry.lock();
+        reg.retain(|w| *w != self.id);
+    }
+}

@@ -1,0 +1,13 @@
+//! L9 fixture: a Drop impl that takes a lock on a shared registry.
+
+struct Worker {
+    registry: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+    id: u64,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let mut reg = self.registry.lock();
+        reg.retain(|w| *w != self.id);
+    }
+}

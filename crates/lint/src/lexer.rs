@@ -224,6 +224,12 @@ pub fn lex(src: &str) -> LexedFile {
             let mut k = if c == 'b' { i + 2 } else { i + 1 };
             while k < n {
                 if b[k] == '\\' {
+                    // An escaped `\n` (line continuation) still ends a
+                    // source line — count it, or every line number after
+                    // the string drifts and escape tags misattach.
+                    if k + 1 < n && b[k + 1] == '\n' {
+                        line += 1;
+                    }
                     k += 2;
                     continue;
                 }
@@ -398,6 +404,87 @@ mod tests {
         let lexed = lex("// lint: panic-ok(index bounded by depth)\nx.unwrap();\n// lint: panic-ok()\ny.unwrap();");
         assert!(lexed.has_escape(2, "panic-ok", 2));
         assert!(!lexed.has_escape(4, "panic-ok", 1));
+    }
+
+    #[test]
+    fn raw_strings_hide_contents_at_any_hash_depth() {
+        // `"#` inside a `##`-delimited raw string must not close it, and
+        // no identifier inside any raw form may leak into the stream.
+        let lexed = lex("let a = r\"plain unwrap()\";\n\
+             let b = r##\"inner \"# panic!(\"x\") quote\"##;\n\
+             let c = br#\"bytes with unwrap()\"#;\n\
+             tail();");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(!idents.contains(&"unwrap"), "{idents:?}");
+        assert!(!idents.contains(&"panic"), "{idents:?}");
+        assert!(idents.contains(&"tail"), "{idents:?}");
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let lexed = lex("let s = r#\"one\ntwo\nthree\"#;\nafter();");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let lexed = lex("/* outer /* inner unwrap() */ still comment */ code();");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["code"], "{idents:?}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn nested_block_comment_lines_are_counted() {
+        let lexed = lex("/* a\n/* b\n*/\nc */\nafter();");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 5);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // A `\` line continuation inside a cooked string ends a source
+        // line; tokens after the string must not drift up by one.
+        let lexed = lex("let s = \"a \\\nb\";\nafter();");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn byte_strings_are_opaque_literals() {
+        let lexed = lex("let k = b\"payload unwrap()\"; go();");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(!idents.contains(&"unwrap"), "{idents:?}");
+        assert!(idents.contains(&"go"));
     }
 
     #[test]

@@ -5,14 +5,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sketches_lint::{check_workspace, find_root, to_json, Rule};
+use sketches_lint::{check_workspace, find_root, to_github, to_json, Rule};
 
 const USAGE: &str = "\
-sketches-lint — determinism & panic-safety analyzer for the sketches workspace
+sketches-lint — determinism & concurrency-safety analyzer for the sketches workspace
 
 USAGE:
-    sketches-lint check [--json] [--root <dir>]   lint the workspace (exit 1 on findings)
-    sketches-lint rules                           print the five rule classes
+    sketches-lint check [--json|--github] [--root <dir>]   lint the workspace (exit 1 on findings)
+    sketches-lint rules                                    print the nine rule classes
+
+OUTPUT:
+    (default)   human-readable findings, one per line
+    --json      versioned machine interface (schema_version, sorted findings)
+    --github    GitHub Actions workflow annotations (::error file=..,line=..::)
 ";
 
 fn main() -> ExitCode {
@@ -34,11 +39,13 @@ fn main() -> ExitCode {
 
 fn check_cmd(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut github = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--github" => github = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -81,8 +88,15 @@ fn check_cmd(args: &[String]) -> ExitCode {
     };
     if json {
         print!("{}", to_json(&findings));
+    } else if github {
+        print!("{}", to_github(&findings));
+        if findings.is_empty() {
+            println!("sketches-lint: workspace clean (L1\u{2013}L9)");
+        } else {
+            println!("sketches-lint: {} finding(s)", findings.len());
+        }
     } else if findings.is_empty() {
-        println!("sketches-lint: workspace clean (L1–L5)");
+        println!("sketches-lint: workspace clean (L1\u{2013}L9)");
     } else {
         for f in &findings {
             println!("{f}");

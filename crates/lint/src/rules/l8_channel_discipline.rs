@@ -1,0 +1,273 @@
+//! L8 — channel discipline: bounded channels, handled receives,
+//! disconnection arms.
+//!
+//! Three patterns, all drawn from the PR 6 concurrency layer's contracts:
+//!
+//! * **Bounded only** — `unbounded()` (crossbeam) and `mpsc::channel()`
+//!   (std's unbounded constructor) are flagged: an unbounded channel turns
+//!   a slow consumer into an OOM instead of backpressure.
+//! * **Handled receives** — `.recv()`/`.try_recv()`/`.recv_timeout()`
+//!   results must not be `unwrap`ed/`expect`ed: a disconnected sender is a
+//!   normal shutdown signal, not a bug.
+//! * **Disconnection arms** — a `match` over a receive must mention the
+//!   error path (`Err` or `Disconnected`) so drain loops terminate when
+//!   the other side goes away.
+//!
+//! Escape: `// lint: channel-ok(reason)` — e.g. a rendezvous channel whose
+//! unboundedness is bounded by construction elsewhere.
+
+use crate::findings::{Finding, Rule};
+use crate::rules::FileContext;
+
+/// How many lines above a flagged site the escape comment may sit.
+const LOOKBACK: u32 = 3;
+
+/// Receive methods whose `Result` carries the disconnection signal.
+const RECV: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
+
+/// Runs L8 on one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !ctx.is_checked_code(i) || ctx.macro_mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        // Unbounded constructors.
+        let unbounded_call = (t.is_ident("unbounded")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')))
+            || (t.is_ident("channel")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && i >= 3
+                && tokens[i - 1].is_punct(':')
+                && tokens[i - 2].is_punct(':')
+                && tokens[i - 3].is_ident("mpsc"));
+        if unbounded_call {
+            if !ctx.lexed.has_escape(t.line, "channel-ok", LOOKBACK) {
+                out.push(Finding {
+                    rule: Rule::L8ChannelDiscipline,
+                    file: ctx.path.to_path_buf(),
+                    line: t.line,
+                    message: format!(
+                        "unbounded channel constructor `{}()`; use a bounded channel so a \
+                         slow consumer applies backpressure instead of growing the heap, \
+                         or justify with `// lint: channel-ok(reason)`",
+                        t.text
+                    ),
+                });
+            }
+            continue;
+        }
+        // `.recv().unwrap()` and friends.
+        let is_recv = RECV.contains(&t.text.as_str())
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if is_recv {
+            // Find the `)` closing the call, then look for `.unwrap(`/`.expect(`.
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct('(') {
+                    depth += 1;
+                } else if tokens[k].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let unwrapped = tokens.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                && tokens
+                    .get(k + 2)
+                    .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                && tokens.get(k + 3).is_some_and(|n| n.is_punct('('));
+            if unwrapped && !ctx.lexed.has_escape(t.line, "channel-ok", LOOKBACK) {
+                out.push(Finding {
+                    rule: Rule::L8ChannelDiscipline,
+                    file: ctx.path.to_path_buf(),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` result unwrapped; a disconnected peer is a normal shutdown \
+                         signal — match the Err arm (or use unwrap_or/ok), or justify with \
+                         `// lint: channel-ok(reason)`",
+                        t.text
+                    ),
+                });
+            }
+            // A `match` directly over the receive must mention the error path.
+            if let Some(body_open) = match_over(tokens, i, k) {
+                let body_close = ctx_brace_match(ctx, body_open);
+                let has_err_arm = tokens[body_open..=body_close]
+                    .iter()
+                    .any(|t| t.is_ident("Err") || t.is_ident("Disconnected"));
+                if !has_err_arm && !ctx.lexed.has_escape(t.line, "channel-ok", LOOKBACK) {
+                    out.push(Finding {
+                        rule: Rule::L8ChannelDiscipline,
+                        file: ctx.path.to_path_buf(),
+                        line: t.line,
+                        message: format!(
+                            "`match` over `.{}()` has no disconnection arm (`Err`/\
+                             `Disconnected`); drain loops must terminate when the peer \
+                             goes away, or justify with `// lint: channel-ok(reason)`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If the receive call ending at `close` is the scrutinee of a `match`
+/// (scanning back at most a few tokens for the keyword, forward for the
+/// `{`), returns the index of the match body's `{`.
+fn match_over(tokens: &[crate::lexer::Token], recv_idx: usize, close: usize) -> Option<usize> {
+    // Backward: `match <expr> . recv (` — the keyword sits before the
+    // receiver path, within the same statement.
+    let mut j = recv_idx;
+    let mut saw_match = false;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_ident("match") {
+            saw_match = true;
+            break;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+    }
+    if !saw_match {
+        return None;
+    }
+    // Forward from the call's `)` to the body `{` (allowing `.unwrap()`-free
+    // direct scrutinees only; any other chaining still ends at `{`).
+    let mut k = close + 1;
+    while k < tokens.len() {
+        if tokens[k].is_punct('{') {
+            return Some(k);
+        }
+        if tokens[k].is_punct(';') || tokens[k].is_punct('}') {
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// The `}` matching the `{` at `open` (recomputed locally; the context does
+/// not retain its brace map).
+fn ctx_brace_match(ctx: &FileContext<'_>, open: usize) -> usize {
+    let tokens = ctx.tokens();
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+    use crate::workspace::CrateKind;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileContext::new(
+            Path::new("t.rs"),
+            src,
+            CrateKind::Library,
+            false,
+        ))
+    }
+
+    #[test]
+    fn unbounded_constructor_fires() {
+        let f = run("fn f() { let (tx, rx) = unbounded(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unbounded"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn std_mpsc_channel_fires() {
+        let f = run("fn f() { let (tx, rx) = std::sync::mpsc::channel(); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn bounded_is_clean() {
+        let f = run("fn f() { let (tx, rx) = bounded(64); let (a, b) = mpsc::sync_channel(8); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recv_unwrap_fires_but_unwrap_or_does_not() {
+        let f = run(
+            "fn f(rx: &R) { let a = rx.recv().unwrap(); let b = rx.recv().unwrap_or_default(); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn try_recv_expect_fires() {
+        let f = run("fn f(rx: &R) { let a = rx.try_recv().expect(\"msg\"); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn match_without_disconnection_arm_fires() {
+        let f = run("fn f(rx: &R) { match rx.try_recv() { Ok(v) => use_it(v), _ => {} } }");
+        // `_ => {}` technically covers Err, but silently: the rule wants the
+        // error path named. Wildcard-only matches fire.
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn match_with_err_arm_is_clean() {
+        let f =
+            run("fn f(rx: &R) { match rx.try_recv() { Ok(v) => use_it(v), Err(_) => return } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn match_with_disconnected_arm_is_clean() {
+        let f = run("fn f(rx: &R) { match rx.try_recv() { Ok(v) => use_it(v), \
+             Err(TryRecvError::Disconnected) => return, Err(TryRecvError::Empty) => {} } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn while_let_ok_is_clean() {
+        // Loop exits on Err implicitly; that is a handled disconnection.
+        let f = run("fn f(rx: &R) { while let Ok(v) = rx.recv() { use_it(v); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn escape_hatch_suppresses() {
+        let f = run(
+            "fn f() {\n// lint: channel-ok(control channel; at most one message per worker)\n\
+             let (tx, rx) = unbounded(); }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod tests { fn t(rx: &R) { rx.recv().unwrap(); } }");
+        assert!(f.is_empty());
+    }
+}

@@ -12,12 +12,17 @@ mod l2_panic_free;
 mod l3_forbid_unsafe;
 mod l4_seeded_only;
 mod l5_missing_docs;
+mod l6_guard_hygiene;
+pub(crate) mod l7_lock_order;
+mod l8_channel_discipline;
+mod l9_drop_safety;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 use crate::findings::Finding;
 use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::scope::{self, GuardSite};
 use crate::workspace::CrateKind;
 
 /// Precomputed analysis of one source file.
@@ -42,6 +47,12 @@ pub struct FileContext<'a> {
     /// Identifiers declared with a `HashMap`/`HashSet` type (fields, params,
     /// lets) whose hasher is the ambient `RandomState`.
     pub map_names: HashSet<String>,
+    /// Lock-guard acquisitions with their liveness ranges (L6/L7/L9).
+    pub guards: Vec<GuardSite>,
+    /// Per-function closure-typed parameter names (L6).
+    pub closure_params: HashMap<String, HashSet<String>>,
+    /// Per-token: inside an `impl Drop for _` body (L9).
+    pub drop_mask: Vec<bool>,
 }
 
 impl<'a> FileContext<'a> {
@@ -60,6 +71,9 @@ impl<'a> FileContext<'a> {
         let trait_impl_mask = trait_impl_body_mask(&lexed.tokens, &brace_match);
         let fn_name = fn_name_map(&lexed.tokens, &brace_match);
         let map_names = collect_map_names(&lexed.tokens);
+        let guards = scope::collect_guards(&lexed.tokens, &brace_match);
+        let closure_params = scope::closure_params_by_fn(&lexed.tokens);
+        let drop_mask = scope::drop_impl_mask(&lexed.tokens, &brace_match);
         debug_assert_eq!(test_mask.len(), n);
         Self {
             path,
@@ -71,6 +85,9 @@ impl<'a> FileContext<'a> {
             trait_impl_mask,
             fn_name,
             map_names,
+            guards,
+            closure_params,
+            drop_mask,
         }
     }
 
@@ -87,7 +104,9 @@ impl<'a> FileContext<'a> {
     }
 }
 
-/// Runs every rule applicable to the file's crate kind.
+/// Runs every per-file rule applicable to the file's crate kind. The
+/// cross-file L7 lock-ordering pass runs separately over the whole
+/// workspace — see `l7_lock_order::check_files`.
 #[must_use]
 pub fn run_all(ctx: &FileContext<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -98,10 +117,16 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Finding> {
             out.extend(l3_forbid_unsafe::check(ctx));
             out.extend(l4_seeded_only::check(ctx));
             out.extend(l5_missing_docs::check(ctx));
+            out.extend(l6_guard_hygiene::check(ctx));
+            out.extend(l8_channel_discipline::check(ctx));
+            out.extend(l9_drop_safety::check(ctx));
         }
         CrateKind::Tool => {
             out.extend(l2_panic_free::check(ctx));
             out.extend(l3_forbid_unsafe::check(ctx));
+            out.extend(l6_guard_hygiene::check(ctx));
+            out.extend(l8_channel_discipline::check(ctx));
+            out.extend(l9_drop_safety::check(ctx));
         }
         CrateKind::Bench => {
             out.extend(l3_forbid_unsafe::check(ctx));
@@ -113,7 +138,7 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Finding> {
 
 /// For each `{` token index, the index of its matching `}` (and vice versa).
 /// Unbalanced braces map to the end of the stream.
-fn match_braces(tokens: &[Token]) -> Vec<usize> {
+pub(crate) fn match_braces(tokens: &[Token]) -> Vec<usize> {
     let mut matching = vec![tokens.len().saturating_sub(1); tokens.len()];
     let mut stack = Vec::new();
     for (i, t) in tokens.iter().enumerate() {

@@ -1,0 +1,639 @@
+//! Scope-aware analysis over the token stream: lock-guard liveness,
+//! closure-typed parameters, and `Drop` impl bodies.
+//!
+//! The centerpiece is [`collect_guards`], which finds every
+//! `.lock()`/`.read()`/`.write()` acquisition and computes the token range
+//! over which the resulting guard is *live*:
+//!
+//! * **let-bound guards** (`let g = m.lock();`, including `.unwrap()` /
+//!   `.expect(..)` chains) live from the end of their statement to the
+//!   close of the enclosing block, truncated by an explicit `drop(g)`.
+//! * **temporary guards** (`m.lock().field`, `f(&m.lock())`) live for the
+//!   whole enclosing statement — in both token directions, because Rust
+//!   extends temporaries to the end of the statement regardless of where
+//!   in the expression the acquisition appears.
+//!
+//! This is a heuristic model, not a borrow checker. Known approximations
+//! (documented in `DESIGN.md` §7): guards returned out of a function are
+//! tracked only to the end of their statement, shadowed bindings are not
+//! re-resolved, and lock identity is the textual receiver path (so
+//! `self.inner` and `other.inner` are different locks even when they alias).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Token, TokenKind};
+
+/// Which accessor produced the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardKind {
+    /// `.lock()` — exclusive mutex guard.
+    Lock,
+    /// `.read()` — shared rwlock guard.
+    Read,
+    /// `.write()` — exclusive rwlock guard.
+    Write,
+}
+
+impl GuardKind {
+    /// The method name that acquires this guard kind.
+    #[must_use]
+    pub fn method(self) -> &'static str {
+        match self {
+            Self::Lock => "lock",
+            Self::Read => "read",
+            Self::Write => "write",
+        }
+    }
+}
+
+/// One lock acquisition and the token range its guard stays live.
+#[derive(Debug, Clone)]
+pub struct GuardSite {
+    /// Accessor kind.
+    pub kind: GuardKind,
+    /// Normalized receiver path identifying the lock (`shared.published`
+    /// for `self.shared.published[i].write()`). Empty when the receiver is
+    /// not a simple path (e.g. a call result) — such guards still get
+    /// liveness tracking but are excluded from lock-ordering identity.
+    pub lock_path: String,
+    /// Binding name for let-bound guards.
+    pub binding: Option<String>,
+    /// Token index of the accessor identifier.
+    pub acquire_idx: usize,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// Inclusive token range over which the guard is live.
+    pub live: (usize, usize),
+}
+
+/// For each token, the index of the `}` closing the innermost block that
+/// contains it (or the last token when at top level).
+#[must_use]
+pub fn enclosing_close(tokens: &[Token], brace_match: &[usize]) -> Vec<usize> {
+    let last = tokens.len().saturating_sub(1);
+    let mut out = vec![last; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(brace_match[i]);
+        }
+        out[i] = stack.last().copied().unwrap_or(last);
+        if t.is_punct('}') {
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// Finds every guard acquisition and computes its live token range.
+#[must_use]
+pub fn collect_guards(tokens: &[Token], brace_match: &[usize]) -> Vec<GuardSite> {
+    let close_of = enclosing_close(tokens, brace_match);
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let kind = if tokens[i].is_ident("lock") {
+            GuardKind::Lock
+        } else if tokens[i].is_ident("read") {
+            GuardKind::Read
+        } else if tokens[i].is_ident("write") {
+            GuardKind::Write
+        } else {
+            continue;
+        };
+        // Must be a no-argument method call: `. <name> ( )`. The empty
+        // parens filter out `io::Read::read(&mut buf)` / `Write::write(..)`.
+        if i == 0 || !tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        if !(tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        let lock_path = receiver_path(tokens, i - 2);
+        let stmt_end = chain_statement_end(tokens, i + 2);
+        let let_name = stmt_end.and_then(|_| let_binding_name(tokens, i));
+        let (binding, live) = match (let_name, stmt_end) {
+            (Some(name), Some(semi)) if name != "_" => {
+                // Let-bound: live from the `;` to the enclosing block close,
+                // truncated by an explicit `drop(name)`.
+                let block_close = close_of[i];
+                let end =
+                    find_drop_call(tokens, semi + 1, block_close, &name).unwrap_or(block_close);
+                (Some(name), (semi, end))
+            }
+            _ => (None, statement_extent(tokens, i)),
+        };
+        out.push(GuardSite {
+            kind,
+            lock_path,
+            binding,
+            acquire_idx: i,
+            line: tokens[i].line,
+            live,
+        });
+    }
+    out
+}
+
+/// Walks back from `at` (the token before the accessor's `.`) collecting the
+/// receiver path. Index groups (`[...]`) are skipped; `self.` prefixes are
+/// stripped. Returns an empty string when the receiver is not a simple path.
+fn receiver_path(tokens: &[Token], at: usize) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = at as isize;
+    while j >= 0 {
+        let ju = j as usize;
+        if tokens[ju].is_punct(']') {
+            // Skip the index group backward.
+            let mut depth = 0i32;
+            while j >= 0 {
+                let t = &tokens[j as usize];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            j -= 1;
+            continue;
+        }
+        if tokens[ju].kind == TokenKind::Ident {
+            segs.push(tokens[ju].text.clone());
+            // Continue through `.` or `::` path separators.
+            if ju >= 2 && tokens[ju - 1].is_punct('.') {
+                j = ju as isize - 2;
+                continue;
+            }
+            if ju >= 3 && tokens[ju - 1].is_punct(':') && tokens[ju - 2].is_punct(':') {
+                j = ju as isize - 3;
+                continue;
+            }
+            break;
+        }
+        // `)` or anything else: not a simple path receiver.
+        if segs.is_empty() {
+            return String::new();
+        }
+        break;
+    }
+    segs.reverse();
+    if segs.first().is_some_and(|s| s == "self") {
+        segs.remove(0);
+    }
+    segs.join(".")
+}
+
+/// If the method chain after the call's `)` (at `close`) ends the statement
+/// directly — allowing only `.unwrap()` / `.expect(..)` hops — returns the
+/// index of the terminating `;`. Any other continuation (`.clone()`, `.field`,
+/// being an argument) means the guard value was consumed or extracted.
+fn chain_statement_end(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut k = close + 1;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct(';') {
+            return Some(k);
+        }
+        if t.is_punct('.')
+            && tokens
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct('('))
+        {
+            // Skip to the `)` matching the `(` at k + 2.
+            let mut depth = 0i32;
+            let mut m = k + 2;
+            while m < tokens.len() {
+                if tokens[m].is_punct('(') {
+                    depth += 1;
+                } else if tokens[m].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// If the statement containing token `at` is `let <name> [mut] = ...`,
+/// returns the bound name. Scans back to the nearest statement boundary.
+fn let_binding_name(tokens: &[Token], at: usize) -> Option<String> {
+    let start = statement_start(tokens, at);
+    let mut k = start;
+    if !tokens.get(k)?.is_ident("let") {
+        return None;
+    }
+    k += 1;
+    if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = tokens.get(k)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    // Demand a plain `name =` (possibly `name: Type =`) — tuple or struct
+    // patterns do not produce a single trackable guard binding.
+    Some(name.text.clone())
+}
+
+/// Index of the first token of the statement containing `at`: the token
+/// after the previous `;`, `{`, or `}` at paren/bracket depth zero.
+fn statement_start(tokens: &[Token], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at as isize - 1;
+    while j >= 0 {
+        let t = &tokens[j as usize];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth -= 1;
+            if depth < 0 {
+                // We started inside this group (e.g. the acquisition is an
+                // argument); the statement extends past its opener, so keep
+                // scanning outward.
+                depth = 0;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return (j + 1) as usize;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Inclusive token extent of the statement containing `at` — the liveness
+/// range of a temporary guard.
+fn statement_extent(tokens: &[Token], at: usize) -> (usize, usize) {
+    let start = statement_start(tokens, at);
+    let mut depth = 0i32;
+    let mut brace = 0i32;
+    let mut k = at;
+    while k + 1 < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                // Left the group we started in: the temporary still lives
+                // to the end of the *full* statement, keep scanning.
+                depth = 0;
+            }
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace < 0 {
+                // Block closed without a `;` — tail expression.
+                return (start, k);
+            }
+        } else if t.is_punct(';') && depth == 0 && brace == 0 {
+            return (start, k);
+        }
+        k += 1;
+    }
+    (start, tokens.len().saturating_sub(1))
+}
+
+/// Finds `drop ( name )` within `[from, to]`, returning the index of `drop`.
+fn find_drop_call(tokens: &[Token], from: usize, to: usize, name: &str) -> Option<usize> {
+    let to = to.min(tokens.len().saturating_sub(1));
+    (from..=to).find(|&k| {
+        tokens[k].is_ident("drop")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+    })
+}
+
+/// Maps each function name to the set of its closure-typed parameter names:
+/// params typed `impl Fn/FnMut/FnOnce(..)`, `dyn Fn..`, or a generic whose
+/// bound (inline or in a `where` clause) mentions an `Fn*` trait.
+#[must_use]
+pub fn closure_params_by_fn(tokens: &[Token]) -> HashMap<String, HashSet<String>> {
+    let mut out: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn")
+            || !tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            i += 1;
+            continue;
+        }
+        let fn_name = tokens[i + 1].text.clone();
+        // Optional generics: `<...>` right after the name.
+        let mut j = i + 2;
+        let mut generics: Vec<Token> = Vec::new();
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    depth += 1;
+                } else if tokens[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                generics.push(tokens[j].clone());
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        // Param list: `(` at j to its matching `)`.
+        let mut depth = 0i32;
+        let mut close = j;
+        while close < tokens.len() {
+            if tokens[close].is_punct('(') {
+                depth += 1;
+            } else if tokens[close].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        // Where clause: tokens between `)` and the body `{` / decl `;`.
+        let mut body = close + 1;
+        let mut where_clause: Vec<Token> = Vec::new();
+        while body < tokens.len() && !tokens[body].is_punct('{') && !tokens[body].is_punct(';') {
+            where_clause.push(tokens[body].clone());
+            body += 1;
+        }
+        let bounded = fn_bounded_generics(&generics, &where_clause);
+        let params = closure_typed_params(&tokens[j + 1..close], &bounded);
+        if !params.is_empty() {
+            out.entry(fn_name).or_default().extend(params);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Generic parameter names whose bounds mention `Fn`/`FnMut`/`FnOnce`,
+/// gathered from the inline generics list and the `where` clause.
+fn fn_bounded_generics(generics: &[Token], where_clause: &[Token]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for toks in [generics, where_clause] {
+        let mut k = 0;
+        while k < toks.len() {
+            // `Name :` opens a bound list; scan it to the next top-level `,`.
+            if toks[k].kind == TokenKind::Ident
+                && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                let name = toks[k].text.clone();
+                let mut depth = 0i32;
+                let mut m = k + 2;
+                while m < toks.len() {
+                    let t = &toks[m];
+                    if t.is_punct('<') || t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct('>') || t.is_punct(')') {
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth <= 0 {
+                        break;
+                    } else if is_fn_trait(t) {
+                        out.insert(name.clone());
+                    }
+                    m += 1;
+                }
+                k = m;
+                continue;
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+fn is_fn_trait(t: &Token) -> bool {
+    t.is_ident("Fn") || t.is_ident("FnMut") || t.is_ident("FnOnce")
+}
+
+/// Param names in a parameter token slice whose type mentions an `Fn*`
+/// trait (`impl Fn..`, `dyn Fn..`, `&impl Fn..`) or a bounded generic.
+fn closure_typed_params(params: &[Token], bounded: &HashSet<String>) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut k = 0;
+    while k < params.len() {
+        // `name :` at top level starts one parameter's type.
+        if params[k].kind == TokenKind::Ident
+            && params.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && !params.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let name = params[k].text.clone();
+            let mut depth = 0i32;
+            let mut m = k + 2;
+            let mut is_closure = false;
+            while m < params.len() {
+                let t = &params[m];
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth <= 0 {
+                    break;
+                } else if is_fn_trait(t)
+                    || (t.kind == TokenKind::Ident && bounded.contains(&t.text))
+                {
+                    is_closure = true;
+                }
+                m += 1;
+            }
+            if is_closure && name != "self" {
+                out.insert(name);
+            }
+            k = m + 1;
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Marks the bodies of `impl Drop for Type { ... }` blocks (and nothing
+/// else — `impl OtherTrait for Type` is not matched).
+#[must_use]
+pub fn drop_impl_mask(tokens: &[Token], brace_match: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut is_drop = false;
+            let mut saw_for = false;
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                if tokens[j].is_ident("for")
+                    && !(j + 1 < tokens.len() && tokens[j + 1].is_punct('<'))
+                {
+                    saw_for = true;
+                }
+                if tokens[j].is_ident("Drop") && !saw_for {
+                    is_drop = true;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && is_drop && saw_for {
+                for m in mask.iter_mut().take(brace_match[j] + 1).skip(j) {
+                    *m = true;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::match_braces;
+
+    fn guards(src: &str) -> (Vec<GuardSite>, Vec<Token>) {
+        let lexed = lex(src);
+        let bm = match_braces(&lexed.tokens);
+        let g = collect_guards(&lexed.tokens, &bm);
+        (g, lexed.tokens)
+    }
+
+    #[test]
+    fn let_guard_lives_to_block_close() {
+        let (g, toks) = guards("fn f(m: &M) { let g = m.lock(); touch(); }");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].binding.as_deref(), Some("g"));
+        assert_eq!(g[0].lock_path, "m");
+        // `touch` must fall inside the live range.
+        let touch = toks
+            .iter()
+            .position(|t| t.is_ident("touch"))
+            .expect("touch");
+        assert!(
+            g[0].live.0 < touch && touch < g[0].live.1,
+            "{:?}",
+            g[0].live
+        );
+    }
+
+    #[test]
+    fn unwrap_chain_is_still_a_let_guard() {
+        let (g, _) = guards("fn f(m: &M) { let g = m.lock().unwrap(); touch(); }");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].binding.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn extracted_value_is_a_temporary() {
+        // `.clone()` consumes the guard within the statement.
+        let (g, toks) = guards("fn f(m: &M) { let v = m.read().clone(); touch(); }");
+        assert_eq!(g.len(), 1);
+        assert!(g[0].binding.is_none());
+        let touch = toks
+            .iter()
+            .position(|t| t.is_ident("touch"))
+            .expect("touch");
+        assert!(touch > g[0].live.1, "temporary must end at its statement");
+    }
+
+    #[test]
+    fn temporary_covers_whole_statement_both_directions() {
+        // The call to `f` precedes the acquisition in token order but the
+        // temporary guard is live during it.
+        let (g, toks) = guards("fn r(&self, f: impl Fn(&S)) { f(&self.inner.lock()); }");
+        assert_eq!(g.len(), 1);
+        let fcall = toks
+            .iter()
+            .rposition(|t| t.is_ident("f") && t.kind == TokenKind::Ident)
+            .expect("f");
+        assert!(g[0].live.0 <= fcall, "statement start covers the call");
+        assert_eq!(g[0].lock_path, "inner", "self. prefix stripped");
+    }
+
+    #[test]
+    fn drop_truncates_liveness() {
+        let (g, toks) = guards("fn f(m: &M) { let g = m.lock(); use_it(&g); drop(g); late(); }");
+        assert_eq!(g.len(), 1);
+        let late = toks.iter().position(|t| t.is_ident("late")).expect("late");
+        assert!(late > g[0].live.1, "drop(g) ends the live range");
+    }
+
+    #[test]
+    fn indexed_receiver_path_skips_the_index() {
+        let (g, _) = guards("fn f(&self) { let _w = self.shared.published[shard].write(); }");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].lock_path, "shared.published");
+        assert_eq!(g[0].kind, GuardKind::Write);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let (g, _) = guards("fn f(r: &mut R) { r.read(&mut buf); w.write(&bytes); }");
+        assert!(g.is_empty(), "arg-taking read/write are io, not guards");
+    }
+
+    #[test]
+    fn underscore_binding_is_not_a_live_guard() {
+        // `let _ = m.lock();` drops the guard immediately.
+        let (g, toks) = guards("fn f(m: &M) { let _ = m.lock(); touch(); }");
+        assert_eq!(g.len(), 1);
+        assert!(g[0].binding.is_none());
+        let touch = toks
+            .iter()
+            .position(|t| t.is_ident("touch"))
+            .expect("touch");
+        assert!(touch > g[0].live.1);
+    }
+
+    #[test]
+    fn closure_params_cover_impl_dyn_and_generics() {
+        let lexed = lex("fn a(f: impl Fn(u8)) {}\n\
+             fn b<F: FnMut()>(g: F, n: usize) {}\n\
+             fn c<F>(h: F) where F: FnOnce() -> u8 {}\n\
+             fn d(cb: &dyn Fn()) {}\n\
+             fn e(x: u32) {}");
+        let map = closure_params_by_fn(&lexed.tokens);
+        assert!(map["a"].contains("f"));
+        assert!(map["b"].contains("g") && !map["b"].contains("n"));
+        assert!(map["c"].contains("h"));
+        assert!(map["d"].contains("cb"));
+        assert!(!map.contains_key("e"));
+    }
+
+    #[test]
+    fn drop_impl_mask_matches_only_drop() {
+        let lexed = lex("impl Drop for A { fn drop(&mut self) { in_drop(); } }\n\
+             impl Clone for A { fn clone(&self) -> A { in_clone() } }");
+        let bm = match_braces(&lexed.tokens);
+        let mask = drop_impl_mask(&lexed.tokens, &bm);
+        let at = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .map(|i| mask[i])
+        };
+        assert_eq!(at("in_drop"), Some(true));
+        assert_eq!(at("in_clone"), Some(false));
+    }
+}

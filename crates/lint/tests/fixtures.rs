@@ -136,6 +136,64 @@ fn l5_missing_docs_pair() {
 }
 
 #[test]
+fn l6_guard_hygiene_pair() {
+    assert_pair(
+        Rule::L6GuardHygiene,
+        "l6_violation.rs",
+        "l6_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l7_lock_order_pair() {
+    assert_pair(
+        Rule::L7LockOrder,
+        "l7_violation.rs",
+        "l7_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l7_cycle_names_both_acquisition_sites() {
+    // The deadlock report is only actionable if it points at *both* ends
+    // of the reversed order, in their respective functions.
+    let fired = run("l7_violation.rs", false);
+    assert_eq!(fired.len(), 1, "{fired:#?}");
+    let msg = &fired[0].message;
+    assert!(
+        msg.contains("fn `transfer_ab`") && msg.contains("fn `transfer_ba`"),
+        "both functions must be named: {msg}"
+    );
+    assert_eq!(
+        msg.matches("l7_violation.rs:").count(),
+        2,
+        "both acquisition sites must be cited: {msg}"
+    );
+}
+
+#[test]
+fn l8_channel_discipline_pair() {
+    assert_pair(
+        Rule::L8ChannelDiscipline,
+        "l8_violation.rs",
+        "l8_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
+fn l9_drop_safety_pair() {
+    assert_pair(
+        Rule::L9DropSafety,
+        "l9_violation.rs",
+        "l9_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn bench_crates_are_exempt_from_sketch_rules() {
     // The same L4 violation is legal in the bench harness — timing is its job.
     let findings = check_source(

@@ -737,6 +737,7 @@ impl Drop for ConcurrentEngine {
         // FIFO shutdown: every batch submitted before the drop still
         // resolves (its ticket may already be gone, but the state effects
         // land) before workers are joined.
+        // lint: drop-ok(shutdown send on the engine's own channel; the coordinator drains it and is joined right below, and a send error means it already exited)
         let _ = self.submit_tx.send(Job::Shutdown);
         if let Some(handle) = self.coordinator.take() {
             let _ = handle.join();
