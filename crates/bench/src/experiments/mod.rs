@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E25), each
+//! The experiment suite: one function per experiment id (E1–E26), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -18,6 +18,7 @@ pub mod privacy_exps;
 pub mod quantile_exps;
 pub mod robust_exps;
 pub mod sampling_exps;
+pub mod serve_exps;
 pub mod streamdb_exps;
 
 /// The experiment registry: (id, one-line claim, runner).
@@ -148,6 +149,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e25",
             "Concurrent serving: reads stay available during ingest; quiescence is exact",
             streamdb_exps::e25,
+        ),
+        (
+            "e26",
+            "Hardened serving: overload sheds typed, faults retry, kills degrade; acked ingest survives restart",
+            serve_exps::e26,
         ),
         (
             "a1",

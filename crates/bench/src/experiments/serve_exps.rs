@@ -1,0 +1,345 @@
+//! E26 — the hardened-serving drill: seeded 2× overload with open-loop
+//! bursts, injected durability faults, and a mid-run coordinator kill
+//! against a live [`sketches_serve::Server`]. The server must never
+//! deadlock, must shed deterministically with typed responses, and every
+//! ingest it acknowledged must be durably visible after drain + restart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sketches::streamdb::{
+    silence_injected_panics, Aggregate, CheckpointPolicy, ConcurrentEngine, DurableEngine,
+    KillPoint, QuerySpec, Value,
+};
+use sketches_serve::{Backend, Json, RetryPolicy, Server, ServerConfig};
+use sketches_workloads::serving::{ServingEvent, ServingWorkload};
+
+use crate::{header, trow};
+
+/// One blocking HTTP exchange against the drill server. The client-side
+/// read timeout is generous: request-level deadlines are the *server's*
+/// job, and this drill asserts the server always answers.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: drill\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            // A reset after the response arrived still counts as a full
+            // exchange; a reset before any byte is a real server failure.
+            Err(e) if !raw.is_empty() => {
+                assert!(
+                    raw.windows(4).any(|w| w == b"\r\n\r\n"),
+                    "connection error mid-response ({e}): {raw:?}"
+                );
+                break;
+            }
+            Err(e) => panic!("no response bytes before connection error: {e}"),
+        }
+    }
+    parse_response(&String::from_utf8_lossy(&raw))
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// Pulls a `u64` field out of a JSON response body.
+fn field_u64(body: &str, name: &str) -> u64 {
+    Json::parse(body)
+        .ok()
+        .and_then(|j| j.get(name).and_then(Json::as_u64))
+        .unwrap_or_else(|| panic!("no {name:?} in {body:?}"))
+}
+
+fn ingest_body(events: &[ServingEvent]) -> String {
+    let rows: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            Json::Arr(vec![
+                Json::U64(e.group),
+                Json::U64(e.user % 50_000),
+                Json::F64(e.value),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("rows".to_string(), Json::Arr(rows))]).render()
+}
+
+/// Sends one ingest, asserts the response is typed, and accounts it.
+/// Returns the status.
+fn ingest_once(
+    addr: SocketAddr,
+    body: &str,
+    accepted_rows: &AtomicU64,
+    latencies_nanos: &Mutex<Vec<u64>>,
+) -> u16 {
+    let start = Instant::now();
+    let (status, resp) = exchange(addr, "POST", "/v1/ingest", body);
+    let elapsed = start.elapsed().as_nanos() as u64;
+    assert!(
+        matches!(status, 200 | 429 | 503 | 504),
+        "untyped overload response: {status} {resp:?}"
+    );
+    if status == 200 {
+        accepted_rows.fetch_add(field_u64(&resp, "ingested"), Ordering::Relaxed);
+        latencies_nanos.lock().unwrap().push(elapsed);
+    }
+    status
+}
+
+/// E26: overload + fault + kill drill against the HTTP front door.
+#[allow(clippy::too_many_lines)]
+pub fn e26() {
+    header(
+        "E26",
+        "Hardened serving: overload sheds typed, faults retry seeded, kills degrade; acked ingest survives restart",
+    );
+    silence_injected_panics();
+    let spec = QuerySpec::new(
+        vec![0],
+        vec![
+            Aggregate::Count,
+            Aggregate::CountDistinct { field: 1 },
+            Aggregate::Quantiles { field: 2 },
+        ],
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("sketches-e26-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = DurableEngine::create(
+        &dir,
+        ConcurrentEngine::new(spec, 4).unwrap(),
+        CheckpointPolicy::new(1_000_000, u64::MAX).unwrap(),
+    )
+    .unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 1,
+        read_timeout: Duration::from_millis(250),
+        write_timeout: Duration::from_millis(500),
+        request_budget: Duration::from_secs(8),
+        retry: RetryPolicy {
+            max_attempts: 5,
+            base_nanos: 500_000,
+            cap_nanos: 5_000_000,
+            seed: 0xE26,
+        },
+        ..ServerConfig::default()
+    };
+    let budget = config.request_budget;
+    let server = Server::start(config, Backend::durable(engine, &dir)).unwrap();
+    let addr = server.addr();
+    let mut wl = ServingWorkload::new(5_000, 1.1, 2_026).unwrap();
+    let accepted_rows = AtomicU64::new(0);
+    let latencies_nanos = Mutex::new(Vec::new());
+
+    // ---- Phase 1: durability faults retry with seeded backoff. ----
+    let b: Vec<String> = wl.batches(3, 64).iter().map(|b| ingest_body(b)).collect();
+    assert_eq!(
+        ingest_once(addr, &b[0], &accepted_rows, &latencies_nanos),
+        200
+    );
+    // Kill before the WAL append (0-based batch 1 on this handle): the
+    // batch is transient-lost; the server must retry it to acceptance.
+    server.arm_durability_kill(1, KillPoint::BeforeWalAppend);
+    let (status, resp) = exchange(addr, "POST", "/v1/ingest", &b[1]);
+    assert_eq!(status, 200, "fault not retried: {resp}");
+    assert!(
+        field_u64(&resp, "attempts") >= 2,
+        "expected a retry: {resp}"
+    );
+    accepted_rows.fetch_add(field_u64(&resp, "ingested"), Ordering::Relaxed);
+    let retries_after_fault = server.metrics().retry_attempts_total();
+    assert!(retries_after_fault >= 1);
+    // Kill *after* the WAL append (recovery reset the handle's batch
+    // counter; its batch 0 was the retry above): the batch is durable, so
+    // recovery reconciliation must ack it without double-ingesting.
+    server.arm_durability_kill(1, KillPoint::AfterWalAppend);
+    assert_eq!(
+        ingest_once(addr, &b[2], &accepted_rows, &latencies_nanos),
+        200
+    );
+    assert_eq!(
+        server.reader().rows_processed(),
+        accepted_rows.load(Ordering::Relaxed),
+        "reconciliation double-ingested or dropped a batch"
+    );
+
+    // ---- Phase 2: deadline — a stalled client gets a typed 504 and its
+    // worker back. ----
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut raw = String::new();
+    stalled.read_to_string(&mut raw).unwrap();
+    let (status, body) = parse_response(&raw);
+    assert_eq!(status, 504, "stalled client got {status}: {body}");
+    assert!(body.contains("deadline_exceeded"), "untyped 504: {body}");
+
+    // ---- Phase 3: deterministic shed — both workers pinned by stalled
+    // clients, both queues filled, further arrivals are 429 + Retry-After.
+    let shed_before = server.metrics().shed_total();
+    let pins: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            s
+        })
+        .collect();
+    let burst_statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| scope.spawn(|| ingest_once(addr, &b[0], &accepted_rows, &latencies_nanos)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed_now = server.metrics().shed_total() - shed_before;
+    assert!(
+        shed_now >= 2,
+        "overload did not shed: statuses {burst_statuses:?}"
+    );
+    assert!(burst_statuses.iter().all(|&s| matches!(s, 200 | 429)));
+    drop(pins); // workers 504 the pinned sockets and recover on their own
+
+    // ---- Phase 4: 2x closed-loop overload plus seeded open-loop bursts.
+    let clients = 4usize; // 2x the worker count
+    let batches_per_client = 6usize;
+    let client_bodies: Vec<Vec<String>> = (0..clients)
+        .map(|_| {
+            wl.batches(batches_per_client, 128)
+                .iter()
+                .map(|b| ingest_body(b))
+                .collect()
+        })
+        .collect();
+    let bursts = wl.overload_bursts(batches_per_client, 3, 8);
+    assert!(!bursts.is_empty());
+    let burst_body = ingest_body(&wl.batches(1, 32)[0]);
+    let accepted_ref = &accepted_rows;
+    let latencies_ref = &latencies_nanos;
+    std::thread::scope(|scope| {
+        for bodies in &client_bodies {
+            scope.spawn(move || {
+                for body in bodies {
+                    ingest_once(addr, body, accepted_ref, latencies_ref);
+                }
+            });
+        }
+        for burst in &bursts {
+            for _ in 0..burst.connections {
+                scope.spawn(|| ingest_once(addr, &burst_body, accepted_ref, latencies_ref));
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    });
+    assert_eq!(
+        server.reader().rows_processed(),
+        accepted_rows.load(Ordering::Relaxed),
+        "acked rows and engine rows diverged under overload"
+    );
+
+    // ---- Phase 5: mid-run coordinator kill — degrade, never deadlock.
+    let kill_watchdog = Instant::now();
+    server.inject_coordinator_panic();
+    let mut degraded = false;
+    for _ in 0..400 {
+        let status = ingest_once(addr, &b[0], &accepted_rows, &latencies_nanos);
+        if status == 503 {
+            degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(degraded, "coordinator kill never degraded the server");
+    assert!(
+        kill_watchdog.elapsed() < Duration::from_secs(30),
+        "degradation took pathologically long"
+    );
+    let (status, _) = exchange(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "liveness must stay green while degraded");
+    let (status, body) = exchange(addr, "GET", "/readyz", "");
+    assert_eq!(status, 503, "readiness must go red: {body}");
+    assert!(body.contains("degraded"));
+    let (status, body) = exchange(addr, "GET", "/v1/report?key=%5B1%5D", "");
+    assert_eq!(status, 200, "reads must survive degradation: {body}");
+    let (status, _) = exchange(addr, "POST", "/v1/ingest", &b[0]);
+    assert_eq!(status, 503, "degraded ingest must be a typed 503");
+    let (status, metrics_text) = exchange(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics_text.contains("serve_requests_total{route=\"ingest\",status=\"200\"}"));
+    assert!(metrics_text.contains("# TYPE serve_shed_total counter"));
+
+    // ---- Phase 6: drain, then restart byte-for-byte. ----
+    let shed_total = server.metrics().shed_total();
+    let retry_total = server.metrics().retry_attempts_total();
+    let report = server.shutdown();
+    assert_eq!(report.checkpoint_error, None);
+    let accepted = accepted_rows.load(Ordering::Relaxed);
+    let recovered = DurableEngine::<ConcurrentEngine>::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.engine().rows_processed(),
+        accepted,
+        "an acknowledged ingest is missing after restart"
+    );
+    assert!(recovered
+        .engine()
+        .report(&[Value::U64(1)])
+        .unwrap()
+        .is_some());
+
+    // p99 of *accepted* requests stays under the request budget even with
+    // overload, retries, and recovery in the mix.
+    let mut lat = latencies_nanos.into_inner().unwrap();
+    lat.sort_unstable();
+    let p99 = lat[(lat.len() - 1) * 99 / 100];
+    assert!(
+        p99 < budget.as_nanos() as u64,
+        "p99 of accepted requests ({p99} ns) breached the budget"
+    );
+
+    trow!("phase", "metric", "value");
+    trow!("faults", "retry attempts", retry_total);
+    trow!("overload", "connections shed", shed_total);
+    trow!("accepted", "rows acked", accepted);
+    trow!(
+        "accepted",
+        "p99 latency",
+        format!("{:.1}ms", p99 as f64 / 1e6)
+    );
+    trow!(
+        "drain",
+        "elapsed / checkpointed",
+        format!(
+            "{:.1}ms / {}",
+            report.elapsed_nanos as f64 / 1e6,
+            report.checkpointed
+        )
+    );
+    trow!(
+        "restart",
+        "rows recovered",
+        recovered.engine().rows_processed()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -71,6 +71,10 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Recent noteworthy occurrences (recovery warnings, etc.).
     pub events: Vec<Event>,
+    /// `# HELP` texts keyed by metric *family* (the name with any label
+    /// block stripped). Families without an entry get a fallback derived
+    /// from the name, so the exposition always carries HELP lines.
+    pub help: BTreeMap<String, String>,
 }
 
 impl MetricsSnapshot {
@@ -100,6 +104,12 @@ impl MetricsSnapshot {
         self.events.push(event);
     }
 
+    /// Registers the `# HELP` text for metric family `base` (a metric
+    /// name without its label block).
+    pub fn set_help(&mut self, base: &str, text: &str) {
+        self.help.insert(base.to_string(), text.to_string());
+    }
+
     /// Merges `other` into `self`: counters and gauges add, histograms
     /// sketch-merge, events concatenate (bounded by the registry cap at
     /// the source, so growth stays small).
@@ -123,6 +133,11 @@ impl MetricsSnapshot {
             }
         }
         self.events.extend(other.events.iter().cloned());
+        for (base, text) in &other.help {
+            self.help
+                .entry(base.clone())
+                .or_insert_with(|| text.clone());
+        }
         Ok(())
     }
 
@@ -167,34 +182,53 @@ impl MetricsSnapshot {
     ///
     /// Counters keep their `_total` names, histograms render as
     /// summaries in seconds with `quantile` labels plus a `_count`.
+    /// Every metric family gets a `# HELP` line (registered via
+    /// [`set_help`](Self::set_help), with a name-derived fallback) and
+    /// one `# TYPE` line; label values are escaped (`\\`, `\"`, `\n`)
+    /// so real scrapers parse the output.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let mut last_type_line = String::new();
-        let mut type_line = |out: &mut String, name: &str, kind: &str| {
-            let base = name.split('{').next().unwrap_or(name);
-            let line = format!("# TYPE {base} {kind}");
-            if line != last_type_line {
-                let _ = writeln!(out, "{line}");
-                last_type_line = line;
+        let mut last_base = String::new();
+        let mut header = |out: &mut String, name: &str, kind: &str| {
+            let (base, _) = split_series(name);
+            if base != last_base {
+                let fallback = base.replace('_', " ");
+                let text = self
+                    .help
+                    .get(base)
+                    .map_or(fallback.as_str(), String::as_str);
+                let _ = writeln!(out, "# HELP {base} {}", escape_help(text));
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                last_base = base.to_string();
             }
         };
         for (name, v) in &self.counters {
-            type_line(&mut out, name, "counter");
-            let _ = writeln!(out, "{name} {v}");
+            header(&mut out, name, "counter");
+            let _ = writeln!(out, "{} {v}", series(name, None));
         }
         for (name, v) in &self.gauges {
-            type_line(&mut out, name, "gauge");
-            let _ = writeln!(out, "{name} {v}");
+            header(&mut out, name, "gauge");
+            let _ = writeln!(out, "{} {v}", series(name, None));
         }
         for (name, h) in &self.histograms {
-            type_line(&mut out, name, "summary");
+            header(&mut out, name, "summary");
+            let (base, labels) = split_series(name);
             for (q, label) in REPORT_QUANTILES {
                 if let Some(nanos) = h.quantile_nanos(q) {
-                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", nanos / 1e9);
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        series(name, Some(("quantile", label))),
+                        nanos / 1e9
+                    );
                 }
             }
-            let _ = writeln!(out, "{name}_count {}", h.count());
+            let count_name = match labels {
+                Some(inner) => format!("{base}_count{{{inner}}}"),
+                None => format!("{base}_count"),
+            };
+            let _ = writeln!(out, "{} {}", series(&count_name, None), h.count());
         }
         out
     }
@@ -273,6 +307,109 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Splits a metric name into its family base and the raw inner label
+/// block (the text between `{` and the trailing `}`), if any.
+fn split_series(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) => {
+            let rest = &name[open + 1..];
+            (&name[..open], Some(rest.strip_suffix('}').unwrap_or(rest)))
+        }
+        None => (name, None),
+    }
+}
+
+/// Renders one series line's name: base, escaped label values, and an
+/// optional extra label appended inside the block (used for summary
+/// `quantile` labels on possibly-labeled histogram names).
+fn series(name: &str, extra: Option<(&str, &str)>) -> String {
+    let (base, labels) = split_series(name);
+    match (labels, extra) {
+        (None, None) => base.to_string(),
+        (None, Some((k, v))) => format!("{base}{{{k}=\"{}\"}}", escape_label_value(v)),
+        (Some(inner), None) => format!("{base}{{{}}}", escape_label_block(inner)),
+        (Some(inner), Some((k, v))) => format!(
+            "{base}{{{},{k}=\"{}\"}}",
+            escape_label_block(inner),
+            escape_label_value(v)
+        ),
+    }
+}
+
+/// Escapes the label values inside one raw `k="v",k2="v2"` block. A
+/// value's closing quote is recognized as a `"` followed by `,` or the
+/// end of the block (metric names are produced by this workspace, which
+/// never emits a `",` sequence *inside* a value).
+fn escape_label_block(inner: &str) -> String {
+    let chars: Vec<char> = inner.chars().collect();
+    let mut out = String::with_capacity(inner.len() + 4);
+    let mut i = 0;
+    while i < chars.len() {
+        // Copy the key and `=` verbatim.
+        while i < chars.len() && chars[i] != '=' {
+            out.push(chars[i]);
+            i += 1;
+        }
+        if i < chars.len() {
+            out.push('=');
+            i += 1;
+        }
+        if i < chars.len() && chars[i] == '"' {
+            out.push('"');
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '"' && (i + 1 == chars.len() || chars[i + 1] == ',') {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                push_escaped_label_char(&mut out, c);
+                i += 1;
+            }
+        }
+        if i < chars.len() && chars[i] == ',' {
+            out.push(',');
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Escapes one already-extracted label value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        push_escaped_label_char(&mut out, c);
+    }
+    out
+}
+
+/// The label-value escapes the exposition format defines: backslash,
+/// double quote, and newline.
+fn push_escaped_label_char(out: &mut String, c: char) {
+    match c {
+        '\\' => out.push_str("\\\\"),
+        '"' => out.push_str("\\\""),
+        '\n' => out.push_str("\\n"),
+        c => out.push(c),
+    }
+}
+
+/// Escapes a `# HELP` text: backslash and newline (quotes are legal
+/// there).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a nanosecond duration with an adaptive unit.
 fn fmt_nanos(nanos: f64) -> String {
     if nanos >= 1e9 {
@@ -330,6 +467,42 @@ mod tests {
         assert!(text.contains("# TYPE batch_latency_seconds summary"));
         assert!(text.contains("batch_latency_seconds{quantile=\"0.99\"}"));
         assert!(text.contains("batch_latency_seconds_count 100"));
+    }
+
+    #[test]
+    fn prometheus_format_contract() {
+        // The scraper-facing contract: every family gets HELP + TYPE,
+        // label values are escaped, labeled summaries keep the quantile
+        // label inside one block and `_count` on the base name.
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("requests_total{route=\"re\"port\",status=\"200\"}", 3);
+        s.set_help("requests_total", "Requests by route and status.");
+        s.add_gauge("inflight", 2);
+        s.add_gauge("weird{name=\"a\\b\nc\"}", 1);
+        let mut h = LatencyHistogram::new();
+        h.record_nanos(2_000_000_000);
+        s.put_histogram("request_latency_seconds{route=\"ingest\"}", h.snapshot());
+        let text = s.to_prometheus();
+
+        assert!(text.contains("# HELP requests_total Requests by route and status.\n"));
+        assert!(text.contains("# TYPE requests_total counter\n"));
+        // The stray quote inside the route value is escaped.
+        assert!(text.contains("requests_total{route=\"re\\\"port\",status=\"200\"} 3\n"));
+        // Fallback HELP is derived from the family name.
+        assert!(text.contains("# HELP inflight inflight\n"));
+        assert!(text.contains("# TYPE inflight gauge\n"));
+        // Backslash and newline escapes.
+        assert!(text.contains("weird{name=\"a\\\\b\\nc\"} 1\n"));
+        // Labeled summary: quantile joins the existing block; _count is
+        // on the base name with the labels preserved.
+        assert!(text.contains("request_latency_seconds{route=\"ingest\",quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("request_latency_seconds_count{route=\"ingest\"} 1\n"));
+        // HELP/TYPE come once per family, in order, before its series.
+        let help_idx = text.find("# HELP requests_total").unwrap();
+        let type_idx = text.find("# TYPE requests_total").unwrap();
+        let series_idx = text.find("requests_total{").unwrap();
+        assert!(help_idx < type_idx && type_idx < series_idx);
+        assert_eq!(text.matches("# TYPE requests_total").count(), 1);
     }
 
     #[test]

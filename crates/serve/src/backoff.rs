@@ -1,0 +1,143 @@
+//! Seeded, jittered exponential backoff for transient ingest failures.
+//!
+//! Retries are deterministic: the delay for attempt `k` of request `r`
+//! is a pure function of `(seed, r, k)`, so the overload/fault drill
+//! (E26) replays byte-for-byte. Jitter uses the "equal jitter" scheme —
+//! delay drawn uniformly from `[backoff/2, backoff]` — which keeps a
+//! floor under the spacing (no thundering herd at zero) while still
+//! decorrelating concurrent retriers.
+
+use std::time::Duration;
+
+/// How transient failures are retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, nanoseconds.
+    pub base_nanos: u64,
+    /// Upper bound on any single backoff, nanoseconds.
+    pub cap_nanos: u64,
+    /// Seed decorrelating jitter across servers while keeping each run
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_nanos: 2_000_000,  // 2 ms
+            cap_nanos: 200_000_000, // 200 ms
+            seed: 0xB0FF_B0FF,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based: `1` is the
+    /// delay between the first failure and the second try) of the
+    /// request identified by `token`. Deterministic in
+    /// `(seed, token, attempt)`.
+    #[must_use]
+    pub fn delay(&self, token: u64, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self.base_nanos.saturating_mul(1u64 << exp);
+        let capped = raw.min(self.cap_nanos).max(1);
+        // Equal jitter: uniform in [capped/2, capped].
+        let half = capped / 2;
+        let jitter =
+            splitmix64(self.seed ^ token.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt))
+                % (capped - half + 1);
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Whether another attempt is allowed after `attempts_so_far`
+    /// completed attempts.
+    #[must_use]
+    pub fn should_retry(&self, attempts_so_far: u32) -> bool {
+        attempts_so_far < self.max_attempts
+    }
+}
+
+/// SplitMix64 finalizer: a strong, dependency-free 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for token in 0..8u64 {
+            for attempt in 1..=6u32 {
+                let d1 = p.delay(token, attempt);
+                let d2 = p.delay(token, attempt);
+                assert_eq!(d1, d2, "same (seed, token, attempt) must agree");
+                let exp = attempt - 1;
+                let raw = p.base_nanos.saturating_mul(1u64 << exp).min(p.cap_nanos);
+                let nanos = d1.as_nanos() as u64;
+                assert!(nanos >= raw / 2, "jitter floor: {nanos} < {}", raw / 2);
+                assert!(nanos <= raw, "jitter ceiling: {nanos} > {raw}");
+                assert!(nanos <= p.cap_nanos);
+            }
+        }
+    }
+
+    #[test]
+    fn delays_grow_then_saturate_at_cap() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_nanos: 1_000,
+            cap_nanos: 8_000,
+            seed: 7,
+        };
+        // By attempt 4 the raw backoff (8000) hits the cap; later attempts
+        // stay within [cap/2, cap].
+        for attempt in 4..=9 {
+            let nanos = p.delay(42, attempt).as_nanos() as u64;
+            assert!(
+                (4_000..=8_000).contains(&nanos),
+                "attempt {attempt}: {nanos}"
+            );
+        }
+        // Huge attempt numbers must not overflow.
+        let nanos = p.delay(42, u32::MAX).as_nanos() as u64;
+        assert!(nanos <= 8_000);
+    }
+
+    #[test]
+    fn different_tokens_decorrelate() {
+        let p = RetryPolicy::default();
+        let delays: Vec<u64> = (0..32u64)
+            .map(|t| p.delay(t, 3).as_nanos() as u64)
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = delays.iter().collect();
+        assert!(
+            distinct.len() > 16,
+            "jitter should spread tokens: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn should_retry_respects_budget() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+        let one_shot = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert!(!one_shot.should_retry(1));
+    }
+}

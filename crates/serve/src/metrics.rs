@@ -1,0 +1,299 @@
+//! Server-side metrics: request counts by route and status, shed/retry
+//! counters, in-flight gauge, and per-route latency histograms.
+//!
+//! Counters live in fixed-size atomic arrays indexed by a closed route
+//! and status vocabulary — the request hot path never allocates, locks,
+//! or formats a label; label strings are materialized only when a
+//! snapshot is cut for `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sketches_obs::{LatencyHistogram, MetricsSnapshot};
+
+/// The closed set of routes the server accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /readyz`.
+    Readyz,
+    /// `GET /v1/groups`.
+    Groups,
+    /// `GET`/`POST /v1/report`.
+    Report,
+    /// `POST /v1/ingest`.
+    Ingest,
+    /// Admission-layer outcomes (shed, drain-refusal) that never reach a
+    /// worker, so the route is not yet known.
+    Accept,
+    /// Anything else (404s, parse failures).
+    Other,
+}
+
+const ROUTES: [Route; 8] = [
+    Route::Metrics,
+    Route::Healthz,
+    Route::Readyz,
+    Route::Groups,
+    Route::Report,
+    Route::Ingest,
+    Route::Accept,
+    Route::Other,
+];
+
+impl Route {
+    fn index(self) -> usize {
+        match self {
+            Route::Metrics => 0,
+            Route::Healthz => 1,
+            Route::Readyz => 2,
+            Route::Groups => 3,
+            Route::Report => 4,
+            Route::Ingest => 5,
+            Route::Accept => 6,
+            Route::Other => 7,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Route::Metrics => "metrics",
+            Route::Healthz => "healthz",
+            Route::Readyz => "readyz",
+            Route::Groups => "groups",
+            Route::Report => "report",
+            Route::Ingest => "ingest",
+            Route::Accept => "accept",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// The closed set of status codes the server emits (plus an overflow
+/// bucket).
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 413, 429, 500, 503, 504];
+
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUSES.len())
+}
+
+fn status_label(idx: usize) -> String {
+    STATUSES
+        .get(idx)
+        .map_or_else(|| "other".to_string(), u16::to_string)
+}
+
+/// Lock-free counters plus per-route latency histograms for the server.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    // [route][status] request completions.
+    requests: [[AtomicU64; STATUSES.len() + 1]; ROUTES.len()],
+    shed_total: AtomicU64,
+    retry_attempts_total: AtomicU64,
+    deadline_exceeded_total: AtomicU64,
+    inflight: AtomicU64,
+    latency: [Mutex<LatencyHistogram>; ROUTES.len()],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            shed_total: AtomicU64::new(0),
+            retry_attempts_total: AtomicU64::new(0),
+            deadline_exceeded_total: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
+        }
+    }
+
+    /// Records one completed request: route, status, and wall time.
+    pub fn record(&self, route: Route, status: u16, elapsed_nanos: u64) {
+        self.requests[route.index()][status_index(status)].fetch_add(1, Ordering::Relaxed);
+        if status == 504 {
+            self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency[route.index()]
+            .lock()
+            .record_nanos(elapsed_nanos);
+    }
+
+    /// Records one load-shed (429/503 at admission).
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one ingest retry attempt.
+    pub fn record_retry(&self) {
+        self.retry_attempts_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total load-sheds so far.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Total ingest retry attempts so far.
+    #[must_use]
+    pub fn retry_attempts_total(&self) -> u64 {
+        self.retry_attempts_total.load(Ordering::Relaxed)
+    }
+
+    /// Completions recorded for `(route, status)`.
+    #[must_use]
+    pub fn requests_for(&self, route: Route, status: u16) -> u64 {
+        self.requests[route.index()][status_index(status)].load(Ordering::Relaxed)
+    }
+
+    /// Marks a connection entering service; pairs with
+    /// [`ServerMetrics::exit`].
+    pub fn enter(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection leaving service.
+    pub fn exit(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently in service.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Cuts a labeled snapshot (`requests_total{route=…,status=…}`,
+    /// per-route latency histograms, shed/retry/in-flight).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_help(
+            "serve_requests_total",
+            "Completed requests by route and status code",
+        );
+        snap.set_help(
+            "serve_shed_total",
+            "Connections refused by admission control",
+        );
+        snap.set_help(
+            "serve_retry_attempts_total",
+            "Ingest retry attempts after transient durability failures",
+        );
+        snap.set_help(
+            "serve_deadline_exceeded_total",
+            "Requests that exhausted their total time budget (HTTP 504)",
+        );
+        snap.set_help("serve_inflight", "Connections currently in service");
+        snap.set_help(
+            "serve_request_latency_nanos",
+            "Request wall time by route, nanoseconds",
+        );
+        for route in ROUTES {
+            for (si, cell) in self.requests[route.index()].iter().enumerate() {
+                let n = cell.load(Ordering::Relaxed);
+                if n > 0 {
+                    snap.add_counter(
+                        &format!(
+                            "serve_requests_total{{route=\"{}\",status=\"{}\"}}",
+                            route.label(),
+                            status_label(si)
+                        ),
+                        n,
+                    );
+                }
+            }
+            let hist = self.latency[route.index()].lock().snapshot();
+            if hist.count() > 0 {
+                snap.put_histogram(
+                    &format!("serve_request_latency_nanos{{route=\"{}\"}}", route.label()),
+                    hist,
+                );
+            }
+        }
+        snap.add_counter("serve_shed_total", self.shed_total());
+        snap.add_counter("serve_retry_attempts_total", self.retry_attempts_total());
+        snap.add_counter(
+            "serve_deadline_exceeded_total",
+            self.deadline_exceeded_total.load(Ordering::Relaxed),
+        );
+        snap.add_gauge("serve_inflight", self.inflight());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_route_and_status() {
+        let m = ServerMetrics::new();
+        m.record(Route::Report, 200, 1_000);
+        m.record(Route::Report, 200, 2_000);
+        m.record(Route::Ingest, 503, 500);
+        m.record(Route::Accept, 429, 100);
+        m.record(Route::Other, 599, 100); // overflow bucket
+        assert_eq!(m.requests_for(Route::Report, 200), 2);
+        assert_eq!(m.requests_for(Route::Ingest, 503), 1);
+        assert_eq!(m.requests_for(Route::Other, 599), 1);
+        assert_eq!(m.requests_for(Route::Other, 598), 1); // same bucket
+    }
+
+    #[test]
+    fn snapshot_emits_labeled_series_and_help() {
+        let m = ServerMetrics::new();
+        m.record(Route::Ingest, 200, 5_000);
+        m.record_shed();
+        m.record_retry();
+        m.enter();
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters["serve_requests_total{route=\"ingest\",status=\"200\"}"],
+            1
+        );
+        assert_eq!(snap.counters["serve_shed_total"], 1);
+        assert_eq!(snap.counters["serve_retry_attempts_total"], 1);
+        assert_eq!(snap.gauges["serve_inflight"], 1);
+        assert_eq!(
+            snap.histograms["serve_request_latency_nanos{route=\"ingest\"}"].count(),
+            1
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total{route=\"ingest\",status=\"200\"} 1"));
+        assert!(text.contains("# HELP serve_shed_total Connections refused by admission control"));
+    }
+
+    #[test]
+    fn deadline_counter_tracks_504s() {
+        let m = ServerMetrics::new();
+        m.record(Route::Ingest, 504, 10);
+        m.record(Route::Report, 504, 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["serve_deadline_exceeded_total"], 2);
+    }
+
+    #[test]
+    fn inflight_pairs() {
+        let m = ServerMetrics::new();
+        m.enter();
+        m.enter();
+        m.exit();
+        assert_eq!(m.inflight(), 1);
+    }
+}

@@ -1,0 +1,698 @@
+//! The server proper: bounded accept/worker pipeline, routing, deadlines,
+//! and graceful drain.
+//!
+//! # Robustness invariants
+//!
+//! * **Bounded admission** — each worker owns a bounded handoff channel;
+//!   the accept loop round-robins `try_send` across them and, when every
+//!   queue is full, sheds the connection inline with a typed 429 and
+//!   `Retry-After`. Nothing in the server is unbounded.
+//! * **Per-request deadlines** — socket read/write timeouts plus a total
+//!   wall-clock budget; exceeding either produces a typed 504 and the
+//!   connection is closed, never leaked.
+//! * **Graceful degradation** — a poisoned engine flips the server
+//!   read-only: queries keep serving the last published epoch, ingest
+//!   returns 503, `/healthz` stays green, `/readyz` goes red.
+//! * **Graceful drain** — [`Server::shutdown`] stops admission, drains
+//!   queued and in-flight requests, flushes a final checkpoint, and
+//!   reports what it did.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sketches_obs::MonotonicClock;
+use sketches_streamdb::{BatchError, KillPoint, ReadHandle, Row, Value};
+
+use crate::backoff::RetryPolicy;
+use crate::http::{read_request, Limits, ReadError, Request, Response};
+use crate::json::{value_to_json, Json};
+use crate::metrics::{Route, ServerMetrics};
+use crate::state::{AppState, Backend, IngestOutcome};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads (each fully owns one connection at a time).
+    pub workers: usize,
+    /// Queued connections per worker beyond the one in service.
+    pub queue_depth: usize,
+    /// Socket read timeout (slow or stalled clients).
+    pub read_timeout: Duration,
+    /// Socket write timeout (slow consumers).
+    pub write_timeout: Duration,
+    /// Total wall-clock budget per request; exceeded ⇒ typed 504.
+    pub request_budget: Duration,
+    /// Request size caps.
+    pub limits: Limits,
+    /// Retry policy for transient ingest failures.
+    pub retry: RetryPolicy,
+    /// Seconds suggested to shed clients via `Retry-After`.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 2,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            request_budget: Duration::from_secs(2),
+            limits: Limits::default(),
+            retry: RetryPolicy::default(),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// What a graceful drain accomplished.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Wall time from shutdown start to full stop, nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Whether a final checkpoint was written (`false` for volatile
+    /// backends).
+    pub checkpointed: bool,
+    /// The checkpoint failure, if it failed.
+    pub checkpoint_error: Option<String>,
+    /// Requests completed over the server's lifetime, by the time the
+    /// last worker exited.
+    pub requests_completed: u64,
+    /// Connections shed over the server's lifetime.
+    pub shed_total: u64,
+}
+
+/// A running HTTP front door over a [`Backend`].
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<AppState>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    // Kept so drain can close the handoff channels (dropping the senders
+    // lets each worker finish its queue, then observe disconnect and exit).
+    worker_txs: Vec<Sender<TcpStream>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept loop, and starts serving.
+    ///
+    /// # Errors
+    /// Returns the bind/configuration failure.
+    pub fn start(config: ServerConfig, backend: Backend) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let state = Arc::new(AppState::new(
+            backend,
+            Arc::new(MonotonicClock::new()),
+            config.retry,
+        )?);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers = config.workers.max(1);
+        let mut worker_txs = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
+            worker_txs.push(tx);
+            let state = Arc::clone(&state);
+            let config = config.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state, &config))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+
+        let accept_handle = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let txs = worker_txs.clone();
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &txs, &state, &stop, &config))
+                .map_err(|e| format!("spawn accept loop: {e}"))?
+        };
+
+        Ok(Self {
+            state,
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            worker_txs,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's request/shed/latency metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.state.metrics
+    }
+
+    /// A read handle onto the engine (drill verification).
+    #[must_use]
+    pub fn reader(&self) -> ReadHandle {
+        self.state.reader()
+    }
+
+    /// Whether the server has degraded to read-only.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.state.degraded.load(Ordering::Acquire)
+    }
+
+    /// Drill hook: kills the engine coordinator (the server must degrade,
+    /// not deadlock).
+    pub fn inject_coordinator_panic(&self) {
+        self.state.with_backend(|b| b.inject_coordinator_panic());
+    }
+
+    /// Drill hook: arms a simulated durability kill (see
+    /// [`sketches_streamdb::DurableEngine::arm_kill`]).
+    pub fn arm_durability_kill(&self, at_batch: u64, point: KillPoint) {
+        self.state.with_backend(|b| b.arm_kill(at_batch, point));
+    }
+
+    /// Gracefully drains: stops admission, finishes queued and in-flight
+    /// requests, flushes a final checkpoint, and stops all threads.
+    #[must_use]
+    pub fn shutdown(mut self) -> DrainReport {
+        let start = self.state.clock.now_nanos();
+        self.state.draining.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Close the handoff channels: workers drain their queues, then see
+        // the disconnect and exit.
+        self.worker_txs.clear();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let checkpoint = self.state.with_backend(Backend::checkpoint_now);
+        let (checkpointed, checkpoint_error) = match checkpoint {
+            Ok(wrote) => (wrote, None),
+            Err(e) => (false, Some(e)),
+        };
+        let requests_completed = {
+            let snap = self.state.metrics.snapshot();
+            snap.counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("serve_requests_total{"))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        DrainReport {
+            elapsed_nanos: self.state.clock.now_nanos().saturating_sub(start),
+            checkpointed,
+            checkpoint_error,
+            requests_completed,
+            shed_total: self.state.metrics.shed_total(),
+        }
+    }
+}
+
+impl Drop for Server {
+    // lint: drop-ok(only atomic stores: threads observe the flags and stop on
+    // their own; joins, locks, and the final checkpoint belong to `shutdown`)
+    fn drop(&mut self) {
+        self.state.draining.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    txs: &[Sender<TcpStream>],
+    state: &AppState,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(stream, txs, &mut next, state, config),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake); the
+                // listener itself is still good.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Hands a fresh connection to a worker, or sheds it inline.
+fn admit(
+    stream: TcpStream,
+    txs: &[Sender<TcpStream>],
+    next: &mut usize,
+    state: &AppState,
+    config: &ServerConfig,
+) {
+    // Bound every write the accept thread itself performs: a dead or
+    // stalled client must not wedge admission for everyone else.
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    if state.draining.load(Ordering::Acquire) {
+        shed(stream, state, config, 503, "draining", "server is draining");
+        return;
+    }
+
+    // Round-robin try_send: one full queue falls through to the next
+    // worker; only when every queue is full is the connection shed.
+    let mut candidate = stream;
+    for offset in 0..txs.len() {
+        let idx = (*next + offset) % txs.len();
+        match txs[idx].try_send(candidate) {
+            Ok(()) => {
+                *next = (idx + 1) % txs.len();
+                return;
+            }
+            Err(TrySendError::Full(back)) => candidate = back,
+            Err(TrySendError::Disconnected(back)) => candidate = back,
+        }
+    }
+    shed(
+        candidate,
+        state,
+        config,
+        429,
+        "overloaded",
+        "all worker queues are full",
+    );
+}
+
+/// Writes a typed shed response inline on the accept thread.
+fn shed(
+    mut stream: TcpStream,
+    state: &AppState,
+    config: &ServerConfig,
+    status: u16,
+    code: &str,
+    detail: &str,
+) {
+    state.metrics.record_shed();
+    let started = state.clock.now_nanos();
+    let response = Response::error(status, code, detail).retry_after(config.retry_after_secs);
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+    // Short drain budget: shedding runs on the accept thread, so a
+    // misbehaving client must not stall admission for long.
+    finish_connection(&stream, Duration::from_millis(20));
+    state.metrics.record(
+        Route::Accept,
+        status,
+        state.clock.now_nanos().saturating_sub(started),
+    );
+}
+
+/// Closes a connection without a TCP reset: half-close the write side so
+/// the client observes EOF after the response, then consume whatever
+/// request bytes are still in flight (bounded in bytes and by `drain`)
+/// — closing a socket with unread received data makes the kernel send
+/// RST, which can discard the response before the client reads it.
+fn finish_connection(mut stream: &TcpStream, drain: Duration) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(drain));
+    let mut sink = [0u8; 1024];
+    let mut budget = 64 * 1024usize;
+    while budget > 0 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<TcpStream>, state: &AppState, config: &ServerConfig) {
+    // The recv error is disconnection: drain is complete, exit cleanly.
+    while let Ok(stream) = rx.recv() {
+        handle_connection(stream, state, config);
+    }
+}
+
+/// Serves exactly one request on `stream`, then closes it.
+fn handle_connection(mut stream: TcpStream, state: &AppState, config: &ServerConfig) {
+    state.metrics.enter();
+    let started = state.clock.now_nanos();
+    let deadline = started.saturating_add(config.request_budget.as_nanos() as u64);
+
+    let _ = stream.set_read_timeout(Some(config.read_timeout.min(config.request_budget)));
+    let _ = stream.set_write_timeout(Some(config.write_timeout.min(config.request_budget)));
+
+    let (route, response) = match read_request(&mut stream, &config.limits) {
+        Ok(req) => route_request(&req, state, config, deadline),
+        Err(ReadError::TimedOut) => (
+            Route::Other,
+            Response::error(504, "deadline_exceeded", "timed out reading the request"),
+        ),
+        Err(ReadError::TooLarge) => (
+            Route::Other,
+            Response::error(413, "too_large", "request exceeds configured limits"),
+        ),
+        Err(ReadError::Malformed(m)) => (
+            Route::Other,
+            Response::error(400, "malformed", &format!("unparseable request: {m}")),
+        ),
+        Err(ReadError::Closed) | Err(ReadError::Io(_)) => {
+            // Nothing parseable arrived; close without accounting a request.
+            state.metrics.exit();
+            return;
+        }
+    };
+
+    // The total budget wins over whatever the handler produced: a request
+    // that exhausted its wall-clock allotment is a deadline failure even
+    // if an answer eventually materialized.
+    let response = if state.clock.now_nanos() >= deadline {
+        Response::error(
+            504,
+            "deadline_exceeded",
+            "request exceeded its total time budget",
+        )
+    } else {
+        response
+    };
+
+    let _ = response.write_to(&mut stream);
+    finish_connection(&stream, config.read_timeout);
+    state.metrics.record(
+        route,
+        response.status,
+        state.clock.now_nanos().saturating_sub(started),
+    );
+    state.metrics.exit();
+}
+
+/// Dispatches a parsed request to its handler.
+fn route_request(
+    req: &Request,
+    state: &AppState,
+    config: &ServerConfig,
+    deadline: u64,
+) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => (Route::Metrics, metrics_response(state)),
+        ("GET", "/healthz") => (Route::Healthz, Response::json(200, "{\"status\":\"ok\"}")),
+        ("GET", "/readyz") => (Route::Readyz, readyz_response(state)),
+        ("GET", "/v1/groups") => (Route::Groups, groups_response(req, state)),
+        ("GET" | "POST", "/v1/report") => (Route::Report, report_response(req, state)),
+        ("POST", "/v1/ingest") => (Route::Ingest, ingest_response(req, state, config, deadline)),
+        (_, "/metrics" | "/healthz" | "/readyz" | "/v1/groups" | "/v1/report" | "/v1/ingest") => (
+            Route::Other,
+            Response::error(
+                405,
+                "method_not_allowed",
+                "unsupported method for this path",
+            ),
+        ),
+        _ => (
+            Route::Other,
+            Response::error(404, "not_found", "unknown path"),
+        ),
+    }
+}
+
+/// `/metrics`: engine + durability + server metrics, merged, Prometheus
+/// text format.
+fn metrics_response(state: &AppState) -> Response {
+    let mut snap = state.reader().metrics();
+    let durability = state.with_backend(|b| b.durability_metrics());
+    let merged = snap
+        .merge(&durability)
+        .and_then(|()| snap.merge(&state.metrics.snapshot()));
+    if let Err(e) = merged {
+        return Response::error(500, "metrics_failed", &e.to_string());
+    }
+    Response::text(200, snap.to_prometheus())
+}
+
+fn readyz_response(state: &AppState) -> Response {
+    if state.draining.load(Ordering::Acquire) {
+        Response::json(503, "{\"ready\":false,\"reason\":\"draining\"}")
+    } else if state.degraded.load(Ordering::Acquire) {
+        Response::json(
+            503,
+            "{\"ready\":false,\"reason\":\"degraded: engine poisoned, serving reads only\"}",
+        )
+    } else {
+        Response::json(200, "{\"ready\":true}")
+    }
+}
+
+fn groups_response(req: &Request, state: &AppState) -> Response {
+    let limit = match req.query_param("limit").map(str::parse::<usize>) {
+        None => usize::MAX,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            return Response::error(400, "bad_query", "limit must be a non-negative integer")
+        }
+    };
+    let reader = state.reader();
+    let groups = reader.groups();
+    let total = groups.len();
+    let items: Vec<Json> = groups
+        .into_iter()
+        .take(limit)
+        .map(|key| Json::Arr(key.iter().map(value_to_json).collect()))
+        .collect();
+    let body = Json::Obj(vec![
+        ("total".to_string(), Json::U64(total as u64)),
+        ("groups".to_string(), Json::Arr(items)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// Extracts the group key from `?key=<json array>` or a `{"key": [...]}`
+/// body.
+fn parse_key(req: &Request) -> Result<Vec<Value>, Response> {
+    let doc = if let Some(raw) = req.query_param("key") {
+        Json::parse(raw)
+            .map_err(|e| Response::error(400, "bad_key", &format!("key is not valid JSON: {e}")))?
+    } else if !req.body.is_empty() {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| Response::error(400, "bad_body", "body is not UTF-8"))?;
+        let body = Json::parse(text)
+            .map_err(|e| Response::error(400, "bad_body", &format!("invalid JSON: {e}")))?;
+        body.get("key")
+            .cloned()
+            .ok_or_else(|| Response::error(400, "bad_key", "body must carry a \"key\" field"))?
+    } else {
+        return Err(Response::error(
+            400,
+            "bad_key",
+            "pass ?key=<json array> or a {\"key\": [...]} body",
+        ));
+    };
+    let arr = match doc.as_array() {
+        Some(a) => a,
+        None => return Err(Response::error(400, "bad_key", "key must be a JSON array")),
+    };
+    arr.iter()
+        .map(|j| {
+            j.to_value()
+                .map_err(|e| Response::error(400, "bad_key", &e))
+        })
+        .collect()
+}
+
+fn report_response(req: &Request, state: &AppState) -> Response {
+    let key = match parse_key(req) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let reader = state.reader();
+    match reader.report(&key) {
+        Ok(Some(aggs)) => {
+            let rendered: Vec<Json> = aggs.iter().map(aggregate_to_json).collect();
+            let body = Json::Obj(vec![
+                (
+                    "key".to_string(),
+                    Json::Arr(key.iter().map(value_to_json).collect()),
+                ),
+                ("aggregates".to_string(), Json::Arr(rendered)),
+            ]);
+            Response::json(200, body.render())
+        }
+        Ok(None) => Response::error(404, "unknown_group", "no such group key"),
+        Err(e) => Response::error(500, "query_failed", &e.to_string()),
+    }
+}
+
+fn aggregate_to_json(agg: &sketches_streamdb::AggregateResult) -> Json {
+    use sketches_streamdb::AggregateResult;
+    match agg {
+        AggregateResult::Count(n) => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("count".to_string())),
+            ("value".to_string(), Json::U64(*n)),
+        ]),
+        AggregateResult::Sum(x) => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("sum".to_string())),
+            ("value".to_string(), Json::F64(*x)),
+        ]),
+        AggregateResult::CountDistinct(x) => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("count_distinct".to_string())),
+            ("value".to_string(), Json::F64(*x)),
+        ]),
+        AggregateResult::Quantiles { p50, p95, p99 } => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("quantiles".to_string())),
+            ("p50".to_string(), Json::F64(*p50)),
+            ("p95".to_string(), Json::F64(*p95)),
+            ("p99".to_string(), Json::F64(*p99)),
+        ]),
+        AggregateResult::TopK(items) => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("top_k".to_string())),
+            (
+                "items".to_string(),
+                Json::Arr(
+                    items
+                        .iter()
+                        .map(|(v, n)| Json::Arr(vec![value_to_json(v), Json::U64(*n)]))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// Parses an ingest body `{"rows": [[...], ...]}` into engine rows.
+fn parse_rows(body: &[u8]) -> Result<Vec<Row>, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "bad_body", "body is not UTF-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| Response::error(400, "bad_body", &format!("invalid JSON: {e}")))?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "bad_body", "body must carry a \"rows\" array"))?;
+    rows.iter()
+        .map(|row| {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| Response::error(400, "bad_row", "each row must be an array"))?;
+            cells
+                .iter()
+                .map(|c| {
+                    c.to_value()
+                        .map_err(|e| Response::error(400, "bad_row", &e))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn ingest_response(
+    req: &Request,
+    state: &AppState,
+    config: &ServerConfig,
+    deadline: u64,
+) -> Response {
+    if state.draining.load(Ordering::Acquire) {
+        return Response::error(503, "draining", "server is draining")
+            .retry_after(config.retry_after_secs);
+    }
+    if state.degraded.load(Ordering::Acquire) {
+        return Response::error(503, "read_only", "engine degraded; serving reads only");
+    }
+    let rows = match parse_rows(&req.body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    if rows.is_empty() {
+        return Response::json(200, "{\"ingested\":0,\"quarantined\":0,\"attempts\":0}");
+    }
+    if state.clock.now_nanos() >= deadline {
+        return Response::error(
+            504,
+            "deadline_exceeded",
+            "request exceeded its total time budget",
+        );
+    }
+    match state.ingest(&rows, deadline, state.token()) {
+        IngestOutcome::Ok { summary, attempts } => Response::json(
+            200,
+            format!(
+                "{{\"ingested\":{},\"quarantined\":{},\"attempts\":{}}}",
+                summary.rows_ingested, summary.rows_quarantined, attempts
+            ),
+        ),
+        IngestOutcome::Rejected(e) => batch_error_response(&e),
+        IngestOutcome::Degraded(msg) => Response::error(503, "read_only", &msg),
+        IngestOutcome::Unavailable { detail, attempts } => Response::error(
+            503,
+            "unavailable",
+            &format!("gave up after {attempts} attempts: {detail}"),
+        )
+        .retry_after(config.retry_after_secs),
+    }
+}
+
+fn batch_error_response(e: &BatchError) -> Response {
+    let mut obj = vec![
+        ("error".to_string(), Json::Str("bad_batch".to_string())),
+        ("detail".to_string(), Json::Str(e.to_string())),
+    ];
+    if let Some(row) = e.row {
+        obj.push(("row".to_string(), Json::U64(row as u64)));
+    }
+    if let Some(shard) = e.shard {
+        obj.push(("shard".to_string(), Json::U64(shard as u64)));
+    }
+    Response::json(400, Json::Obj(obj).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_bounded_and_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= 1);
+        assert!(c.request_budget >= c.read_timeout);
+    }
+
+    #[test]
+    fn batch_error_renders_row_and_shard() {
+        use sketches_streamdb::BatchCause;
+        let resp = batch_error_response(&BatchError {
+            row: Some(3),
+            shard: Some(1),
+            cause: BatchCause::WorkerPanic("boom".to_string()),
+        });
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"row\":3"));
+        assert!(body.contains("\"shard\":1"));
+        assert!(body.contains("bad_batch"));
+    }
+}

@@ -55,6 +55,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel;
 use parking_lot::RwLock;
@@ -64,6 +65,7 @@ use sketches_obs::{Clock, MetricsSnapshot};
 use crate::engine::{EngineConfig, SketchEngine};
 use crate::fault::{
     BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector, FaultPolicy, QuarantinedRow,
+    INJECTED_PANIC_MARKER,
 };
 use crate::metrics::{names, EngineMetrics};
 use crate::query::{AggregateResult, QuerySpec};
@@ -79,6 +81,12 @@ const SUBMIT_QUEUE_DEPTH: usize = 32;
 /// per batch phase), so a small buffer keeps the coordinator from
 /// blocking on hand-off without queueing meaningful work.
 const WORKER_CMD_DEPTH: usize = 4;
+
+/// How often a blocking [`BatchTicket::wait`] re-checks the poisoned
+/// flag. A live engine resolves the ticket through the channel and never
+/// waits a full tick; the tick only bounds how long a wait on a *dead*
+/// engine can linger before it resolves to the typed poisoned error.
+const POISON_POLL: Duration = Duration::from_millis(25);
 
 /// The ascending-key window listing both flush paths resolve to.
 type WindowRows = Vec<(Vec<Value>, Vec<AggregateResult>)>;
@@ -169,6 +177,9 @@ enum Job {
         clock: Arc<dyn Clock>,
         done: channel::Sender<()>,
     },
+    /// Drill hook: the coordinator panics in place (sudden death), which
+    /// its supervisor turns into engine poisoning.
+    Crash,
     Shutdown,
 }
 
@@ -223,6 +234,7 @@ enum Cmd {
 pub struct BatchTicket {
     rx: channel::Receiver<Result<BatchSummary, BatchError>>,
     resolved: Option<Result<BatchSummary, BatchError>>,
+    shared: Arc<Shared>,
 }
 
 impl BatchTicket {
@@ -244,17 +256,61 @@ impl BatchTicket {
 
     /// Blocks until the batch resolves.
     ///
+    /// A dead coordinator cannot hang this call: besides resolving on
+    /// channel disconnect, the wait re-checks the engine's poisoned flag
+    /// every `POISON_POLL` tick, so a job stranded in the submit queue
+    /// of a dead engine still resolves to the typed poisoned error.
+    ///
     /// # Errors
     /// The batch's [`BatchError`] (poison row, injected fault, contained
     /// panic — the engine rolled back), or a `WorkerPanic` error if the
-    /// engine was poisoned before the batch could resolve.
+    /// engine was poisoned before the batch could resolve. The poisoned
+    /// error is *indeterminate*: the batch may or may not have committed
+    /// before the thread died.
     pub fn wait(mut self) -> Result<BatchSummary, BatchError> {
         if let Some(result) = self.resolved.take() {
             return result;
         }
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err(poisoned_batch_error()))
+        loop {
+            match self.rx.recv_timeout(POISON_POLL) {
+                Ok(result) => return result,
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    return Err(poisoned_batch_error());
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    if self.shared.poisoned.load(Ordering::Acquire) {
+                        // Grace drain: a resolution racing the poison flag
+                        // (sent just before the thread died) still wins.
+                        return match self.rx.try_recv() {
+                            Ok(result) => result,
+                            Err(_) => Err(poisoned_batch_error()),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks for at most `timeout` waiting for the batch to resolve.
+    /// Returns the outcome on resolution (including the typed poisoned
+    /// error on disconnect); gives the ticket back on timeout so the
+    /// caller can keep polling or waiting.
+    ///
+    /// # Errors
+    /// `Err(self)` when the timeout elapsed with the batch still queued
+    /// or in flight.
+    pub fn wait_timeout(
+        mut self,
+        timeout: Duration,
+    ) -> Result<Result<BatchSummary, BatchError>, Self> {
+        if let Some(result) = self.resolved.take() {
+            return Ok(result);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(channel::RecvTimeoutError::Disconnected) => Ok(Err(poisoned_batch_error())),
+            Err(channel::RecvTimeoutError::Timeout) => Err(self),
+        }
     }
 }
 
@@ -423,6 +479,7 @@ impl ConcurrentEngine {
         BatchTicket {
             rx: done_rx,
             resolved: None,
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -432,6 +489,33 @@ impl ConcurrentEngine {
     #[must_use]
     pub fn is_poisoned(&self) -> bool {
         self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    /// A detached read handle over the published snapshots: the same
+    /// read API as the engine (`report`, `groups`, metrics, snapshot
+    /// bytes), but cloneable, shareable across threads, and valid even
+    /// after the engine is poisoned *or dropped* — it keeps serving the
+    /// last published epoch. This is the serving layer's read path.
+    #[must_use]
+    pub fn reader(&self) -> ReadHandle {
+        ReadHandle {
+            shared: Arc::clone(&self.shared),
+            spec: self.spec.clone(),
+            config: self.config,
+            channel_depth: self.channel_depth,
+            num_shards: self.num_shards,
+        }
+    }
+
+    /// Drill hook: kills the coordinator thread with an injected panic
+    /// (sudden death, no worker shutdown), exactly what a crashed
+    /// coordinator looks like in production. The supervisor poisons the
+    /// engine; reads keep serving the last published epoch and every
+    /// outstanding or future mutation resolves to a typed error. Pair
+    /// with [`silence_injected_panics`](crate::silence_injected_panics)
+    /// to keep drill output clean.
+    pub fn inject_coordinator_panic(&self) {
+        let _ = self.submit_tx.send(Job::Crash);
     }
 
     /// The latest published snapshot of one shard (an `Arc` clone; the
@@ -732,6 +816,146 @@ impl ConcurrentEngine {
     }
 }
 
+/// A cloneable, thread-safe read-only view of a [`ConcurrentEngine`]'s
+/// published snapshots — the serving layer's read path.
+///
+/// The handle holds only the shared publish slots, so it stays valid
+/// through engine poisoning *and past engine drop*: a server can keep
+/// answering queries from the last published epoch while the write path
+/// is being recovered or torn down (graceful degradation to read-only).
+/// All methods mirror the engine's read API and are never blocked by
+/// ingest — each one clones an `Arc` under a lock held only for the
+/// pointer copy.
+#[derive(Debug, Clone)]
+pub struct ReadHandle {
+    shared: Arc<Shared>,
+    spec: QuerySpec,
+    config: EngineConfig,
+    channel_depth: usize,
+    num_shards: usize,
+}
+
+impl ReadHandle {
+    /// The latest published snapshot of one shard (an `Arc` clone).
+    fn published_shard(&self, shard: usize) -> Arc<SketchEngine> {
+        Arc::clone(&self.shared.published[shard].read())
+    }
+
+    /// Whether the engine behind this handle has been poisoned (a worker
+    /// or coordinator thread died) — or dropped outright, which poisons
+    /// nothing but stops all publishing.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Reports the aggregates of one group from the latest published
+    /// epoch (`None` if never seen there).
+    ///
+    /// # Errors
+    /// Returns an error only for internal sketch query failures.
+    pub fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
+        let shard = (ShardedEngine::key_hash(key.iter()) % self.num_shards as u64) as usize;
+        self.published_shard(shard).report(key)
+    }
+
+    /// All group keys in the latest published epoch, in ascending key
+    /// order across all shards.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<Value>> {
+        // lint: sorted-iteration-ok(per-shard listings collected then fully sorted by the key total order below)
+        let mut keys: Vec<Vec<Value>> = (0..self.num_shards)
+            .flat_map(|i| {
+                self.published_shard(i)
+                    .groups()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Groups tracked in the latest published epoch.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).num_groups())
+            .sum()
+    }
+
+    /// Rows committed into the latest published epoch.
+    #[must_use]
+    pub fn rows_processed(&self) -> u64 {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).rows_processed())
+            .sum()
+    }
+
+    /// Sketch memory across the latest published epoch, in bytes.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        (0..self.num_shards)
+            .map(|i| self.published_shard(i).state_bytes())
+            .sum()
+    }
+
+    /// Number of shards behind this handle.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Telemetry snapshot of the latest published epoch — the same block
+    /// [`ConcurrentEngine::metrics`] cuts, available without the engine.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let router = self.shared.router.read().clone();
+        let mut snap = router.metrics.snapshot();
+        for i in 0..self.num_shards {
+            let shard = self.published_shard(i);
+            snap.merge(&shard.metrics())
+                // lint: panic-ok(every obs histogram shares one fixed (k, seed), so snapshot merge cannot fail)
+                .expect("obs snapshots share one KLL shape");
+            snap.add_gauge(&names::shard_rows_routed(i), shard.rows_processed());
+            snap.add_gauge(
+                &names::publish_epoch(i),
+                self.shared.epochs[i].load(Ordering::Acquire),
+            );
+        }
+        snap.add_gauge(names::SHARDS, self.num_shards as u64);
+        snap.add_gauge(
+            names::SUBMIT_QUEUE_DEPTH,
+            self.shared.queue_depth.load(Ordering::Relaxed),
+        );
+        let submitted = self.shared.rows_submitted.load(Ordering::Relaxed);
+        let resolved = self.shared.rows_resolved.load(Ordering::Relaxed);
+        snap.add_gauge(names::PUBLISH_LAG_ROWS, submitted.saturating_sub(resolved));
+        snap.add_counter(
+            names::SNAPSHOTS_PUBLISHED,
+            self.shared.snapshots_published.load(Ordering::Relaxed),
+        );
+        snap
+    }
+
+    /// Serializes the latest published epoch as a checksummed snapshot,
+    /// byte-identical to [`ConcurrentEngine::to_snapshot_bytes`] on the
+    /// same published state.
+    #[must_use]
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let shards: Vec<SketchEngine> = (0..self.num_shards)
+            .map(|i| (*self.published_shard(i)).clone())
+            .collect();
+        ShardedEngine::from_restored_shards(
+            shards,
+            self.spec.clone(),
+            self.config,
+            self.channel_depth,
+        )
+        .to_snapshot_bytes()
+    }
+}
+
 impl Drop for ConcurrentEngine {
     fn drop(&mut self) {
         // FIFO shutdown: every batch submitted before the drop still
@@ -919,6 +1143,10 @@ impl Coordinator {
                         ack,
                     });
                     let _ = done.send(());
+                }
+                Job::Crash => {
+                    // lint: panic-ok(drill hook: deterministic injected coordinator death, contained by the coordinator supervisor which poisons the engine)
+                    panic!("{INJECTED_PANIC_MARKER}: injected coordinator crash (drill)");
                 }
                 Job::Shutdown => {
                     self.shutdown_workers();
@@ -1500,6 +1728,84 @@ mod tests {
         }
         let reads = reader.join().expect("reader thread");
         assert!(reads > 0);
+    }
+
+    #[test]
+    fn killed_coordinator_resolves_waits_with_typed_error() {
+        // The PR 8 regression: a coordinator dying mid-flight must not
+        // hang wait() — every outstanding ticket resolves to the typed
+        // poisoned error, in bounded time.
+        crate::fault::silence_injected_panics();
+        let conc = ConcurrentEngine::new(spec(), 3).unwrap();
+        conc.submit_batch(rows(2_000, 7)).wait().unwrap();
+        let before = conc.rows_processed();
+
+        conc.inject_coordinator_panic();
+        // Tickets submitted around and after the kill all resolve.
+        let tickets: Vec<BatchTicket> = (0..8).map(|_| conc.submit_batch(rows(100, 7))).collect();
+        let start = std::time::Instant::now();
+        for t in tickets {
+            let err = t.wait().expect_err("poisoned engine commits nothing");
+            assert!(matches!(err.cause, BatchCause::WorkerPanic(_)), "{err:?}");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "waits did not resolve in bounded time"
+        );
+        assert!(conc.is_poisoned());
+        // Degraded, not wedged: reads keep serving the last epoch.
+        assert_eq!(conc.rows_processed(), before);
+        assert!(conc.report(&row![1u64]).is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_then_outcome() {
+        let conc = ConcurrentEngine::new(spec(), 2).unwrap();
+        // Instant path: an already-resolved batch returns Ok immediately.
+        let t = conc.submit_batch(rows(50, 3));
+        std::thread::sleep(Duration::from_millis(50));
+        match t.wait_timeout(Duration::from_secs(5)) {
+            Ok(result) => assert!(result.is_ok(), "{result:?}"),
+            Err(_) => panic!("resolved batch timed out"),
+        }
+        // Zero-duration timeout on a fresh submission usually hands the
+        // ticket back; waiting on it then resolves normally.
+        let t = conc.submit_batch(rows(5_000, 3));
+        match t.wait_timeout(Duration::from_nanos(1)) {
+            Ok(result) => assert!(result.is_ok(), "{result:?}"),
+            Err(ticket) => assert!(ticket.wait().is_ok()),
+        }
+    }
+
+    #[test]
+    fn read_handle_survives_poisoning_and_drop() {
+        crate::fault::silence_injected_panics();
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        conc.submit_batch(rows(3_000, 9)).wait().unwrap();
+        let reader = conc.reader();
+        assert_eq!(reader.rows_processed(), 3_000);
+        assert_eq!(reader.num_groups(), 9);
+        assert_eq!(reader.num_shards(), 4);
+        assert_eq!(reader.to_snapshot_bytes(), conc.to_snapshot_bytes());
+        assert_eq!(
+            reader.report(&row![1u64]).unwrap(),
+            conc.report(&row![1u64]).unwrap()
+        );
+
+        // Poisoned: the reader still serves the last published epoch.
+        conc.inject_coordinator_panic();
+        let _ = conc.submit_batch(rows(10, 3)).wait();
+        assert!(reader.is_poisoned());
+        assert_eq!(reader.rows_processed(), 3_000);
+
+        // Dropped: still serving. The snapshot is byte-identical to the
+        // pre-drop state, so drain-and-restart flows can verify exactness.
+        let bytes_before = reader.to_snapshot_bytes();
+        drop(conc);
+        assert_eq!(reader.rows_processed(), 3_000);
+        assert_eq!(reader.groups().len(), 9);
+        assert_eq!(reader.to_snapshot_bytes(), bytes_before);
+        assert!(reader.metrics().gauges[names::SHARDS] == 4);
     }
 
     #[test]

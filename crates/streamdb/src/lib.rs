@@ -54,7 +54,7 @@ pub mod snapshot;
 pub mod stream_engine;
 pub mod value;
 
-pub use concurrent::{BatchTicket, ConcurrentEngine};
+pub use concurrent::{BatchTicket, ConcurrentEngine, ReadHandle};
 pub use durable::{
     CheckpointPolicy, DurableEngine, KillPoint, RecoveryReport, SIMULATED_CRASH_MARKER,
 };

@@ -36,6 +36,6 @@ pub use ads::{AdImpression, AdWorkload};
 pub use exact::{ExactDistinct, ExactFrequency};
 pub use faults::{Corruption, CrashOp, CrashPlan, FaultPlan, IngestFault, PlannedFault};
 pub use flows::{FlowRecord, FlowWorkload};
-pub use serving::{ServingEvent, ServingWorkload};
+pub use serving::{OverloadBurst, ServingEvent, ServingWorkload};
 pub use stats::{mean, percentile, relative_error, stddev};
 pub use zipf::ZipfGenerator;

@@ -75,6 +75,47 @@ impl ServingWorkload {
     pub fn query_keys(&mut self, n: usize) -> Vec<u64> {
         (0..n).map(|_| self.queries.sample()).collect()
     }
+
+    /// A deterministic open-loop burst schedule for the overload drill
+    /// (E26): every `every` batches, a burst of `base..2*base` extra
+    /// connections (seed-derived size) arrives all at once, with no
+    /// pacing — the open-loop half of an overload test, on top of
+    /// whatever closed-loop clients are running.
+    ///
+    /// The schedule is a pure function of `(seed, num_batches, every,
+    /// base)` and does not consume generator state, so planning bursts
+    /// never perturbs the ingest stream.
+    #[must_use]
+    pub fn overload_bursts(
+        &self,
+        num_batches: usize,
+        every: usize,
+        base: usize,
+    ) -> Vec<OverloadBurst> {
+        if every == 0 || base == 0 {
+            return Vec::new();
+        }
+        (0..num_batches)
+            .step_by(every)
+            .map(|at_batch| {
+                let draw = mix64_seeded(at_batch as u64, self.seed ^ 0x0B42_57D1_11BA_5EED);
+                OverloadBurst {
+                    at_batch,
+                    connections: base + (draw % base as u64) as usize,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One open-loop overload burst: at batch index `at_batch`,
+/// `connections` extra connections arrive simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadBurst {
+    /// Closed-loop batch index the burst coincides with.
+    pub at_batch: usize,
+    /// Connections arriving at once, in `base..2*base`.
+    pub connections: usize,
 }
 
 #[cfg(test)]
@@ -99,6 +140,27 @@ mod tests {
         let rest = mixed.batches(2, 200);
         assert_eq!(ingest_only[0], first[0]);
         assert_eq!(&ingest_only[1..], &rest[..]);
+    }
+
+    #[test]
+    fn burst_schedule_is_deterministic_bounded_and_stateless() {
+        let wl = ServingWorkload::new(100, 1.2, 99).unwrap();
+        let bursts = wl.overload_bursts(20, 5, 8);
+        assert_eq!(bursts, wl.overload_bursts(20, 5, 8));
+        assert_eq!(bursts.len(), 4);
+        assert_eq!(
+            bursts.iter().map(|b| b.at_batch).collect::<Vec<_>>(),
+            vec![0, 5, 10, 15]
+        );
+        assert!(bursts.iter().all(|b| (8..16).contains(&b.connections)));
+        // Planning bursts must not consume generator state.
+        let mut a = ServingWorkload::new(100, 1.2, 99).unwrap();
+        let mut b = ServingWorkload::new(100, 1.2, 99).unwrap();
+        let _ = a.overload_bursts(50, 3, 4);
+        assert_eq!(a.batches(2, 50), b.batches(2, 50));
+        // Degenerate parameters yield an empty schedule, not a panic.
+        assert!(wl.overload_bursts(10, 0, 4).is_empty());
+        assert!(wl.overload_bursts(10, 3, 0).is_empty());
     }
 
     #[test]

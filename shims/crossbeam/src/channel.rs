@@ -4,10 +4,37 @@
 
 use std::fmt;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Error returned when sending on a channel whose receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`] when the value cannot be
+/// handed off immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and currently at capacity; the value is
+    /// returned so the caller can shed or retry.
+    Full(T),
+    /// The receiver has been dropped; the value is returned.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(v) | Self::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a full (not disconnected) channel.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, Self::Full(_))
+    }
+}
 
 /// Error returned when receiving on an empty, disconnected channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +45,16 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// The channel is currently empty but senders still exist.
     Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`] when no value arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty (senders may
+    /// still exist; a later receive can succeed).
+    Timeout,
     /// The channel is empty and every sender has been dropped.
     Disconnected,
 }
@@ -60,6 +97,23 @@ impl<T> Sender<T> {
             Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
         }
     }
+
+    /// Sends `value` without blocking: on a full bounded channel the
+    /// value comes straight back as [`TrySendError::Full`] (the
+    /// load-shedding primitive). Unbounded channels never report `Full`.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.tx {
+            Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+            Tx::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+        }
+    }
 }
 
 impl<T> fmt::Debug for Sender<T> {
@@ -98,6 +152,24 @@ impl<T> Receiver<T> {
         self.rx.try_recv().map_err(|e| match e {
             mpsc::TryRecvError::Empty => TryRecvError::Empty,
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocks for at most `timeout` waiting for a value.
+    ///
+    /// Matches crossbeam semantics: values already queued are returned
+    /// even if every sender has been dropped; `Disconnected` is reported
+    /// only once the channel is both empty and sender-less, and
+    /// `Timeout` means the wait elapsed while senders were still alive.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes with no
+    /// value, [`RecvTimeoutError::Disconnected`] when the channel is
+    /// drained and all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
         })
     }
 
@@ -194,6 +266,66 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn try_send_on_unbounded_never_reports_full() {
+        let (tx, rx) = unbounded();
+        for i in 0..1_000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        assert!(matches!(tx.try_send(0), Err(TrySendError::Disconnected(0))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_drains_queued_values_before_disconnecting() {
+        // Crossbeam semantics: a queued value beats a dropped sender.
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_send() {
+        let (tx, rx) = bounded::<u64>(1);
+        crate::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.send(77).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(77));
+        })
+        .expect("join");
     }
 
     #[test]

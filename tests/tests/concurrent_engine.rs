@@ -366,3 +366,69 @@ fn snapshot_restore_crosses_topologies() {
     }
     assert_eq!(from_sharded.rows_processed(), conc.rows_processed());
 }
+
+/// Shutdown stress: many threads submit batches through shared ownership
+/// and release their handles *before* waiting, so the engine's FIFO
+/// drop-shutdown races with unresolved tickets. Every ticket must still
+/// resolve within a bounded wait — batches submitted before the shutdown
+/// land with their full summary, and nothing hangs or leaks a thread.
+#[test]
+fn shutdown_with_in_flight_submissions_resolves_every_ticket() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const THREADS: u64 = 8;
+    const BATCHES_PER_THREAD: usize = 6;
+
+    let batches = serving_batches(211);
+    // Depth 1 keeps a real backlog queued at the coordinator so tickets
+    // are genuinely unresolved when the last handle drops.
+    let engine = Arc::new(
+        ConcurrentEngine::with_config(
+            spec(),
+            sketches::streamdb::EngineConfig::default(),
+            SHARDS,
+            1,
+        )
+        .expect("engine"),
+    );
+
+    let mut submitted_rows = 0u64;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let engine = Arc::clone(&engine);
+        let mine: Vec<Vec<Row>> = (0..BATCHES_PER_THREAD)
+            .map(|i| batches[(t as usize * BATCHES_PER_THREAD + i) % batches.len()].clone())
+            .collect();
+        submitted_rows += mine.iter().map(|b| b.len() as u64).sum::<u64>();
+        handles.push(std::thread::spawn(move || {
+            let tickets: Vec<_> = mine
+                .into_iter()
+                .map(|rows| engine.submit_batch(rows))
+                .collect();
+            // Release this thread's share of the engine *before* waiting:
+            // whichever thread drops the last handle runs the engine's
+            // drop-shutdown while these tickets are still outstanding.
+            drop(engine);
+            let mut resolved = 0u64;
+            for ticket in tickets {
+                match ticket.wait_timeout(Duration::from_secs(10)) {
+                    Ok(Ok(summary)) => resolved += summary.rows_ingested as u64,
+                    Ok(Err(err)) => panic!("pre-shutdown batch failed: {err:?}"),
+                    Err(_) => panic!("ticket unresolved after shutdown: would hang"),
+                }
+            }
+            resolved
+        }));
+    }
+    drop(engine);
+
+    let resolved_rows: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("submitter panicked"))
+        .sum();
+    assert_eq!(
+        resolved_rows, submitted_rows,
+        "every batch submitted before shutdown must land in full"
+    );
+}
