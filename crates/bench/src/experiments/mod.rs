@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E26), each
+//! The experiment suite: one function per experiment id (E1–E27), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -19,6 +19,7 @@ pub mod quantile_exps;
 pub mod robust_exps;
 pub mod sampling_exps;
 pub mod serve_exps;
+pub mod sf_exps;
 pub mod streamdb_exps;
 
 /// The experiment registry: (id, one-line claim, runner).
@@ -154,6 +155,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e26",
             "Hardened serving: overload sheds typed, faults retry, kills degrade; acked ingest survives restart",
             serve_exps::e26,
+        ),
+        (
+            "e27",
+            "SF-sketch read/write split: slim side beats same-size CM per byte; publish + wire ship slim",
+            sf_exps::e27,
         ),
         (
             "a1",

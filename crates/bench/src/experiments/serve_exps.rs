@@ -185,6 +185,14 @@ pub fn e26() {
         accepted_rows.load(Ordering::Relaxed),
         "reconciliation double-ingested or dropped a batch"
     );
+    // Readiness names the checkpoint kind via the typed accessor — no
+    // envelope-header sniffing anywhere in the drill.
+    let (status, body) = exchange(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"snapshot_kind\":\"sharded\""),
+        "readiness must name the backend's snapshot kind: {body}"
+    );
 
     // ---- Phase 2: deadline — a stalled client gets a typed 504 and its
     // worker back. ----

@@ -10,7 +10,8 @@ use sketches::streamdb::metrics::names as metric_names;
 use sketches::streamdb::{
     silence_injected_panics, Aggregate, BatchCause, CheckpointPolicy, ConcurrentEngine,
     DurableEngine, ExactEngine, FaultInjector, FaultKind, FaultPolicy, KillPoint, QuerySpec, Row,
-    ShardedEngine, SketchEngine, Snapshot, StreamEngine, Value, SIMULATED_CRASH_MARKER,
+    ShardedEngine, SketchEngine, Snapshot, SnapshotKind, StreamEngine, Value,
+    SIMULATED_CRASH_MARKER,
 };
 use sketches_workloads::faults::{CrashOp, CrashPlan, FaultPlan, IngestFault};
 use sketches_workloads::flows::FlowWorkload;
@@ -305,6 +306,18 @@ pub fn e22() {
         let mut engine = SketchEngine::new(e22_spec()).unwrap();
         engine.process_batch(warm).unwrap();
         let snap = engine.to_snapshot_bytes();
+        // The typed header accessors replace offset arithmetic on the
+        // envelope: derive the payload region, then flip one byte squarely
+        // inside it as a guaranteed-interior corruption.
+        assert_eq!(Snapshot::kind_of(&snap).unwrap(), SnapshotKind::Engine);
+        let payload = Snapshot::payload_len(&snap).unwrap();
+        let payload_start = snap.len() - 8 - payload;
+        let mut bad = snap.clone();
+        bad[payload_start + (seed as usize % payload)] ^= 0x40;
+        corruptions += 1;
+        if Snapshot::from_bytes(&bad).is_err() {
+            detected += 1;
+        }
         let plan = FaultPlan::generate(seed ^ 0x00C0_FFEE, 0, 0, 8);
         for c in &plan.corruptions {
             let mut bad = snap.clone();

@@ -13,6 +13,8 @@
 //! * [`Clear`] — reset to the empty-stream state.
 //! * Query-side traits: [`CardinalityEstimator`], [`FrequencyEstimator`],
 //!   [`QuantileSketch`], [`MembershipTester`].
+//! * [`QueryView`] — the read/write split: a fat update-side sketch cuts a
+//!   slim query-side view that is cheap to clone, serialize, and merge.
 //!
 //! The paper this workspace reproduces (Cormode, *Gems of PODS 2023*) frames
 //! a sketch as exactly this triple — a compact structure plus an update
@@ -34,7 +36,7 @@ pub use codec::{ByteReader, ByteWriter};
 pub use error::{SketchError, SketchResult};
 pub use traits::{
     CardinalityEstimator, Clear, FrequencyEstimator, MembershipTester, MergeSketch, QuantileSketch,
-    SpaceUsage, Update,
+    QueryView, SpaceUsage, Update,
 };
 
 /// Validates that a parameter is within an inclusive range, with a readable

@@ -23,9 +23,15 @@ pub trait Update<T: ?Sized> {
     }
 
     /// Absorbs a contiguous batch of items — the entry point batch-oriented
-    /// ingest layers (e.g. the sharded GROUP BY engine) drive. The default
-    /// just loops; sketches whose update amortizes over a batch (bulk
-    /// register writes, sorted inserts) may override.
+    /// ingest layers (e.g. the sharded GROUP BY engine) drive.
+    ///
+    /// **State identity:** after `update_slice(items)` the sketch's
+    /// observable state — every estimate *and* every serialized byte — must
+    /// be identical to what `items.iter().for_each(|i| sketch.update(i))`
+    /// would have produced. Overrides may only amortize work (bulk register
+    /// writes, sorted inserts), never change the resulting state; the
+    /// KLL/HLL/HLL++ overrides pin this with byte-equality tests. An empty
+    /// slice is therefore always a no-op.
     fn update_slice(&mut self, items: &[T])
     where
         T: Sized,
@@ -34,6 +40,29 @@ pub trait Update<T: ?Sized> {
             self.update(item);
         }
     }
+}
+
+/// The read/write split of a two-stage sketch: a fat update-optimized
+/// structure that can produce a **slim query-side view** of itself.
+///
+/// The view is the half of the sketch worth *moving*: implementors
+/// guarantee it is cheap to clone, cheap to serialize, and mergeable with
+/// views cut from sketches over disjoint substreams — so epoch
+/// publication, cross-shard merges, and wire responses can ship the view
+/// while the fat side stays put behind the write path. The motivating
+/// instance is the SF-sketch (Yang et al.), whose slim side is both
+/// smaller *and* more accurate at query time than a same-size CM sketch.
+///
+/// `query_view` must be read-only: cutting a view never mutates the fat
+/// side, so it is safe to call concurrently with queries (but not with
+/// updates — the usual `&self` aliasing rules apply).
+pub trait QueryView {
+    /// The slim query-side summary. `Clone` is required (and expected to
+    /// be cheap — the view should be a small fraction of the fat state).
+    type View: Clone;
+
+    /// Cuts the current query-side view of this sketch.
+    fn query_view(&self) -> Self::View;
 }
 
 /// A mergeable summary: two sketches built over disjoint substreams can be
@@ -160,6 +189,16 @@ mod tests {
         let mut c = ToyCounter::default();
         c.update_slice(&[5u64, 6, 7]);
         assert_eq!(c.n, 3);
+    }
+
+    #[test]
+    fn update_slice_default_empty_is_noop() {
+        let mut c = ToyCounter::default();
+        c.update_slice(&[]);
+        assert_eq!(c.n, 0);
+        c.update_slice(&[9u64]);
+        c.update_slice(&[]);
+        assert_eq!(c.n, 1);
     }
 
     #[test]

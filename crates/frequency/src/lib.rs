@@ -23,6 +23,11 @@
 //! [`heavy_hitters::HeavyHittersTracker`] combines a linear sketch with a
 //! candidate heap to report all items above a `φ·n` threshold.
 //!
+//! [`sf::SfSketch`] is the two-stage (read/write-split) frequency sketch:
+//! a fat Count-Min update side maintains a far smaller slim query side
+//! that ships across shards and the wire via
+//! [`sketches_core::QueryView`].
+//!
 //! # Quick example
 //!
 //! ```
@@ -47,6 +52,7 @@ pub mod count_sketch;
 pub mod heavy_hitters;
 pub mod majority;
 pub mod misra_gries;
+pub mod sf;
 pub mod space_saving;
 
 pub use count_min::{CmRangeSketch, CountMinSketch};
@@ -54,4 +60,5 @@ pub use count_sketch::CountSketch;
 pub use heavy_hitters::HeavyHittersTracker;
 pub use majority::BoyerMoore;
 pub use misra_gries::MisraGries;
+pub use sf::{SfSketch, SlimSketch};
 pub use space_saving::SpaceSaving;

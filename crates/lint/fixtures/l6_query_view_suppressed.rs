@@ -1,0 +1,20 @@
+//! L6 fixture (query_view, clean): the canonical read/write-split view
+//! cut — clone the published slim state out of the epoch slot in one
+//! statement, so the guard dies before any blocking work. No
+//! `guard-scope` tag appears here on purpose: a correct
+//! `QueryView::query_view` impl carries no L6 findings.
+
+struct Engine {
+    published: std::sync::Arc<parking_lot::RwLock<SlimView>>,
+    refresh_tx: crossbeam::channel::Sender<u64>,
+}
+
+impl QueryView for Engine {
+    type View = SlimView;
+
+    fn query_view(&self) -> SlimView {
+        let view = self.published.read().clone();
+        let _ = self.refresh_tx.send(view.epoch);
+        view
+    }
+}

@@ -1,0 +1,19 @@
+//! L6 fixture (query_view): cutting the slim query view must not block
+//! while the epoch slot's read guard is live — here the cut sends a
+//! refresh notification with the guard still held, so every reader
+//! convoys behind one slow channel.
+
+struct Engine {
+    published: std::sync::Arc<parking_lot::RwLock<SlimView>>,
+    refresh_tx: crossbeam::channel::Sender<u64>,
+}
+
+impl QueryView for Engine {
+    type View = SlimView;
+
+    fn query_view(&self) -> SlimView {
+        let guard = self.published.read();
+        let _ = self.refresh_tx.send(guard.epoch);
+        guard.clone()
+    }
+}

@@ -146,6 +146,20 @@ fn l6_guard_hygiene_pair() {
 }
 
 #[test]
+fn l6_query_view_pair() {
+    // Pins the read/write-split contract from the engine side: cutting a
+    // query view must never block under the epoch slot's guard. The clean
+    // twin is the canonical impl shape (clone out of the guard in one
+    // statement) and needs no suppression tag to pass.
+    assert_pair(
+        Rule::L6GuardHygiene,
+        "l6_query_view_violation.rs",
+        "l6_query_view_suppressed.rs",
+        false,
+    );
+}
+
+#[test]
 fn l7_lock_order_pair() {
     assert_pair(
         Rule::L7LockOrder,

@@ -62,6 +62,17 @@ impl Request {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Every query parameter named `name`, in request order (the batched
+    /// `/v1/report` form repeats `key=`).
+    #[must_use]
+    pub fn query_params(&self, name: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
 }
 
 /// Why a request could not be read.
@@ -172,6 +183,18 @@ impl Response {
             content_type: "application/json",
             extra_headers: Vec::new(),
             body: body.into().into_bytes(),
+        }
+    }
+
+    /// A binary response (`application/octet-stream`) — the slim
+    /// query-view envelope of `/v1/view`.
+    #[must_use]
+    pub fn octets(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type: "application/octet-stream",
+            extra_headers: Vec::new(),
+            body,
         }
     }
 

@@ -31,7 +31,8 @@
 //! | `GET /healthz` | Liveness: `200` while the process serves |
 //! | `GET /readyz` | Readiness: `503` when draining or degraded |
 //! | `GET /v1/groups` | Group keys (`?limit=N`) |
-//! | `GET/POST /v1/report` | One group's aggregates (`?key=[...]` or body) |
+//! | `GET/POST /v1/report` | One group's aggregates (`?key=[...]` or body), or a versioned batch via `?keys=[...],[...]` / repeated `key=` |
+//! | `GET /v1/view` | The slim query-side [`sketches_streamdb::EngineView`] envelope (binary) |
 //! | `POST /v1/ingest` | Batch ingest `{"rows": [[...], ...]}` |
 //!
 //! Everything is plain `std` networking — no async runtime, no external

@@ -24,6 +24,8 @@ pub enum Route {
     Groups,
     /// `GET`/`POST /v1/report`.
     Report,
+    /// `GET /v1/view`.
+    View,
     /// `POST /v1/ingest`.
     Ingest,
     /// Admission-layer outcomes (shed, drain-refusal) that never reach a
@@ -33,12 +35,13 @@ pub enum Route {
     Other,
 }
 
-const ROUTES: [Route; 8] = [
+const ROUTES: [Route; 9] = [
     Route::Metrics,
     Route::Healthz,
     Route::Readyz,
     Route::Groups,
     Route::Report,
+    Route::View,
     Route::Ingest,
     Route::Accept,
     Route::Other,
@@ -52,9 +55,10 @@ impl Route {
             Route::Readyz => 2,
             Route::Groups => 3,
             Route::Report => 4,
-            Route::Ingest => 5,
-            Route::Accept => 6,
-            Route::Other => 7,
+            Route::View => 5,
+            Route::Ingest => 6,
+            Route::Accept => 7,
+            Route::Other => 8,
         }
     }
 
@@ -65,6 +69,7 @@ impl Route {
             Route::Readyz => "readyz",
             Route::Groups => "groups",
             Route::Report => "report",
+            Route::View => "view",
             Route::Ingest => "ingest",
             Route::Accept => "accept",
             Route::Other => "other",

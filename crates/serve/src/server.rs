@@ -425,8 +425,13 @@ fn route_request(
         ("GET", "/readyz") => (Route::Readyz, readyz_response(state)),
         ("GET", "/v1/groups") => (Route::Groups, groups_response(req, state)),
         ("GET" | "POST", "/v1/report") => (Route::Report, report_response(req, state)),
+        ("GET", "/v1/view") => (Route::View, view_response(state)),
         ("POST", "/v1/ingest") => (Route::Ingest, ingest_response(req, state, config, deadline)),
-        (_, "/metrics" | "/healthz" | "/readyz" | "/v1/groups" | "/v1/report" | "/v1/ingest") => (
+        (
+            _,
+            "/metrics" | "/healthz" | "/readyz" | "/v1/groups" | "/v1/report" | "/v1/view"
+            | "/v1/ingest",
+        ) => (
             Route::Other,
             Response::error(
                 405,
@@ -464,8 +469,21 @@ fn readyz_response(state: &AppState) -> Response {
             "{\"ready\":false,\"reason\":\"degraded: engine poisoned, serving reads only\"}",
         )
     } else {
-        Response::json(200, "{\"ready\":true}")
+        // The typed accessor replaces the old habit of sniffing snapshot
+        // envelope headers to learn what the backend would write.
+        let kind = state.reader().snapshot_kind();
+        Response::json(
+            200,
+            format!("{{\"ready\":true,\"snapshot_kind\":\"{kind}\"}}"),
+        )
     }
+}
+
+/// `/v1/view`: the slim query-side view of the latest published epoch as
+/// a checksummed binary envelope — what a replica or cache fetches
+/// instead of the fat snapshot.
+fn view_response(state: &AppState) -> Response {
+    Response::octets(200, state.reader().query_view().to_view_bytes())
 }
 
 fn groups_response(req: &Request, state: &AppState) -> Response {
@@ -491,6 +509,17 @@ fn groups_response(req: &Request, state: &AppState) -> Response {
     Response::json(200, body.render())
 }
 
+/// Converts a parsed JSON array document into a group key.
+fn key_from_doc(doc: &Json, code: &str) -> Result<Vec<Value>, Response> {
+    let arr = match doc.as_array() {
+        Some(a) => a,
+        None => return Err(Response::error(400, code, "key must be a JSON array")),
+    };
+    arr.iter()
+        .map(|j| j.to_value().map_err(|e| Response::error(400, code, &e)))
+        .collect()
+}
+
 /// Extracts the group key from `?key=<json array>` or a `{"key": [...]}`
 /// body.
 fn parse_key(req: &Request) -> Result<Vec<Value>, Response> {
@@ -512,19 +541,111 @@ fn parse_key(req: &Request) -> Result<Vec<Value>, Response> {
             "pass ?key=<json array> or a {\"key\": [...]} body",
         ));
     };
-    let arr = match doc.as_array() {
-        Some(a) => a,
-        None => return Err(Response::error(400, "bad_key", "key must be a JSON array")),
-    };
-    arr.iter()
-        .map(|j| {
-            j.to_value()
-                .map_err(|e| Response::error(400, "bad_key", &e))
-        })
-        .collect()
+    key_from_doc(&doc, "bad_key")
+}
+
+/// Upper bound on keys per batched `/v1/report` request.
+const MAX_REPORT_KEYS: usize = 64;
+
+/// Splits a `keys=` list on top-level commas: commas nested inside
+/// `[...]` or a quoted string belong to the key, not the list.
+fn split_keys_list(raw: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, b) in raw.bytes().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                out.push(&raw[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&raw[start..]);
+    out
+}
+
+/// Parses one element of a `keys=` list: a JSON array is a full group
+/// key; a JSON scalar is a single-field key; anything unparseable is
+/// taken as a bare string key (so `keys=us,eu` works without quoting).
+fn parse_key_token(token: &str) -> Result<Vec<Value>, Response> {
+    let token = token.trim();
+    if token.is_empty() {
+        return Err(Response::error(
+            400,
+            "bad_keys",
+            "keys list contains an empty key",
+        ));
+    }
+    if token.starts_with('[') {
+        let doc = Json::parse(token).map_err(|e| {
+            Response::error(400, "bad_keys", &format!("key is not valid JSON: {e}"))
+        })?;
+        return key_from_doc(&doc, "bad_keys");
+    }
+    match Json::parse(token) {
+        Ok(doc) => Ok(vec![doc
+            .to_value()
+            .map_err(|e| Response::error(400, "bad_keys", &e))?]),
+        Err(_) => Ok(vec![Value::Str(token.to_string())]),
+    }
+}
+
+/// Collects the batched key list: every `key=` parameter plus every
+/// element of every `keys=` list, in request order.
+fn parse_batch_keys(req: &Request) -> Result<Vec<Vec<Value>>, Response> {
+    let mut keys = Vec::new();
+    for (name, value) in &req.query {
+        match name.as_str() {
+            "key" => {
+                let doc = Json::parse(value).map_err(|e| {
+                    Response::error(400, "bad_key", &format!("key is not valid JSON: {e}"))
+                })?;
+                keys.push(key_from_doc(&doc, "bad_key")?);
+            }
+            "keys" => {
+                for token in split_keys_list(value) {
+                    keys.push(parse_key_token(token)?);
+                }
+            }
+            _ => {}
+        }
+    }
+    if keys.is_empty() {
+        return Err(Response::error(400, "bad_keys", "keys list is empty"));
+    }
+    if keys.len() > MAX_REPORT_KEYS {
+        return Err(Response::error(
+            400,
+            "bad_keys",
+            &format!("too many keys: {} (limit {MAX_REPORT_KEYS})", keys.len()),
+        ));
+    }
+    Ok(keys)
 }
 
 fn report_response(req: &Request, state: &AppState) -> Response {
+    // Batched form: a `keys=` list or repeated `key=` parameters. The
+    // single-key form keeps its original response shape exactly.
+    if req.query_param("keys").is_some() || req.query_params("key").len() > 1 {
+        return batch_report_response(req, state);
+    }
     let key = match parse_key(req) {
         Ok(k) => k,
         Err(resp) => return resp,
@@ -547,6 +668,42 @@ fn report_response(req: &Request, state: &AppState) -> Response {
     }
 }
 
+/// Batched `/v1/report`: one versioned array entry per requested key;
+/// unknown groups report `found: false` instead of failing the batch.
+fn batch_report_response(req: &Request, state: &AppState) -> Response {
+    let keys = match parse_batch_keys(req) {
+        Ok(k) => k,
+        Err(resp) => return resp,
+    };
+    let reader = state.reader();
+    let mut reports = Vec::with_capacity(keys.len());
+    for key in keys {
+        let rendered_key = Json::Arr(key.iter().map(value_to_json).collect());
+        let entry = match reader.report(&key) {
+            Ok(Some(aggs)) => Json::Obj(vec![
+                ("key".to_string(), rendered_key),
+                ("found".to_string(), Json::Bool(true)),
+                (
+                    "aggregates".to_string(),
+                    Json::Arr(aggs.iter().map(aggregate_to_json).collect()),
+                ),
+            ]),
+            Ok(None) => Json::Obj(vec![
+                ("key".to_string(), rendered_key),
+                ("found".to_string(), Json::Bool(false)),
+                ("aggregates".to_string(), Json::Arr(Vec::new())),
+            ]),
+            Err(e) => return Response::error(500, "query_failed", &e.to_string()),
+        };
+        reports.push(entry);
+    }
+    let body = Json::Obj(vec![
+        ("version".to_string(), Json::U64(1)),
+        ("reports".to_string(), Json::Arr(reports)),
+    ]);
+    Response::json(200, body.render())
+}
+
 fn aggregate_to_json(agg: &sketches_streamdb::AggregateResult) -> Json {
     use sketches_streamdb::AggregateResult;
     match agg {
@@ -567,6 +724,10 @@ fn aggregate_to_json(agg: &sketches_streamdb::AggregateResult) -> Json {
             ("p50".to_string(), Json::F64(*p50)),
             ("p95".to_string(), Json::F64(*p95)),
             ("p99".to_string(), Json::F64(*p99)),
+        ]),
+        AggregateResult::Frequency { total } => Json::Obj(vec![
+            ("agg".to_string(), Json::Str("frequency".to_string())),
+            ("total".to_string(), Json::U64(*total)),
         ]),
         AggregateResult::TopK(items) => Json::Obj(vec![
             ("agg".to_string(), Json::Str("top_k".to_string())),
@@ -679,6 +840,29 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= 1);
         assert!(c.request_budget >= c.read_timeout);
+    }
+
+    #[test]
+    fn keys_list_splits_at_top_level_commas_only() {
+        assert_eq!(split_keys_list("[1],[2,3],us"), vec!["[1]", "[2,3]", "us"]);
+        assert_eq!(split_keys_list("[\"a,b\"],c"), vec!["[\"a,b\"]", "c"]);
+        assert_eq!(split_keys_list("solo"), vec!["solo"]);
+        assert_eq!(split_keys_list(""), vec![""]);
+    }
+
+    #[test]
+    fn key_tokens_parse_arrays_scalars_and_bare_strings() {
+        assert_eq!(
+            parse_key_token("[1,\"x\"]").unwrap(),
+            vec![Value::U64(1), Value::Str("x".to_string())]
+        );
+        assert_eq!(parse_key_token("7").unwrap(), vec![Value::U64(7)]);
+        assert_eq!(
+            parse_key_token("us-east").unwrap(),
+            vec![Value::Str("us-east".to_string())]
+        );
+        assert!(parse_key_token("  ").is_err());
+        assert!(parse_key_token("[1,").is_err());
     }
 
     #[test]

@@ -141,10 +141,11 @@ pub mod prelude {
     };
     pub use sketches_core::{
         CardinalityEstimator, Clear, FrequencyEstimator, MembershipTester, MergeSketch,
-        QuantileSketch, SketchError, SketchResult, SpaceUsage, Update,
+        QuantileSketch, QueryView, SketchError, SketchResult, SpaceUsage, Update,
     };
     pub use sketches_frequency::{
-        CountMinSketch, CountSketch, HeavyHittersTracker, MisraGries, SpaceSaving,
+        CountMinSketch, CountSketch, HeavyHittersTracker, MisraGries, SfSketch, SlimSketch,
+        SpaceSaving,
     };
     pub use sketches_membership::{BloomFilter, CountingBloomFilter, CuckooFilter};
     pub use sketches_quantiles::{GreenwaldKhanna, KllSketch, QDigest, TDigest};

@@ -29,6 +29,13 @@
 //!   the swap/clone instant) and never touch worker state, so queries
 //!   are never blocked behind ingest work and ingest never waits for
 //!   readers.
+//! * **Published slim views.** Each publish also cuts the shard's
+//!   [`EngineView`] — the read half of the read/write split — into its
+//!   own slot. [`ConcurrentEngine::query_view`] /
+//!   [`ReadHandle::query_view`] union the per-shard views (exact: every
+//!   group lives in one shard), so a serving tier can ship the slim
+//!   query side over the wire instead of fat snapshot bytes, at the same
+//!   epoch granularity as the fat publication.
 //!
 //! # Consistency model
 //!
@@ -71,6 +78,7 @@ use crate::metrics::{names, EngineMetrics};
 use crate::query::{AggregateResult, QuerySpec};
 use crate::sharded::{worker_ingest, ShardedEngine, WorkerOutcome, DEFAULT_CHANNEL_DEPTH};
 use crate::value::{Row, Value};
+use crate::view::EngineView;
 
 /// Capacity of the submit queue, in batches. Submitting beyond it blocks
 /// the caller (backpressure), which also bounds read lag: at most this
@@ -116,6 +124,10 @@ struct Shared {
     /// for an `Arc` swap, the read lock only for an `Arc` clone, so
     /// readers and publishers exchange a pointer, never sketch work.
     published: Vec<RwLock<Arc<SketchEngine>>>,
+    /// Latest published slim view per shard, cut at the same instant as
+    /// the fat snapshot above — the read half of the read/write split,
+    /// what [`ConcurrentEngine::query_view`] unions.
+    views: Vec<RwLock<Arc<EngineView>>>,
     /// Publish epoch per shard: bumped after each snapshot swap.
     epochs: Vec<AtomicU64>,
     /// Latest published router state (dead letters, metrics, policy).
@@ -388,6 +400,10 @@ impl ConcurrentEngine {
                 .iter()
                 .map(|s| RwLock::new(Arc::new(s.clone())))
                 .collect(),
+            views: shards
+                .iter()
+                .map(|s| RwLock::new(Arc::new(s.query_view())))
+                .collect(),
             epochs: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
             router: RwLock::new(RouterPublished {
                 dead: DeadLetters::default(),
@@ -526,6 +542,16 @@ impl ConcurrentEngine {
 
     fn shard_of_key(&self, key: &[Value]) -> usize {
         (ShardedEngine::key_hash(key.iter()) % self.num_shards as u64) as usize
+    }
+
+    /// The slim query-side view of the latest published epoch — the
+    /// per-shard published [`EngineView`]s unioned (exact; see the module
+    /// docs). Never blocked by in-flight ingest, and a fraction of the
+    /// size of [`to_snapshot_bytes`](Self::to_snapshot_bytes): this is
+    /// what a serving tier should ship.
+    #[must_use]
+    pub fn query_view(&self) -> EngineView {
+        merged_view(&self.shared, self.num_shards)
     }
 
     /// Reports the aggregates of one group from the latest published
@@ -859,6 +885,15 @@ impl ReadHandle {
         self.published_shard(shard).report(key)
     }
 
+    /// The slim query-side view of the latest published epoch, same as
+    /// [`ConcurrentEngine::query_view`] — available even after the engine
+    /// is poisoned or dropped (it keeps serving the last published
+    /// views).
+    #[must_use]
+    pub fn query_view(&self) -> EngineView {
+        merged_view(&self.shared, self.num_shards)
+    }
+
     /// All group keys in the latest published epoch, in ascending key
     /// order across all shards.
     #[must_use]
@@ -904,6 +939,15 @@ impl ReadHandle {
     #[must_use]
     pub fn num_shards(&self) -> usize {
         self.num_shards
+    }
+
+    /// The envelope kind [`to_snapshot_bytes`](Self::to_snapshot_bytes)
+    /// produces — always [`crate::SnapshotKind::Sharded`]; the typed
+    /// accessor callers (e.g. `/readyz`) use instead of peeking at
+    /// header bytes.
+    #[must_use]
+    pub fn snapshot_kind(&self) -> crate::SnapshotKind {
+        crate::SnapshotKind::Sharded
     }
 
     /// Telemetry snapshot of the latest published epoch — the same block
@@ -969,12 +1013,28 @@ impl Drop for ConcurrentEngine {
     }
 }
 
-/// Publishes one shard's current state as a fresh immutable snapshot.
+/// Publishes one shard's current state as a fresh immutable snapshot,
+/// plus the slim [`EngineView`] cut from the same instant.
 fn publish(shared: &Shared, shard_id: usize, shard: &SketchEngine) {
     let snap = Arc::new(shard.clone());
+    let view = Arc::new(shard.query_view());
     *shared.published[shard_id].write() = snap;
+    *shared.views[shard_id].write() = view;
     shared.epochs[shard_id].fetch_add(1, Ordering::Release);
     shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Unions the latest published per-shard views. Exact: routing places
+/// every group in exactly one shard, so no group merges across shards.
+fn merged_view(shared: &Shared, num_shards: usize) -> EngineView {
+    let mut out = (*Arc::clone(&shared.views[0].read())).clone();
+    for slot in &shared.views[1..num_shards] {
+        let v = Arc::clone(&slot.read());
+        out.merge(&v)
+            // lint: panic-ok(every shard view is cut from a shard built with one shared spec, so the merge cannot fail)
+            .expect("shard views share one spec");
+    }
+    out
 }
 
 /// One long-lived shard worker: owns its [`SketchEngine`] for the
@@ -1806,6 +1866,49 @@ mod tests {
         assert_eq!(reader.groups().len(), 9);
         assert_eq!(reader.to_snapshot_bytes(), bytes_before);
         assert!(reader.metrics().gauges[names::SHARDS] == 4);
+    }
+
+    #[test]
+    fn published_views_track_epochs_and_survive_drop() {
+        let data = rows(6_000, 11);
+        let mut seq = SketchEngine::new(spec()).unwrap();
+        seq.process_batch(&data).unwrap();
+
+        let conc = ConcurrentEngine::new(spec(), 4).unwrap();
+        let reader = conc.reader();
+        // Epoch 0: empty views.
+        assert_eq!(conc.query_view().rows_processed(), 0);
+        conc.submit_batch(data).wait().unwrap();
+
+        // A resolved ticket implies the slim view observes the batch too
+        // (views publish in the same swap sequence as fat snapshots).
+        let view = conc.query_view();
+        assert_eq!(view.rows_processed(), 6_000);
+        assert_eq!(view.num_groups(), 11);
+        for g in 0..11u64 {
+            assert_eq!(
+                view.report(&row![g]).unwrap(),
+                seq.report(&row![g]).unwrap(),
+                "group {g} view diverged from the fat report"
+            );
+        }
+        // The slim side is what the wire should carry: far smaller than
+        // the fat snapshot of the same published epoch.
+        let slim = view.to_view_bytes().len();
+        let fat = conc.to_snapshot_bytes().len();
+        assert!(
+            slim * 2 < fat,
+            "view bytes {slim} not slim against snapshot bytes {fat}"
+        );
+
+        // The read handle serves the same views, even after engine drop.
+        drop(conc);
+        let after = reader.query_view();
+        assert_eq!(after.rows_processed(), 6_000);
+        assert_eq!(
+            after.report(&row![3u64]).unwrap(),
+            view.report(&row![3u64]).unwrap()
+        );
     }
 
     #[test]

@@ -721,6 +721,16 @@ impl<E: StreamEngine> DurableEngine<E> {
         &self.engine
     }
 
+    /// The slim query-side view ([`crate::EngineView`]) of the wrapped
+    /// engine's current state — what a serving tier ships instead of fat
+    /// snapshot bytes. Durability stays fat on purpose: checkpoints and
+    /// the WAL persist the write half (recovery must keep ingesting), so
+    /// the view is a read-path product only and is never logged.
+    #[must_use]
+    pub fn query_view(&self) -> crate::EngineView {
+        self.engine.query_view()
+    }
+
     /// The current epoch (increments at every checkpoint).
     #[must_use]
     pub fn epoch(&self) -> u64 {

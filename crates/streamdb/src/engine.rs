@@ -6,10 +6,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sketches_cardinality::HyperLogLogPlusPlus;
 use sketches_core::{
-    ByteReader, ByteWriter, CardinalityEstimator, MergeSketch, QuantileSketch, SketchError,
-    SketchResult, SpaceUsage, Update,
+    ByteReader, ByteWriter, CardinalityEstimator, FrequencyEstimator, MergeSketch, QuantileSketch,
+    SketchError, SketchResult, SpaceUsage, Update,
 };
-use sketches_frequency::SpaceSaving;
+use sketches_frequency::{SfSketch, SpaceSaving};
 use sketches_quantiles::KllSketch;
 
 use crate::fault::{
@@ -31,7 +31,14 @@ pub(crate) enum AggState {
         sketch: SpaceSaving<Value>,
         k: usize,
     },
+    Frequency(SfSketch),
 }
+
+/// Depth (rows) of both grids of every FREQUENCY SF-sketch. Fixed rather
+/// than configurable: 4 rows put the collision probability per query at
+/// `(1/width)^4`, and a fixed depth keeps the fat/slim widths the only
+/// size knobs E27 sweeps.
+pub const SF_DEPTH: usize = 4;
 
 /// Tunable sketch parameters for the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +49,11 @@ pub struct EngineConfig {
     pub kll_k: usize,
     /// SpaceSaving counters for TOP-K (must exceed the query's `k`).
     pub space_saving_counters: usize,
+    /// Fat (update-side) width of every FREQUENCY SF-sketch.
+    pub sf_fat_width: usize,
+    /// Slim (query-side) width of every FREQUENCY SF-sketch — what a
+    /// [`crate::EngineView`] ships per group.
+    pub sf_slim_width: usize,
     /// Base PRNG seed.
     pub seed: u64,
 }
@@ -52,6 +64,8 @@ impl Default for EngineConfig {
             hll_precision: 11,
             kll_k: 128,
             space_saving_counters: 64,
+            sf_fat_width: 1024,
+            sf_slim_width: 64,
             seed: 0x57_DB,
         }
     }
@@ -161,6 +175,12 @@ impl SketchEngine {
                             k: *k,
                         }
                     }
+                    Aggregate::Frequency { .. } => AggState::Frequency(SfSketch::new(
+                        self.config.sf_fat_width,
+                        self.config.sf_slim_width,
+                        SF_DEPTH,
+                        self.config.seed,
+                    )?),
                 })
             })
             .collect()
@@ -191,7 +211,10 @@ impl SketchEngine {
                         ));
                     }
                 }
-                Aggregate::Count | Aggregate::CountDistinct { .. } | Aggregate::TopK { .. } => {}
+                Aggregate::Count
+                | Aggregate::CountDistinct { .. }
+                | Aggregate::TopK { .. }
+                | Aggregate::Frequency { .. } => {}
             }
         }
         Ok(())
@@ -432,6 +455,9 @@ impl SketchEngine {
                 (Aggregate::TopK { field, .. }, AggState::TopK { sketch, .. }) => {
                     sketch.update(&row[*field]);
                 }
+                (Aggregate::Frequency { field }, AggState::Frequency(sf)) => {
+                    sf.update(&row[*field]);
+                }
                 // lint: panic-ok(state vector is built from the same spec; a mismatch is a construction bug, not input)
                 _ => unreachable!("state vector built from the same spec"),
             }
@@ -460,10 +486,44 @@ impl SketchEngine {
                         p99: q.quantile(0.99)?,
                     },
                     AggState::TopK { sketch, k } => AggregateResult::TopK(sketch.top_k(*k)),
+                    AggState::Frequency(sf) => AggregateResult::Frequency { total: sf.total() },
                 })
             })
             .collect::<SketchResult<Vec<_>>>()?;
         Ok(Some(results))
+    }
+
+    /// Frequency point query: the estimated number of rows in group `key`
+    /// whose FREQUENCY field held `item` (`None` if the group was never
+    /// seen). Served from the **fat** side — the local authority; remote
+    /// readers get the same query from a slim [`crate::EngineView`].
+    ///
+    /// # Errors
+    /// Returns an error if the spec has no FREQUENCY aggregate.
+    pub fn estimate(&self, key: &[Value], item: &Value) -> SketchResult<Option<u64>> {
+        if !self
+            .spec
+            .aggregates
+            .iter()
+            .any(|a| matches!(a, Aggregate::Frequency { .. }))
+        {
+            return Err(SketchError::invalid(
+                "spec",
+                "query has no FREQUENCY aggregate",
+            ));
+        }
+        let Some(state) = self.groups.get(key) else {
+            return Ok(None);
+        };
+        // First FREQUENCY aggregate answers (specs wanting several fields
+        // query the view, which exposes every position).
+        for st in state {
+            if let AggState::Frequency(sf) = st {
+                return Ok(Some(sf.estimate(item)));
+            }
+        }
+        // lint: panic-ok(spec has a Frequency aggregate, so every state vector holds one; a mismatch is a construction bug)
+        unreachable!("state vector built from the same spec");
     }
 
     /// All group keys currently tracked, in ascending key order — the
@@ -589,6 +649,7 @@ impl SketchEngine {
                                 AggState::TopK { sketch: x, .. },
                                 AggState::TopK { sketch: y, .. },
                             ) => x.merge(y)?,
+                            (AggState::Frequency(x), AggState::Frequency(y)) => x.merge(y)?,
                             _ => {
                                 return Err(SketchError::incompatible(
                                     "aggregate states out of order",
@@ -709,6 +770,7 @@ impl SketchEngine {
                     AggState::CountDistinct(h) => h.space_bytes(),
                     AggState::Quantiles(q) => q.space_bytes(),
                     AggState::TopK { sketch, .. } => sketch.space_bytes(),
+                    AggState::Frequency(sf) => sf.space_bytes(),
                 })
             })
             .sum()
@@ -720,6 +782,8 @@ fn write_config(config: &EngineConfig, w: &mut ByteWriter) {
     w.put_u32(config.hll_precision);
     w.put_usize(config.kll_k);
     w.put_usize(config.space_saving_counters);
+    w.put_usize(config.sf_fat_width);
+    w.put_usize(config.sf_slim_width);
     w.put_u64(config.seed);
 }
 
@@ -730,12 +794,14 @@ fn read_config(r: &mut ByteReader<'_>) -> SketchResult<EngineConfig> {
         hll_precision: r.u32()?,
         kll_k: r.usize()?,
         space_saving_counters: r.usize()?,
+        sf_fat_width: r.usize()?,
+        sf_slim_width: r.usize()?,
         seed: r.u64()?,
     })
 }
 
 /// Serializes a [`QuerySpec`]: grouping fields, then tagged aggregates.
-fn write_spec(spec: &QuerySpec, w: &mut ByteWriter) {
+pub(crate) fn write_spec(spec: &QuerySpec, w: &mut ByteWriter) {
     w.put_usize(spec.group_by.len());
     for &f in &spec.group_by {
         w.put_usize(f);
@@ -761,12 +827,16 @@ fn write_spec(spec: &QuerySpec, w: &mut ByteWriter) {
                 w.put_usize(*field);
                 w.put_usize(*k);
             }
+            Aggregate::Frequency { field } => {
+                w.put_u8(5);
+                w.put_usize(*field);
+            }
         }
     }
 }
 
 /// Restores a [`QuerySpec`], re-running its constructor validation.
-fn read_spec(r: &mut ByteReader<'_>) -> SketchResult<QuerySpec> {
+pub(crate) fn read_spec(r: &mut ByteReader<'_>) -> SketchResult<QuerySpec> {
     let num_group_by = r.array_len(8, "spec group-by fields")?;
     let mut group_by = Vec::with_capacity(num_group_by);
     for _ in 0..num_group_by {
@@ -784,9 +854,10 @@ fn read_spec(r: &mut ByteReader<'_>) -> SketchResult<QuerySpec> {
                 field: r.usize()?,
                 k: r.usize()?,
             },
+            5 => Aggregate::Frequency { field: r.usize()? },
             tag => {
                 return Err(SketchError::corrupted(format!(
-                    "unknown aggregate tag {tag} (expected 0..=4)"
+                    "unknown aggregate tag {tag} (expected 0..=5)"
                 )));
             }
         });
@@ -805,6 +876,7 @@ fn write_agg_state(st: &AggState, w: &mut ByteWriter) {
         AggState::CountDistinct(h) => h.write_state(w),
         AggState::Quantiles(q) => q.write_state(w),
         AggState::TopK { sketch, .. } => sketch.write_state_with(w, write_value),
+        AggState::Frequency(sf) => sf.write_state(w),
     }
 }
 
@@ -846,6 +918,19 @@ fn read_agg_state(
                 ));
             }
             AggState::TopK { sketch, k: *k }
+        }
+        Aggregate::Frequency { .. } => {
+            let sf = SfSketch::read_state(r)?;
+            if sf.fat_width() != config.sf_fat_width
+                || sf.slim_width() != config.sf_slim_width
+                || sf.depth() != SF_DEPTH
+                || sf.seed() != config.seed
+            {
+                return Err(SketchError::corrupted(
+                    "FREQUENCY sketch parameters disagree with the engine config",
+                ));
+            }
+            AggState::Frequency(sf)
         }
     })
 }
@@ -918,6 +1003,32 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(eng.report(&row!["zzz"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn frequency_aggregate_reports_and_estimates() {
+        let spec = QuerySpec::new(
+            vec![0],
+            vec![Aggregate::Count, Aggregate::Frequency { field: 1 }],
+        )
+        .unwrap();
+        let mut eng = SketchEngine::new(spec).unwrap();
+        for i in 0..3_000u64 {
+            eng.process(&row!["g", i % 100]).unwrap();
+        }
+        let report = eng.report(&row!["g"]).unwrap().unwrap();
+        assert_eq!(report[1], AggregateResult::Frequency { total: 3_000 });
+        // One-sided point query on the fat side.
+        let est = eng.estimate(&row!["g"], &Value::U64(7)).unwrap().unwrap();
+        assert!(est >= 30, "estimate {est} below true count 30");
+        assert!(eng
+            .estimate(&row!["missing"], &Value::U64(7))
+            .unwrap()
+            .is_none());
+        // Specs without FREQUENCY reject point queries with a typed error.
+        let plain =
+            SketchEngine::new(QuerySpec::new(vec![0], vec![Aggregate::Count]).unwrap()).unwrap();
+        assert!(plain.estimate(&row!["g"], &Value::U64(7)).is_err());
     }
 
     #[test]

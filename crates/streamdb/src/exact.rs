@@ -18,6 +18,10 @@ enum AggState {
         counts: HashMap<Value, u64>,
         k: usize,
     },
+    Frequency {
+        counts: HashMap<Value, u64>,
+        total: u64,
+    },
 }
 
 /// The exact GROUP BY engine (the "data warehouse" of experiment E16/E8).
@@ -52,6 +56,10 @@ impl ExactEngine {
                     counts: HashMap::new(),
                     k: *k,
                 },
+                Aggregate::Frequency { .. } => AggState::Frequency {
+                    counts: HashMap::new(),
+                    total: 0,
+                },
             })
             .collect()
     }
@@ -85,6 +93,10 @@ impl ExactEngine {
                 }
                 (Aggregate::TopK { field, .. }, AggState::TopK { counts, .. }) => {
                     *counts.entry(row[*field].clone()).or_insert(0) += 1;
+                }
+                (Aggregate::Frequency { field }, AggState::Frequency { counts, total }) => {
+                    *counts.entry(row[*field].clone()).or_insert(0) += 1;
+                    *total += 1;
                 }
                 _ => unreachable!("state built from same spec"),
             }
@@ -135,9 +147,27 @@ impl ExactEngine {
                         v.truncate(*k);
                         AggregateResult::TopK(v)
                     }
+                    AggState::Frequency { total, .. } => {
+                        AggregateResult::Frequency { total: *total }
+                    }
                 })
                 .collect(),
         )
+    }
+
+    /// Exact frequency point query: how many rows in group `key` held
+    /// `item` in the first FREQUENCY field (`None` if the group was never
+    /// seen; 0 if the group exists but the item never appeared). The
+    /// ground truth experiment E27 scores sketches against.
+    #[must_use]
+    pub fn estimate(&self, key: &[Value], item: &Value) -> Option<u64> {
+        let state = self.groups.get(key)?;
+        for st in state {
+            if let AggState::Frequency { counts, .. } = st {
+                return Some(counts.get(item).copied().unwrap_or(0));
+            }
+        }
+        None
     }
 
     /// Number of groups.
@@ -170,6 +200,9 @@ impl ExactEngine {
                     }
                     AggState::Quantiles(values) => values.len() * 8,
                     AggState::TopK { counts, .. } => {
+                        counts.keys().map(value_bytes).sum::<usize>() + counts.len() * 10
+                    }
+                    AggState::Frequency { counts, .. } => {
                         counts.keys().map(value_bytes).sum::<usize>() + counts.len() * 10
                     }
                 })

@@ -39,6 +39,11 @@
 //!   exact transactional counters plus KLL-backed latency histograms,
 //!   snapshotted via [`stream_engine::StreamEngine::metrics`] and
 //!   mergeable across shards without loss.
+//! * [`view`] — [`view::EngineView`]: the read/write split at engine
+//!   granularity. Every engine cuts a slim query-side view (truncated
+//!   top-k entries, cloned small sketches, SF-sketch slim halves) that is
+//!   a fraction of the fat state's size and is what epoch publication,
+//!   cross-shard merges, and the serving wire actually ship.
 
 #![forbid(unsafe_code)]
 
@@ -53,12 +58,13 @@ pub mod sharded;
 pub mod snapshot;
 pub mod stream_engine;
 pub mod value;
+pub mod view;
 
 pub use concurrent::{BatchTicket, ConcurrentEngine, ReadHandle};
 pub use durable::{
     CheckpointPolicy, DurableEngine, KillPoint, RecoveryReport, SIMULATED_CRASH_MARKER,
 };
-pub use engine::{EngineConfig, SketchEngine};
+pub use engine::{EngineConfig, SketchEngine, SF_DEPTH};
 pub use exact::ExactEngine;
 pub use fault::{
     silence_injected_panics, BatchCause, BatchError, BatchSummary, DeadLetters, FaultInjector,
@@ -68,6 +74,7 @@ pub use metrics::EngineMetrics;
 pub use query::{Aggregate, AggregateResult, QuerySpec};
 pub use sharded::ShardedEngine;
 pub use sketches_obs::{Clock, ManualClock, MetricsSnapshot, MonotonicClock};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SnapshotKind};
 pub use stream_engine::StreamEngine;
 pub use value::{Row, Value};
+pub use view::{EngineView, ViewState};

@@ -31,6 +31,13 @@ pub enum Aggregate {
         /// How many top values to report.
         k: usize,
     },
+    /// Per-value frequency point queries over a field — a two-stage
+    /// SF-sketch whose slim query side is what shards, epochs, and the
+    /// wire ship (see [`crate::EngineView`]).
+    Frequency {
+        /// Index of the counted field.
+        field: usize,
+    },
 }
 
 /// A GROUP BY query: grouping fields plus aggregate list.
@@ -75,7 +82,8 @@ impl QuerySpec {
                 Aggregate::Sum { field }
                 | Aggregate::CountDistinct { field }
                 | Aggregate::Quantiles { field }
-                | Aggregate::TopK { field, .. } => Some(*field),
+                | Aggregate::TopK { field, .. }
+                | Aggregate::Frequency { field } => Some(*field),
             })
             .max()
             .unwrap_or(0);
@@ -108,6 +116,14 @@ pub enum AggregateResult {
     },
     /// Top values with (approximate) counts, descending.
     TopK(Vec<(crate::value::Value, u64)>),
+    /// Frequency-sketch summary: total weight absorbed by the group's
+    /// sketch. Point queries go through
+    /// [`crate::SketchEngine::estimate`] / [`crate::EngineView::estimate`]
+    /// rather than the report (a report cannot enumerate an open domain).
+    Frequency {
+        /// Total weight absorbed (`‖f‖₁`).
+        total: u64,
+    },
 }
 
 #[cfg(test)]

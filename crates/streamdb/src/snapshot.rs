@@ -37,8 +37,11 @@ use crate::sharded::ShardedEngine;
 const MAGIC: &[u8; 4] = b"SKCP";
 
 /// Format version; bumped on any layout change so old readers fail with a
-/// typed error instead of misparsing.
-const VERSION: u16 = 1;
+/// typed error instead of misparsing. Version 2: [`EngineConfig`] gained
+/// the SF-sketch width fields (`sf_fat_width`, `sf_slim_width`).
+///
+/// [`EngineConfig`]: crate::engine::EngineConfig
+const VERSION: u16 = 2;
 
 /// Kind tag: a sequential [`SketchEngine`].
 const KIND_ENGINE: u8 = 1;
@@ -53,6 +56,25 @@ const CHECKSUM_SEED: u64 = 0x5AFE_C0DE_CAFE_0001;
 /// prefix (8), checksum (8).
 const MIN_LEN: usize = 4 + 2 + 1 + 8 + 8;
 
+/// The engine kind a snapshot envelope holds — the typed face of the
+/// envelope's kind byte, so callers never match on raw header bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A sequential [`SketchEngine`].
+    Engine,
+    /// A [`ShardedEngine`] (also what the concurrent engine publishes).
+    Sharded,
+}
+
+impl std::fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Engine => "engine",
+            Self::Sharded => "sharded",
+        })
+    }
+}
+
 /// A restored engine snapshot: whichever engine kind the bytes contained.
 #[derive(Debug, Clone)]
 pub enum Snapshot {
@@ -63,6 +85,39 @@ pub enum Snapshot {
 }
 
 impl Snapshot {
+    /// The kind of engine this snapshot holds.
+    #[must_use]
+    pub fn kind(&self) -> SnapshotKind {
+        match self {
+            Self::Engine(_) => SnapshotKind::Engine,
+            Self::Sharded(_) => SnapshotKind::Sharded,
+        }
+    }
+
+    /// Reads the kind tag out of a raw envelope without restoring it —
+    /// header validation only (length, magic, version, known kind), no
+    /// checksum pass and no payload decode.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation, bad magic,
+    /// version skew, or an unknown kind byte.
+    pub fn kind_of(bytes: &[u8]) -> SketchResult<SnapshotKind> {
+        let (kind, _) = parse_header(bytes)?;
+        Ok(kind)
+    }
+
+    /// Reads the payload length out of a raw envelope without restoring
+    /// it — the typed replacement for hand-indexing the length prefix at
+    /// byte 7. Validates the header and that the declared payload actually
+    /// fits the buffer.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupted`] on truncation, bad magic,
+    /// version skew, an unknown kind, or a length the buffer cannot hold.
+    pub fn payload_len(bytes: &[u8]) -> SketchResult<usize> {
+        let (_, len) = parse_header(bytes)?;
+        Ok(len)
+    }
     /// Serializes the snapshot to its checksummed envelope.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -190,6 +245,49 @@ impl Snapshot {
         pr.expect_end("snapshot payload")?;
         Ok(snapshot)
     }
+}
+
+/// Shared header walk behind [`Snapshot::kind_of`] /
+/// [`Snapshot::payload_len`]: validates magic, version, kind, and that the
+/// declared payload fits, returning `(kind, payload_len)`.
+fn parse_header(bytes: &[u8]) -> SketchResult<(SnapshotKind, usize)> {
+    if bytes.len() < MIN_LEN {
+        return Err(SketchError::corrupted(format!(
+            "snapshot too short: {} bytes (need at least {MIN_LEN})",
+            bytes.len()
+        )));
+    }
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(SketchError::corrupted(format!(
+            "bad snapshot magic {magic:?} (expected {MAGIC:?})"
+        )));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SketchError::corrupted(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let kind = match r.u8()? {
+        KIND_ENGINE => SnapshotKind::Engine,
+        KIND_SHARDED => SnapshotKind::Sharded,
+        other => {
+            return Err(SketchError::corrupted(format!(
+                "unknown snapshot kind {other} (expected {KIND_ENGINE} or {KIND_SHARDED})"
+            )));
+        }
+    };
+    let len = r.u64()?;
+    // Header (15) + payload + checksum (8) must fit the buffer.
+    if len > (bytes.len() - MIN_LEN) as u64 {
+        return Err(SketchError::corrupted(format!(
+            "snapshot declares a {len}-byte payload but only {} bytes follow the header",
+            bytes.len() - MIN_LEN
+        )));
+    }
+    Ok((kind, len as usize))
 }
 
 impl SketchEngine {
@@ -372,6 +470,44 @@ mod tests {
                 "bit flip at byte {i} not detected"
             );
         }
+    }
+
+    #[test]
+    fn kind_and_payload_len_read_without_restoring() {
+        let mut engine = SketchEngine::new(spec()).unwrap();
+        engine.process_batch(&rows(500, 5)).unwrap();
+        let bytes = engine.to_snapshot_bytes();
+        assert_eq!(Snapshot::kind_of(&bytes).unwrap(), SnapshotKind::Engine);
+        // Envelope = 15-byte header + payload + 8-byte checksum.
+        assert_eq!(Snapshot::payload_len(&bytes).unwrap(), bytes.len() - 15 - 8);
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap().kind(),
+            SnapshotKind::Engine
+        );
+
+        let sharded = ShardedEngine::new(spec(), 3).unwrap();
+        let sbytes = sharded.to_snapshot_bytes();
+        assert_eq!(Snapshot::kind_of(&sbytes).unwrap(), SnapshotKind::Sharded);
+        assert_eq!(SnapshotKind::Sharded.to_string(), "sharded");
+
+        // Header helpers reject damage with typed errors, never panic.
+        assert!(matches!(
+            Snapshot::kind_of(&bytes[..10]),
+            Err(SketchError::Corrupted { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::payload_len(&bad),
+            Err(SketchError::Corrupted { .. })
+        ));
+        let mut lying = bytes.clone();
+        // Inflate the declared payload length beyond the buffer.
+        lying[7..15].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Snapshot::payload_len(&lying),
+            Err(SketchError::Corrupted { .. })
+        ));
     }
 
     #[test]

@@ -110,6 +110,23 @@ pub trait StreamEngine: Sized {
     /// engine's on the same stream.
     fn metrics(&self) -> MetricsSnapshot;
 
+    /// Cuts the slim query-side view ([`crate::EngineView`]) of the
+    /// current state — the read half of the read/write split
+    /// ([`sketches_core::QueryView`]). The view answers
+    /// [`crate::EngineView::report`] identically to [`report`](Self::report)
+    /// at the moment of the cut, at a fraction of the fat state's size;
+    /// it is what epoch publication, cross-node merges, and the serving
+    /// wire ship. On the concurrent engine this is the latest *published*
+    /// epoch's view.
+    fn query_view(&self) -> crate::EngineView;
+
+    /// The envelope kind [`to_snapshot_bytes`](Self::to_snapshot_bytes)
+    /// produces — the typed accessor that replaces peeking at header
+    /// bytes. The concurrent engine reports
+    /// [`crate::SnapshotKind::Sharded`]: its snapshots are byte-identical
+    /// to the sharded engine's.
+    fn snapshot_kind(&self) -> crate::SnapshotKind;
+
     /// Serializes the engine as a checksummed snapshot envelope.
     fn to_snapshot_bytes(&self) -> Vec<u8>;
 
@@ -171,6 +188,14 @@ impl StreamEngine for SketchEngine {
         SketchEngine::metrics(self)
     }
 
+    fn query_view(&self) -> crate::EngineView {
+        SketchEngine::query_view(self)
+    }
+
+    fn snapshot_kind(&self) -> crate::SnapshotKind {
+        crate::SnapshotKind::Engine
+    }
+
     fn to_snapshot_bytes(&self) -> Vec<u8> {
         SketchEngine::to_snapshot_bytes(self)
     }
@@ -227,6 +252,14 @@ impl StreamEngine for ShardedEngine {
 
     fn metrics(&self) -> MetricsSnapshot {
         ShardedEngine::metrics(self)
+    }
+
+    fn query_view(&self) -> crate::EngineView {
+        ShardedEngine::query_view(self)
+    }
+
+    fn snapshot_kind(&self) -> crate::SnapshotKind {
+        crate::SnapshotKind::Sharded
     }
 
     fn to_snapshot_bytes(&self) -> Vec<u8> {
@@ -293,6 +326,14 @@ impl StreamEngine for ConcurrentEngine {
         ConcurrentEngine::metrics(self)
     }
 
+    fn query_view(&self) -> crate::EngineView {
+        ConcurrentEngine::query_view(self)
+    }
+
+    fn snapshot_kind(&self) -> crate::SnapshotKind {
+        crate::SnapshotKind::Sharded
+    }
+
     fn to_snapshot_bytes(&self) -> Vec<u8> {
         ConcurrentEngine::to_snapshot_bytes(self)
     }
@@ -339,7 +380,20 @@ mod tests {
         assert!(engine.report(&row![99u64]).unwrap().is_none());
         assert!(engine.state_bytes() > 0);
 
+        // The slim view is cut from the same state: identical reports.
+        let view = engine.query_view();
+        assert_eq!(view.rows_processed(), 1_000);
+        assert_eq!(
+            view.report(&row![0u64]).unwrap(),
+            engine.report(&row![0u64]).unwrap()
+        );
+
         let bytes = engine.to_snapshot_bytes();
+        // The typed accessor agrees with what the envelope actually says.
+        assert_eq!(
+            engine.snapshot_kind(),
+            crate::Snapshot::kind_of(&bytes).unwrap()
+        );
         let restored = E::from_snapshot_bytes(&bytes).unwrap();
         assert_eq!(restored.to_snapshot_bytes(), bytes);
 

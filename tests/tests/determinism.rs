@@ -10,8 +10,8 @@
 //! the comparison across many rebuilds so a hash-order-dependent tie break
 //! cannot pass by luck.
 
-use sketches::core::{MergeSketch, Update};
-use sketches::frequency::{HeavyHittersTracker, MisraGries};
+use sketches::core::{ByteWriter, MergeSketch, QueryView, Update};
+use sketches::frequency::{HeavyHittersTracker, MisraGries, SfSketch};
 use sketches::graph::AgmGraphSketch;
 use sketches::lsh::EuclideanLshIndex;
 use sketches::streamdb::{Aggregate, AggregateResult, ExactEngine, QuerySpec, SketchEngine, Value};
@@ -45,6 +45,29 @@ fn misra_gries_reports_are_rebuild_invariant() {
     let reference = build_report();
     for rebuild in 0..REBUILDS {
         assert_eq!(build_report(), reference, "diverged on rebuild {rebuild}");
+    }
+}
+
+#[test]
+fn sf_sketch_build_and_view_are_rebuild_invariant() {
+    // L1 discipline: the SF-sketch takes an explicit seed and owns no
+    // RandomState-hashed container, so two builds in one process (each a
+    // fresh ambient-hash environment) must agree to the byte — sketch,
+    // slim view, and the view's serialized form alike.
+    let stream = tie_heavy_stream();
+    let build = || {
+        let mut sf = SfSketch::new(512, 64, 4, 17).expect("valid params");
+        for x in &stream {
+            sf.update(x);
+        }
+        let view = sf.query_view();
+        let mut w = ByteWriter::new();
+        view.write_state(&mut w);
+        (sf, view, w.into_bytes())
+    };
+    let reference = build();
+    for rebuild in 0..REBUILDS {
+        assert_eq!(build(), reference, "diverged on rebuild {rebuild}");
     }
 }
 

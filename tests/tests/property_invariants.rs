@@ -155,4 +155,71 @@ proptest! {
         let rel = (c.estimate() - n as f64).abs() / n as f64;
         prop_assert!(rel < 6.0 * c.theoretical_rse(), "rel err {rel}");
     }
+
+    /// SF-sketch: on any insert-only stream, neither the fat update side
+    /// nor the slim query side ever underestimates any item.
+    #[test]
+    fn sf_sketch_never_underestimates(stream in vec(0u16..512, 1..2000)) {
+        let mut sf = SfSketch::new(256, 32, 4, 11).unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for x in &stream {
+            sf.update(x);
+            *exact.entry(*x).or_insert(0u64) += 1;
+        }
+        for (item, &truth) in &exact {
+            prop_assert!(FrequencyEstimator::estimate(&sf, item) >= truth, "fat side");
+            prop_assert!(sf.slim_estimate(item) >= truth, "slim side");
+        }
+        prop_assert_eq!(sf.total(), stream.len() as u64);
+    }
+
+    /// SF-sketch: cutting a view commutes with merging (exactly), and the
+    /// merged sketch keeps both one-sided bounds on the concatenation.
+    #[test]
+    fn sf_merge_commutes_with_views_and_keeps_bound(
+        a in vec(0u16..256, 0..1000),
+        b in vec(0u16..256, 0..1000),
+    ) {
+        let mut sa = SfSketch::new(256, 32, 4, 5).unwrap();
+        let mut sb = SfSketch::new(256, 32, 4, 5).unwrap();
+        for x in &a { sa.update(x); }
+        for x in &b { sb.update(x); }
+        let mut view_merge = sa.query_view();
+        view_merge.merge(&sb.query_view()).unwrap();
+        sa.merge(&sb).unwrap();
+        prop_assert_eq!(sa.query_view(), view_merge);
+        let mut exact = std::collections::HashMap::new();
+        for x in a.iter().chain(&b) {
+            *exact.entry(*x).or_insert(0u64) += 1;
+        }
+        for (item, &truth) in &exact {
+            prop_assert!(FrequencyEstimator::estimate(&sa, item) >= truth);
+            prop_assert!(sa.slim_estimate(item) >= truth);
+        }
+    }
+
+    /// SF-sketch: the checkpoint layout round-trips the full state, and
+    /// the restored sketch stays fat/slim-consistent with the original on
+    /// every query.
+    #[test]
+    fn sf_state_round_trip_is_consistent(stream in vec(0u16..256, 0..1500)) {
+        use sketches::core::{ByteReader, ByteWriter};
+        let mut sf = SfSketch::new(128, 16, 3, 9).unwrap();
+        for x in &stream {
+            sf.update(x);
+        }
+        let mut w = ByteWriter::new();
+        sf.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let restored = SfSketch::read_state(&mut ByteReader::new(&bytes)).unwrap();
+        prop_assert_eq!(&restored, &sf);
+        prop_assert_eq!(restored.query_view(), sf.query_view());
+        for x in 0u16..256 {
+            prop_assert_eq!(
+                FrequencyEstimator::estimate(&restored, &x),
+                FrequencyEstimator::estimate(&sf, &x)
+            );
+            prop_assert_eq!(restored.slim_estimate(&x), sf.slim_estimate(&x));
+        }
+    }
 }

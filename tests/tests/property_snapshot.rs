@@ -19,6 +19,7 @@ fn full_spec() -> QuerySpec {
             Aggregate::CountDistinct { field: 1 },
             Aggregate::Quantiles { field: 2 },
             Aggregate::TopK { field: 1, k: 3 },
+            Aggregate::Frequency { field: 1 },
         ],
     )
     .expect("valid spec")
@@ -30,6 +31,8 @@ fn tiny_config() -> EngineConfig {
         hll_precision: 4,
         kll_k: 8,
         space_saving_counters: 4,
+        sf_fat_width: 16,
+        sf_slim_width: 4,
         ..EngineConfig::default()
     }
 }

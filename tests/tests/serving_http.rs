@@ -137,6 +137,107 @@ fn walkthrough_ingest_query_groups_metrics_health() {
     let _ = server.shutdown();
 }
 
+/// Like [`exchange`] but keeps the body as raw bytes (for the binary
+/// `/v1/view` envelope).
+fn exchange_bytes(addr: SocketAddr, method: &str, path: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let head = format!("{method} {path} HTTP/1.1\r\nHost: it\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+        }
+    }
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {head:?}"));
+    (status, head, raw[split + 4..].to_vec())
+}
+
+/// The read-optimized surface: batched reports (both spellings), the
+/// slim binary `/v1/view` envelope, typed `bad_keys` rejections, and the
+/// `snapshot_kind` field on `/readyz`.
+#[test]
+fn batched_report_view_endpoint_and_snapshot_kind() {
+    use sketches::streamdb::EngineView;
+    let server = volatile_server(ServerConfig::default());
+    let addr = server.addr();
+
+    let (status, resp) = ingest_rows(addr, 100, 4);
+    assert_eq!(status, 200, "{resp}");
+
+    // keys= list: two known groups plus one unknown, answered in order.
+    let (status, _, body) = exchange(addr, "GET", "/v1/report?keys=%5B1%5D,%5B2%5D,%5B9%5D", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"version\":1"), "{body}");
+    assert!(body.contains("\"found\":true"), "{body}");
+    assert!(body.contains("\"found\":false"), "{body}");
+    assert_eq!(body.matches("\"key\":").count(), 3, "{body}");
+    assert!(body.contains("{\"agg\":\"count\",\"value\":25}"), "{body}");
+
+    // Repeated key= parameters are the same batch.
+    let (status, _, body) = exchange(addr, "GET", "/v1/report?key=%5B1%5D&key=%5B2%5D", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"version\":1"), "{body}");
+    assert_eq!(body.matches("\"found\":true").count(), 2, "{body}");
+
+    // The single-key form keeps its original response shape.
+    let (status, _, body) = exchange(addr, "GET", "/v1/report?key=%5B1%5D", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"version\""), "{body}");
+    assert!(!body.contains("\"found\""), "{body}");
+
+    // Typed 400s: empty and oversized key lists.
+    let (status, _, body) = exchange(addr, "GET", "/v1/report?keys=", "");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad_keys"), "{body}");
+    let many = vec!["%5B1%5D"; 65].join(",");
+    let (status, _, body) = exchange(addr, "GET", &format!("/v1/report?keys={many}"), "");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad_keys"), "{body}");
+    assert!(body.contains("65"), "{body}");
+
+    // /v1/view ships the checksummed slim envelope — parseable, current,
+    // and smaller than the fat snapshot a replica would otherwise pull.
+    let (status, head, bytes) = exchange_bytes(addr, "GET", "/v1/view");
+    assert_eq!(status, 200, "{head}");
+    assert!(head.contains("application/octet-stream"), "{head}");
+    let view = EngineView::from_view_bytes(&bytes).expect("view envelope parses");
+    assert_eq!(view.rows_processed(), 100);
+    let fat = server.reader().to_snapshot_bytes();
+    assert!(
+        bytes.len() < fat.len(),
+        "view ({}) must undercut the fat snapshot ({})",
+        bytes.len(),
+        fat.len()
+    );
+
+    // /readyz names the checkpoint kind without parsing envelope bytes.
+    let (status, _, body) = exchange(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"snapshot_kind\":\"sharded\""), "{body}");
+
+    // Wrong method on the new path is a typed 405, not a 404.
+    let (status, _, body) = exchange(addr, "POST", "/v1/view", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("method_not_allowed"), "{body}");
+
+    let _ = server.shutdown();
+}
+
 /// A client that connects and then stalls mid-request gets a typed 504
 /// once the budget lapses — and the worker is reclaimed: the very next
 /// request is served normally.
