@@ -1,4 +1,4 @@
-//! The experiment suite: one function per experiment id (E1–E27), each
+//! The experiment suite: one function per experiment id (E1–E28), each
 //! regenerating the table recorded in `EXPERIMENTS.md`.
 //!
 //! The reproduced paper is a survey with no tables or figures of its own;
@@ -160,6 +160,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn())> {
             "e27",
             "SF-sketch read/write split: slim side beats same-size CM per byte; publish + wire ship slim",
             sf_exps::e27,
+        ),
+        (
+            "e28",
+            "Request tracing: socket-to-WAL spans cost <5% at default sampling and sum within the root",
+            serve_exps::e28,
         ),
         (
             "a1",

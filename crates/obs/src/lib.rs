@@ -23,6 +23,11 @@
 //!   event log) and [`MetricsSnapshot`], a point-in-time view that merges
 //!   across shards (counters add, gauges add, histograms sketch-merge)
 //!   and renders as a human table, Prometheus text exposition, or JSON.
+//! - **Tracing** — [`TraceContext`]/[`TraceSpan`] carry one request's
+//!   per-stage latency breakdown from the socket to the WAL; completed
+//!   traces land in a bounded [`TraceSink`]. Identifiers come from an
+//!   injected seeded [`IdGen`] and sampling ([`Sampling`]) is a
+//!   deterministic counter, mirroring the [`Clock`] discipline.
 //!
 //! ```
 //! use sketches_obs::{Clock, LatencyHistogram, ManualClock, Span};
@@ -42,8 +47,12 @@ mod clock;
 mod metrics;
 mod registry;
 mod snapshot;
+mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{Counter, Gauge, LatencyHistogram, Span, OBS_KLL_K, OBS_KLL_SEED};
 pub use registry::{Event, Registry, EVENT_CAP};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::{
+    IdGen, Sampler, Sampling, SpanId, Stage, Trace, TraceContext, TraceId, TraceSink, TraceSpan,
+};

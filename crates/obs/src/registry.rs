@@ -8,7 +8,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::metrics::{Counter, Gauge, LatencyHistogram};
+use crate::clock::Clock;
+use crate::metrics::{Counter, Gauge, LatencyHistogram, Span};
 use crate::snapshot::MetricsSnapshot;
 
 /// Maximum events retained by a [`Registry`] (oldest dropped first).
@@ -52,6 +53,25 @@ impl Registry {
     /// The histogram named `name`, created empty on first use.
     pub fn histogram(&mut self, name: &str) -> &mut LatencyHistogram {
         self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Starts an RAII span that records into histogram `name` when
+    /// dropped — the ergonomic form of
+    /// [`LatencyHistogram::time`], which needs a mutable histogram
+    /// borrow the call site rarely has in hand.
+    ///
+    /// ```
+    /// use sketches_obs::{ManualClock, Registry};
+    /// let clock = ManualClock::new();
+    /// let mut r = Registry::new();
+    /// {
+    ///     let _span = r.time("stage_seconds", &clock);
+    ///     clock.advance(250);
+    /// }
+    /// assert_eq!(r.histogram("stage_seconds").count(), 1);
+    /// ```
+    pub fn time<'a>(&'a mut self, name: &str, clock: &'a dyn Clock) -> Span<'a> {
+        Span::start(clock, self.histogram(name))
     }
 
     /// Appends an event, dropping the oldest past [`EVENT_CAP`].

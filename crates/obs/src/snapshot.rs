@@ -230,6 +230,28 @@ impl MetricsSnapshot {
             };
             let _ = writeln!(out, "{} {}", series(&count_name, None), h.count());
         }
+        // Point-quantile gauges (`<family>_p50/_p90/_p99`, seconds) so
+        // dashboards can plot a plain series without understanding the
+        // summary's quantile labels or the raw KLL. Collected into a
+        // sorted map first so every gauge family gets exactly one
+        // HELP/TYPE pair even when the source histograms are labeled.
+        let mut point_gauges: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_series(name);
+            for (q, suffix) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                if let Some(nanos) = h.quantile_nanos(q) {
+                    let gauge_name = match labels {
+                        Some(inner) => format!("{base}_{suffix}{{{inner}}}"),
+                        None => format!("{base}_{suffix}"),
+                    };
+                    point_gauges.insert(gauge_name, nanos / 1e9);
+                }
+            }
+        }
+        for (name, v) in &point_gauges {
+            header(&mut out, name, "gauge");
+            let _ = writeln!(out, "{} {v}", series(name, None));
+        }
         out
     }
 
@@ -287,7 +309,7 @@ fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
 }
 
 /// JSON-escapes and quotes a string.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -467,6 +489,10 @@ mod tests {
         assert!(text.contains("# TYPE batch_latency_seconds summary"));
         assert!(text.contains("batch_latency_seconds{quantile=\"0.99\"}"));
         assert!(text.contains("batch_latency_seconds_count 100"));
+        // Point-quantile gauges ride along for dashboards.
+        assert!(text.contains("# TYPE batch_latency_seconds_p50 gauge"));
+        assert!(text.contains("# TYPE batch_latency_seconds_p99 gauge"));
+        assert!(text.contains("batch_latency_seconds_p90 "));
     }
 
     #[test]
@@ -497,6 +523,14 @@ mod tests {
         // on the base name with the labels preserved.
         assert!(text.contains("request_latency_seconds{route=\"ingest\",quantile=\"0.5\"} 2\n"));
         assert!(text.contains("request_latency_seconds_count{route=\"ingest\"} 1\n"));
+        // Labeled point-quantile gauges keep the source labels and get
+        // one TYPE line per gauge family.
+        assert!(text.contains("request_latency_seconds_p99{route=\"ingest\"} 2\n"));
+        assert_eq!(
+            text.matches("# TYPE request_latency_seconds_p99 gauge")
+                .count(),
+            1
+        );
         // HELP/TYPE come once per family, in order, before its series.
         let help_idx = text.find("# HELP requests_total").unwrap();
         let type_idx = text.find("# TYPE requests_total").unwrap();

@@ -231,6 +231,13 @@ impl Response {
         self
     }
 
+    /// Adds an arbitrary extra header (e.g. `traceparent`).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
     /// Serializes the response with `Content-Length` and
     /// `Connection: close`.
     ///

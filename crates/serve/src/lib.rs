@@ -27,16 +27,30 @@
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `GET /metrics` | Engine + durability + server metrics, Prometheus text |
+//! | `GET /metrics` | Engine + durability + server metrics, Prometheus text (`?format=json` for one JSON object) |
 //! | `GET /healthz` | Liveness: `200` while the process serves |
 //! | `GET /readyz` | Readiness: `503` when draining or degraded |
 //! | `GET /v1/groups` | Group keys (`?limit=N`) |
 //! | `GET/POST /v1/report` | One group's aggregates (`?key=[...]` or body), or a versioned batch via `?keys=[...],[...]` / repeated `key=` |
 //! | `GET /v1/view` | The slim query-side [`sketches_streamdb::EngineView`] envelope (binary) |
 //! | `POST /v1/ingest` | Batch ingest `{"rows": [[...], ...]}` |
+//! | `GET /v1/debug/traces` | Recent head-sampled request traces (`?count=N`), newest first |
+//! | `GET /v1/debug/slow` | Recent slow-request traces, retained regardless of sampling |
+//!
+//! # Tracing
+//!
+//! Every request can carry a [`sketches_obs::TraceContext`] from the
+//! socket down to the WAL: the server opens a root span (honouring an
+//! incoming `traceparent` header and emitting one on the response), and
+//! each stage — parse, handle, write, submit-queue wait, engine apply,
+//! epoch publish, WAL append, fsync, checkpoint — closes a child span
+//! *and* records into the shared `stage_latency_seconds{stage=...}`
+//! histogram family. Head sampling ([`tracing::TraceConfig`]) bounds the
+//! cost; completed traces land in fixed-capacity rings served by the
+//! debug endpoints.
 //!
 //! Everything is plain `std` networking — no async runtime, no external
-//! HTTP dependency — so the robustness properties live in ~six small
+//! HTTP dependency — so the robustness properties live in ~seven small
 //! modules that the workspace's concurrency lints (L6–L9) fully cover.
 
 #![forbid(unsafe_code)]
@@ -47,10 +61,13 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod state;
+pub mod tracing;
 
 pub use backoff::RetryPolicy;
 pub use http::{Limits, Request, Response};
 pub use json::Json;
 pub use metrics::{Route, ServerMetrics};
 pub use server::{DrainReport, Server, ServerConfig};
+pub use sketches_obs::Sampling;
 pub use state::{AppState, Backend, BatchOutcome, IngestOutcome};
+pub use tracing::{RequestTrace, TraceConfig, Tracer};

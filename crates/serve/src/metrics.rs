@@ -9,7 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use sketches_obs::{LatencyHistogram, MetricsSnapshot};
+use sketches_obs::{LatencyHistogram, MetricsSnapshot, Stage};
+use sketches_streamdb::metrics::names;
 
 /// The closed set of routes the server accounts for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub enum Route {
     View,
     /// `POST /v1/ingest`.
     Ingest,
+    /// `GET /v1/debug/traces`.
+    DebugTraces,
+    /// `GET /v1/debug/slow`.
+    DebugSlow,
     /// Admission-layer outcomes (shed, drain-refusal) that never reach a
     /// worker, so the route is not yet known.
     Accept,
@@ -35,7 +40,7 @@ pub enum Route {
     Other,
 }
 
-const ROUTES: [Route; 9] = [
+const ROUTES: [Route; 11] = [
     Route::Metrics,
     Route::Healthz,
     Route::Readyz,
@@ -43,6 +48,8 @@ const ROUTES: [Route; 9] = [
     Route::Report,
     Route::View,
     Route::Ingest,
+    Route::DebugTraces,
+    Route::DebugSlow,
     Route::Accept,
     Route::Other,
 ];
@@ -57,12 +64,16 @@ impl Route {
             Route::Report => 4,
             Route::View => 5,
             Route::Ingest => 6,
-            Route::Accept => 7,
-            Route::Other => 8,
+            Route::DebugTraces => 7,
+            Route::DebugSlow => 8,
+            Route::Accept => 9,
+            Route::Other => 10,
         }
     }
 
-    fn label(self) -> &'static str {
+    /// The stable lowercase label (metric label value and trace attr).
+    #[must_use]
+    pub fn label(self) -> &'static str {
         match self {
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
@@ -71,6 +82,8 @@ impl Route {
             Route::Report => "report",
             Route::View => "view",
             Route::Ingest => "ingest",
+            Route::DebugTraces => "debug_traces",
+            Route::DebugSlow => "debug_slow",
             Route::Accept => "accept",
             Route::Other => "other",
         }
@@ -104,6 +117,11 @@ pub struct ServerMetrics {
     deadline_exceeded_total: AtomicU64,
     inflight: AtomicU64,
     latency: [Mutex<LatencyHistogram>; ROUTES.len()],
+    // The server-side slice of the stage_latency family (parse / handle /
+    // write); the engine records the downstream stages.
+    stage_parse: Mutex<LatencyHistogram>,
+    stage_handle: Mutex<LatencyHistogram>,
+    stage_write: Mutex<LatencyHistogram>,
 }
 
 impl Default for ServerMetrics {
@@ -123,7 +141,23 @@ impl ServerMetrics {
             deadline_exceeded_total: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Mutex::new(LatencyHistogram::new())),
+            stage_parse: Mutex::new(LatencyHistogram::new()),
+            stage_handle: Mutex::new(LatencyHistogram::new()),
+            stage_write: Mutex::new(LatencyHistogram::new()),
         }
+    }
+
+    /// Records one server-side stage duration ([`Stage::Parse`],
+    /// [`Stage::Handle`], or [`Stage::Write`]; other stages belong to
+    /// the engine and are ignored here).
+    pub fn record_stage(&self, stage: Stage, elapsed_nanos: u64) {
+        let hist = match stage {
+            Stage::Parse => &self.stage_parse,
+            Stage::Handle => &self.stage_handle,
+            Stage::Write => &self.stage_write,
+            _ => return,
+        };
+        hist.lock().record_nanos(elapsed_nanos);
     }
 
     /// Records one completed request: route, status, and wall time.
@@ -228,6 +262,16 @@ impl ServerMetrics {
                     &format!("serve_request_latency_nanos{{route=\"{}\"}}", route.label()),
                     hist,
                 );
+            }
+        }
+        for (stage, hist) in [
+            (Stage::Parse, &self.stage_parse),
+            (Stage::Handle, &self.stage_handle),
+            (Stage::Write, &self.stage_write),
+        ] {
+            let h = hist.lock().snapshot();
+            if h.count() > 0 {
+                snap.put_histogram(&names::stage_latency(stage), h);
             }
         }
         snap.add_counter("serve_shed_total", self.shed_total());

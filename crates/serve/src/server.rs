@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use sketches_obs::MonotonicClock;
+use sketches_obs::{MonotonicClock, Sampling, Stage, Trace, TraceContext};
 use sketches_streamdb::{BatchError, KillPoint, ReadHandle, Row, Value};
 
 use crate::backoff::RetryPolicy;
@@ -33,6 +33,7 @@ use crate::http::{read_request, Limits, ReadError, Request, Response};
 use crate::json::{value_to_json, Json};
 use crate::metrics::{Route, ServerMetrics};
 use crate::state::{AppState, Backend, IngestOutcome};
+use crate::tracing::{RequestTrace, TraceConfig, Tracer};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -55,6 +56,8 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Seconds suggested to shed clients via `Retry-After`.
     pub retry_after_secs: u64,
+    /// Request tracing: sampling policy, sink capacities, slow threshold.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +72,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             retry: RetryPolicy::default(),
             retry_after_secs: 1,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -122,6 +126,7 @@ impl Server {
             backend,
             Arc::new(MonotonicClock::new()),
             config.retry,
+            Tracer::new(&config.trace),
         )?);
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -368,8 +373,29 @@ fn handle_connection(mut stream: TcpStream, state: &AppState, config: &ServerCon
     let _ = stream.set_read_timeout(Some(config.read_timeout.min(config.request_budget)));
     let _ = stream.set_write_timeout(Some(config.write_timeout.min(config.request_budget)));
 
+    let mut trace = RequestTrace::disabled();
     let (route, response) = match read_request(&mut stream, &config.limits) {
-        Ok(req) => route_request(&req, state, config, deadline),
+        Ok(req) => {
+            // The trace can only start once the headers are parsed (the
+            // incoming `traceparent` lives there), so the parse span is
+            // recorded retroactively against the connection start.
+            trace = state.tracer.begin(req.header("traceparent"));
+            let parse_end = state.clock.now_nanos();
+            state
+                .metrics
+                .record_stage(Stage::Parse, parse_end.saturating_sub(started));
+            trace.ctx.child(Stage::Parse, started, parse_end);
+
+            let (route, response) = route_request(&req, state, config, deadline, &trace.ctx);
+            let handle_end = state.clock.now_nanos();
+            state
+                .metrics
+                .record_stage(Stage::Handle, handle_end.saturating_sub(parse_end));
+            trace
+                .ctx
+                .child_with(Stage::Handle, parse_end, handle_end, vec![]);
+            (route, response)
+        }
         Err(ReadError::TimedOut) => (
             Route::Other,
             Response::error(504, "deadline_exceeded", "timed out reading the request"),
@@ -401,13 +427,32 @@ fn handle_connection(mut stream: TcpStream, state: &AppState, config: &ServerCon
     } else {
         response
     };
+    // Announce the trace so clients (and tests) can correlate responses
+    // with `/v1/debug/traces` entries.
+    let response = match trace.ctx.traceparent() {
+        Some(tp) => response.with_header("traceparent", tp),
+        None => response,
+    };
 
+    let write_start = state.clock.now_nanos();
     let _ = response.write_to(&mut stream);
     finish_connection(&stream, config.read_timeout);
-    state.metrics.record(
-        route,
-        response.status,
-        state.clock.now_nanos().saturating_sub(started),
+    let ended = state.clock.now_nanos();
+    state
+        .metrics
+        .record_stage(Stage::Write, ended.saturating_sub(write_start));
+    trace.ctx.child(Stage::Write, write_start, ended);
+    state
+        .metrics
+        .record(route, response.status, ended.saturating_sub(started));
+    state.tracer.finish(
+        &trace,
+        started,
+        ended,
+        vec![
+            ("route".to_string(), route.label().to_string()),
+            ("status".to_string(), response.status.to_string()),
+        ],
     );
     state.metrics.exit();
 }
@@ -418,19 +463,25 @@ fn route_request(
     state: &AppState,
     config: &ServerConfig,
     deadline: u64,
+    ctx: &TraceContext,
 ) -> (Route, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/metrics") => (Route::Metrics, metrics_response(state)),
+        ("GET", "/metrics") => (Route::Metrics, metrics_response(req, state)),
         ("GET", "/healthz") => (Route::Healthz, Response::json(200, "{\"status\":\"ok\"}")),
         ("GET", "/readyz") => (Route::Readyz, readyz_response(state)),
         ("GET", "/v1/groups") => (Route::Groups, groups_response(req, state)),
         ("GET" | "POST", "/v1/report") => (Route::Report, report_response(req, state)),
         ("GET", "/v1/view") => (Route::View, view_response(state)),
-        ("POST", "/v1/ingest") => (Route::Ingest, ingest_response(req, state, config, deadline)),
+        ("POST", "/v1/ingest") => (
+            Route::Ingest,
+            ingest_response(req, state, config, deadline, ctx),
+        ),
+        ("GET", "/v1/debug/traces") => (Route::DebugTraces, debug_traces_response(req, state)),
+        ("GET", "/v1/debug/slow") => (Route::DebugSlow, debug_slow_response(req, state)),
         (
             _,
             "/metrics" | "/healthz" | "/readyz" | "/v1/groups" | "/v1/report" | "/v1/view"
-            | "/v1/ingest",
+            | "/v1/ingest" | "/v1/debug/traces" | "/v1/debug/slow",
         ) => (
             Route::Other,
             Response::error(
@@ -446,9 +497,18 @@ fn route_request(
     }
 }
 
-/// `/metrics`: engine + durability + server metrics, merged, Prometheus
-/// text format.
-fn metrics_response(state: &AppState) -> Response {
+/// `/metrics`: engine + durability + server metrics, merged. The default
+/// rendering is Prometheus text; `?format=json` returns the same
+/// snapshot as one JSON object, and any other format is a typed 400.
+fn metrics_response(req: &Request, state: &AppState) -> Response {
+    let format = req.query_param("format").unwrap_or("prometheus");
+    if format != "prometheus" && format != "json" {
+        return Response::error(
+            400,
+            "bad_query",
+            "format must be \"prometheus\" or \"json\"",
+        );
+    }
     let mut snap = state.reader().metrics();
     let durability = state.with_backend(|b| b.durability_metrics());
     let merged = snap
@@ -457,7 +517,90 @@ fn metrics_response(state: &AppState) -> Response {
     if let Err(e) = merged {
         return Response::error(500, "metrics_failed", &e.to_string());
     }
-    Response::text(200, snap.to_prometheus())
+    if format == "json" {
+        Response::json(200, snap.to_json())
+    } else {
+        Response::text(200, snap.to_prometheus())
+    }
+}
+
+/// Default and maximum `?count=` for the debug trace endpoints.
+const DEBUG_TRACES_DEFAULT: usize = 16;
+const DEBUG_TRACES_MAX: usize = 256;
+
+/// Parses the bounded `?count=` parameter shared by the debug endpoints.
+fn parse_debug_count(req: &Request) -> Result<usize, Response> {
+    match req.query_param("count").map(str::parse::<usize>) {
+        None => Ok(DEBUG_TRACES_DEFAULT),
+        Some(Ok(n)) if (1..=DEBUG_TRACES_MAX).contains(&n) => Ok(n),
+        Some(_) => Err(Response::error(
+            400,
+            "bad_query",
+            &format!("count must be an integer in 1..={DEBUG_TRACES_MAX}"),
+        )),
+    }
+}
+
+/// Renders a trace list endpoint body: versioned envelope, newest first.
+fn traces_body(traces: &[Trace], extra: &[(String, Json)], state: &AppState) -> String {
+    let sampling = match state.tracer.sampling() {
+        Sampling::Off => "off".to_string(),
+        Sampling::Always => "always".to_string(),
+        Sampling::SampleEvery(n) => format!("every_{n}"),
+    };
+    let mut out = format!(
+        "{{\"version\":1,\"sampling\":{},",
+        crate::json::escape(&sampling)
+    );
+    for (k, v) in extra {
+        out.push_str(&format!("{}:{},", crate::json::escape(k), v.render()));
+    }
+    out.push_str(&format!("\"count\":{},\"traces\":[", traces.len()));
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `GET /v1/debug/traces?count=N`: the most recent head-sampled traces,
+/// newest first, from the bounded in-memory ring.
+fn debug_traces_response(req: &Request, state: &AppState) -> Response {
+    let count = match parse_debug_count(req) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let traces = state.tracer.recent(count);
+    let extra = [(
+        "capacity".to_string(),
+        Json::U64(state.tracer.capacity() as u64),
+    )];
+    Response::json(200, traces_body(&traces, &extra, state))
+}
+
+/// `GET /v1/debug/slow?count=N`: recent slow requests (end-to-end time
+/// over the configured threshold), force-retained regardless of the
+/// sampling policy.
+fn debug_slow_response(req: &Request, state: &AppState) -> Response {
+    let count = match parse_debug_count(req) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let traces = state.tracer.slow_recent(count);
+    let extra = [
+        (
+            "capacity".to_string(),
+            Json::U64(state.tracer.slow_capacity() as u64),
+        ),
+        (
+            "slow_threshold_nanos".to_string(),
+            Json::U64(state.tracer.slow_threshold_nanos()),
+        ),
+    ];
+    Response::json(200, traces_body(&traces, &extra, state))
 }
 
 fn readyz_response(state: &AppState) -> Response {
@@ -775,6 +918,7 @@ fn ingest_response(
     state: &AppState,
     config: &ServerConfig,
     deadline: u64,
+    ctx: &TraceContext,
 ) -> Response {
     if state.draining.load(Ordering::Acquire) {
         return Response::error(503, "draining", "server is draining")
@@ -797,7 +941,7 @@ fn ingest_response(
             "request exceeded its total time budget",
         );
     }
-    match state.ingest(&rows, deadline, state.token()) {
+    match state.ingest(&rows, deadline, state.token(), ctx) {
         IngestOutcome::Ok { summary, attempts } => Response::json(
             200,
             format!(

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use sketches_obs::{Clock, MetricsSnapshot};
+use sketches_obs::{Clock, MetricsSnapshot, TraceContext};
 use sketches_streamdb::{
     BatchCause, BatchError, BatchSummary, ConcurrentEngine, DurableEngine, KillPoint, ReadHandle,
     Row, StreamEngine,
@@ -20,6 +20,7 @@ use sketches_streamdb::{
 
 use crate::backoff::RetryPolicy;
 use crate::metrics::ServerMetrics;
+use crate::tracing::Tracer;
 
 /// The engine a server fronts: in-memory only, or WAL-and-checkpoint
 /// durable.
@@ -91,9 +92,9 @@ impl Backend {
     /// row count shows the batch reached the WAL before the fault, the
     /// attempt is reported as success (retrying would double-ingest);
     /// otherwise it is transient and safe to retry.
-    pub fn try_batch(&mut self, rows: &[Row]) -> BatchOutcome {
+    pub fn try_batch(&mut self, rows: &[Row], ctx: &TraceContext) -> BatchOutcome {
         match self {
-            Backend::Volatile(engine) => match engine.process_batch(rows) {
+            Backend::Volatile(engine) => match engine.process_batch_traced(rows, ctx) {
                 Ok(summary) => BatchOutcome::Done {
                     summary,
                     recovered: false,
@@ -113,7 +114,7 @@ impl Backend {
                     );
                 };
                 let rows_before = eng.engine().rows_processed();
-                match eng.process_batch(rows) {
+                match eng.process_batch_traced(rows, ctx) {
                     Ok(summary) => BatchOutcome::Done {
                         summary,
                         recovered: false,
@@ -283,6 +284,8 @@ pub struct AppState {
     pub retry: RetryPolicy,
     /// Server request/shed/latency metrics.
     pub metrics: ServerMetrics,
+    /// Request-trace minting and bounded retention.
+    pub tracer: Tracer,
     /// Monotone connection counter; doubles as the backoff jitter token.
     next_token: AtomicU64,
 }
@@ -296,6 +299,7 @@ impl AppState {
         backend: Backend,
         clock: Arc<dyn Clock>,
         retry: RetryPolicy,
+        tracer: Tracer,
     ) -> Result<Self, String> {
         let reader = backend
             .reader()
@@ -308,6 +312,7 @@ impl AppState {
             clock,
             retry,
             metrics: ServerMetrics::new(),
+            tracer,
             next_token: AtomicU64::new(0),
         })
     }
@@ -334,7 +339,13 @@ impl AppState {
     /// Ingests one batch with bounded, seeded-backoff retries for
     /// transient failures, giving up at `deadline_nanos` (absolute clock
     /// reading).
-    pub fn ingest(&self, rows: &[Row], deadline_nanos: u64, token: u64) -> IngestOutcome {
+    pub fn ingest(
+        &self,
+        rows: &[Row],
+        deadline_nanos: u64,
+        token: u64,
+        ctx: &TraceContext,
+    ) -> IngestOutcome {
         let mut attempts = 0u32;
         loop {
             if self.degraded.load(Ordering::Acquire) {
@@ -343,7 +354,7 @@ impl AppState {
             attempts += 1;
             let outcome = {
                 let mut backend = self.backend.lock();
-                backend.try_batch(rows)
+                backend.try_batch(rows, ctx)
             };
             match outcome {
                 BatchOutcome::Done { summary, recovered } => {
@@ -422,8 +433,13 @@ mod tests {
                 cap_nanos: 10_000,
                 ..RetryPolicy::default()
             },
+            Tracer::new(&crate::tracing::TraceConfig::default()),
         )
         .unwrap()
+    }
+
+    fn untraced() -> TraceContext {
+        TraceContext::disabled()
     }
 
     #[test]
@@ -431,7 +447,7 @@ mod tests {
     fn volatile_ingest_and_read() {
         let engine = ConcurrentEngine::new(spec(), 2).unwrap();
         let st = state(Backend::Volatile(engine));
-        match st.ingest(&rows(300), u64::MAX, 0) {
+        match st.ingest(&rows(300), u64::MAX, 0, &untraced()) {
             IngestOutcome::Ok { summary, attempts } => {
                 assert_eq!(summary.rows_ingested, 300);
                 assert_eq!(attempts, 1);
@@ -454,12 +470,12 @@ mod tests {
         .unwrap();
         let st = state(Backend::durable(engine, &dir));
 
-        st.ingest(&rows(100), u64::MAX, 0);
+        st.ingest(&rows(100), u64::MAX, 0, &untraced());
         // Kill before the WAL append on the next batch (0-based batch 1 on
         // this handle): the batch is NOT durable, so the retry loop must
         // re-submit it exactly once.
         st.with_backend(|b| b.arm_kill(1, KillPoint::BeforeWalAppend));
-        match st.ingest(&rows(50), u64::MAX, 1) {
+        match st.ingest(&rows(50), u64::MAX, 1, &untraced()) {
             IngestOutcome::Ok { summary, attempts } => {
                 assert_eq!(summary.rows_ingested, 50);
                 assert!(attempts >= 2, "expected a retry, got {attempts}");
@@ -475,7 +491,7 @@ mod tests {
         // the handle, so its batch counter restarted; the retry above was
         // batch 0 and the next ingest is batch 1.)
         st.with_backend(|b| b.arm_kill(1, KillPoint::AfterWalAppend));
-        match st.ingest(&rows(25), u64::MAX, 2) {
+        match st.ingest(&rows(25), u64::MAX, 2, &untraced()) {
             IngestOutcome::Ok { summary, .. } => assert_eq!(summary.rows_ingested, 25),
             other => panic!("unexpected outcome: {other:?}"),
         }
@@ -494,12 +510,12 @@ mod tests {
         sketches_streamdb::silence_injected_panics();
         let engine = ConcurrentEngine::new(spec(), 2).unwrap();
         let st = state(Backend::Volatile(engine));
-        st.ingest(&rows(90), u64::MAX, 0);
+        st.ingest(&rows(90), u64::MAX, 0, &untraced());
         st.with_backend(|b| b.inject_coordinator_panic());
         // The kill is asynchronous; ingest until the poison lands.
         let mut degraded = false;
         for _ in 0..200 {
-            match st.ingest(&rows(3), u64::MAX, 1) {
+            match st.ingest(&rows(3), u64::MAX, 1, &untraced()) {
                 IngestOutcome::Degraded(_) => {
                     degraded = true;
                     break;
@@ -516,7 +532,7 @@ mod tests {
         assert!(st.reader().rows_processed() >= 90);
         // Later ingests short-circuit to Degraded.
         assert!(matches!(
-            st.ingest(&rows(3), u64::MAX, 2),
+            st.ingest(&rows(3), u64::MAX, 2, &untraced()),
             IngestOutcome::Degraded(_)
         ));
     }
@@ -536,7 +552,7 @@ mod tests {
         // Deadline already expired: a transient failure must give up
         // without sleeping instead of burning the full retry budget.
         st.with_backend(|b| b.arm_kill(0, KillPoint::BeforeWalAppend));
-        match st.ingest(&rows(10), 0, 0) {
+        match st.ingest(&rows(10), 0, 0, &untraced()) {
             IngestOutcome::Unavailable { attempts, .. } => assert_eq!(attempts, 1),
             other => panic!("unexpected outcome: {other:?}"),
         }

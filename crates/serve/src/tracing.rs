@@ -1,0 +1,262 @@
+//! The server's tracing front end: per-request [`TraceContext`] minting,
+//! deterministic head sampling, and two bounded sinks of completed
+//! traces (a general ring plus a slow-request ring).
+//!
+//! Retention is split from collection: when tracing is on (any policy
+//! but [`Sampling::Off`]) every request collects its span tree, the head
+//! decision only chooses whether the finished trace lands in the main
+//! sink. A request whose end-to-end time crosses the slow threshold is
+//! *force-retained* into the slow sink regardless of the head decision —
+//! slowness is only known at completion, and the slow outliers are
+//! exactly the traces worth keeping.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sketches_obs::{IdGen, Sampler, Sampling, Stage, Trace, TraceContext, TraceSink};
+
+/// Tracing knobs for [`crate::ServerConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Head-sampling policy for the main sink (slow requests are always
+    /// retained in the slow sink while tracing is on).
+    pub sampling: Sampling,
+    /// Main sink capacity (completed traces, oldest evicted).
+    pub capacity: usize,
+    /// Slow sink capacity.
+    pub slow_capacity: usize,
+    /// End-to-end duration at or above which a request counts as slow.
+    pub slow_threshold: Duration,
+    /// Seed for the trace/span identifier generator (fixed seed ⇒
+    /// byte-identical identifiers run over run).
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            sampling: Sampling::SampleEvery(64),
+            capacity: 256,
+            slow_capacity: 64,
+            slow_threshold: Duration::from_millis(250),
+            seed: 0x7ACE_5EED,
+        }
+    }
+}
+
+/// One request's tracing state: the context threaded through the stack
+/// plus the head decision made at admission.
+#[derive(Debug, Default)]
+pub struct RequestTrace {
+    /// The span-collecting context (disabled when tracing is off).
+    pub ctx: TraceContext,
+    retain: bool,
+}
+
+impl RequestTrace {
+    /// A no-op trace for paths that never parsed a request.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}
+
+/// Mints request traces and retains completed ones in bounded rings.
+#[derive(Debug)]
+pub struct Tracer {
+    sampling: Sampling,
+    ids: Mutex<IdGen>,
+    sampler: Sampler,
+    sink: TraceSink,
+    slow: TraceSink,
+    slow_threshold_nanos: u64,
+}
+
+impl Tracer {
+    /// Builds a tracer; all ring capacity is allocated up front.
+    #[must_use]
+    pub fn new(config: &TraceConfig) -> Self {
+        Self {
+            sampling: config.sampling,
+            ids: Mutex::new(IdGen::new(config.seed)),
+            sampler: Sampler::new(config.sampling),
+            sink: TraceSink::new(config.capacity),
+            slow: TraceSink::new(config.slow_capacity),
+            slow_threshold_nanos: config.slow_threshold.as_nanos() as u64,
+        }
+    }
+
+    /// Starts a trace for one request. `traceparent` is the incoming
+    /// header, if any: a well-formed one continues the caller's trace
+    /// (its span becomes the remote parent); a malformed or absent one
+    /// starts a fresh trace. With [`Sampling::Off`] the returned context
+    /// is disabled and collects nothing.
+    #[must_use]
+    pub fn begin(&self, traceparent: Option<&str>) -> RequestTrace {
+        if self.sampling == Sampling::Off {
+            return RequestTrace::disabled();
+        }
+        let retain = self.sampler.decide();
+        let remote = traceparent.and_then(TraceContext::parse_traceparent);
+        let (trace_id, remote_parent, root_span) = {
+            let mut ids = self.ids.lock();
+            match remote {
+                Some((tid, parent)) => (tid, Some(parent), ids.span_id()),
+                None => (ids.trace_id(), None, ids.span_id()),
+            }
+        };
+        RequestTrace {
+            ctx: TraceContext::root(trace_id, root_span, remote_parent),
+            retain,
+        }
+    }
+
+    /// Closes the request's root span and retains the finished trace:
+    /// into the main sink when head-sampled, into the slow sink when the
+    /// end-to-end time crossed the slow threshold (either, both, or
+    /// neither). No-op for a disabled trace.
+    pub fn finish(
+        &self,
+        request: &RequestTrace,
+        start_nanos: u64,
+        end_nanos: u64,
+        attrs: Vec<(String, String)>,
+    ) {
+        let Some(trace) = request
+            .ctx
+            .finish(Stage::Request, start_nanos, end_nanos, attrs)
+        else {
+            return;
+        };
+        let is_slow = trace.duration_nanos() >= self.slow_threshold_nanos;
+        match (request.retain, is_slow) {
+            (true, true) => {
+                self.slow.push(trace.clone());
+                self.sink.push(trace);
+            }
+            (true, false) => self.sink.push(trace),
+            (false, true) => self.slow.push(trace),
+            (false, false) => {}
+        }
+    }
+
+    /// The configured head-sampling policy.
+    #[must_use]
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// The slow threshold in nanoseconds.
+    #[must_use]
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.slow_threshold_nanos
+    }
+
+    /// Up to `max` recently retained traces, newest first.
+    #[must_use]
+    pub fn recent(&self, max: usize) -> Vec<Trace> {
+        self.sink.recent(max)
+    }
+
+    /// Up to `max` recently retained slow traces, newest first.
+    #[must_use]
+    pub fn slow_recent(&self, max: usize) -> Vec<Trace> {
+        self.slow.recent(max)
+    }
+
+    /// Main sink capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sink.capacity()
+    }
+
+    /// Slow sink capacity.
+    #[must_use]
+    pub fn slow_capacity(&self) -> usize {
+        self.slow.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(sampling: Sampling, slow_nanos: u64) -> TraceConfig {
+        TraceConfig {
+            sampling,
+            capacity: 4,
+            slow_capacity: 2,
+            slow_threshold: Duration::from_nanos(slow_nanos),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn off_collects_nothing() {
+        let t = Tracer::new(&config(Sampling::Off, 100));
+        let rt = t.begin(None);
+        assert!(!rt.ctx.is_sampled());
+        t.finish(&rt, 0, 1_000, vec![]);
+        assert!(t.recent(10).is_empty());
+        assert!(t.slow_recent(10).is_empty());
+    }
+
+    #[test]
+    fn head_sampling_gates_the_main_sink() {
+        let t = Tracer::new(&config(Sampling::SampleEvery(2), u64::MAX));
+        for _ in 0..4 {
+            let rt = t.begin(None);
+            assert!(rt.ctx.is_sampled(), "collection is on for every request");
+            t.finish(&rt, 0, 10, vec![]);
+        }
+        // Requests 0 and 2 were head-sampled.
+        assert_eq!(t.recent(10).len(), 2);
+        assert!(t.slow_recent(10).is_empty());
+    }
+
+    #[test]
+    fn slow_requests_are_force_retained() {
+        let t = Tracer::new(&config(Sampling::SampleEvery(1_000_000), 50));
+        let fast = t.begin(None); // head-sampled (seq 0)
+        t.finish(&fast, 0, 10, vec![]);
+        let slow = t.begin(None); // NOT head-sampled
+        t.finish(&slow, 0, 90, vec![]);
+        assert_eq!(t.recent(10).len(), 1, "only the head-sampled request");
+        let slow_traces = t.slow_recent(10);
+        assert_eq!(slow_traces.len(), 1, "slow request kept despite sampling");
+        assert_eq!(slow_traces[0].duration_nanos(), 90);
+    }
+
+    #[test]
+    fn traceparent_continues_the_remote_trace() {
+        let t = Tracer::new(&config(Sampling::Always, u64::MAX));
+        let header = "00-0123456789abcdef0123456789abcdef-00000000000000ab-01";
+        let rt = t.begin(Some(header));
+        assert_eq!(
+            rt.ctx.trace_id().unwrap().to_string(),
+            "0123456789abcdef0123456789abcdef"
+        );
+        t.finish(&rt, 0, 10, vec![]);
+        let traces = t.recent(1);
+        assert_eq!(traces[0].root().parent.map(|p| p.0), Some(0xab));
+
+        // Malformed header: fresh ids, no remote parent.
+        let rt = t.begin(Some("garbage"));
+        t.finish(&rt, 0, 10, vec![]);
+        assert_eq!(t.recent(1)[0].root().parent, None);
+    }
+
+    #[test]
+    fn identifiers_are_deterministic_for_a_fixed_seed() {
+        let ids = |seed| {
+            let t = Tracer::new(&TraceConfig {
+                seed,
+                ..TraceConfig::default()
+            });
+            let rt = t.begin(None);
+            (rt.ctx.trace_id().unwrap(), rt.ctx.root_span().unwrap())
+        };
+        assert_eq!(ids(5), ids(5));
+        assert_ne!(ids(5), ids(6));
+    }
+}

@@ -67,7 +67,7 @@ use std::time::Duration;
 use crossbeam::channel;
 use parking_lot::RwLock;
 use sketches_core::{SketchError, SketchResult};
-use sketches_obs::{Clock, MetricsSnapshot};
+use sketches_obs::{Clock, MetricsSnapshot, Stage, TraceContext};
 
 use crate::engine::{EngineConfig, SketchEngine};
 use crate::fault::{
@@ -158,15 +158,22 @@ struct RouterPublished {
 enum Job {
     Ingest {
         rows: Vec<Row>,
+        /// The request's trace handle (disabled on untraced batches).
+        ctx: TraceContext,
+        /// Clock reading at submit, for the queue-wait stage; `None` when
+        /// neither metrics nor tracing needed it. (An `Option` rather
+        /// than a zero sentinel: a fresh [`sketches_obs::MonotonicClock`]
+        /// anchors at its first read, so a legitimate reading can be 0.)
+        submitted_at: Option<u64>,
         done: channel::Sender<Result<BatchSummary, BatchError>>,
     },
     FlushWindow {
         done: channel::Sender<SketchResult<WindowRows>>,
     },
     MergeFrom {
-        shards: Vec<SketchEngine>,
-        dead: DeadLetters,
-        metrics: EngineMetrics,
+        // Boxed: the inline dead-letter + metrics payload would dominate
+        // the Job enum's size, bloating every queued ingest.
+        state: Box<(Vec<SketchEngine>, DeadLetters, EngineMetrics)>,
         done: channel::Sender<SketchResult<()>>,
     },
     SetPolicy {
@@ -476,12 +483,33 @@ impl ConcurrentEngine {
     /// semantics of [`ShardedEngine::process_batch`]: all-or-nothing,
     /// quarantine per [`FaultPolicy`], typed errors on failure.
     pub fn submit_batch(&self, rows: Vec<Row>) -> BatchTicket {
+        self.submit_batch_traced(rows, TraceContext::disabled())
+    }
+
+    /// [`submit_batch`](Self::submit_batch) carrying a request's
+    /// [`TraceContext`]: the coordinator closes a `queue_wait` child span
+    /// (submit to dequeue) plus `engine_apply` and `publish` spans under
+    /// the request's root, and records the same durations into the
+    /// `stage_latency{stage=...}` histograms.
+    pub fn submit_batch_traced(&self, rows: Vec<Row>, ctx: TraceContext) -> BatchTicket {
         let n = rows.len() as u64;
+        // One clock read on the submit path, and only when someone will
+        // consume it: the queue-wait stage needs the submit timestamp.
+        let submitted_at = {
+            let router = self.shared.router.read();
+            if router.metrics.enabled || ctx.is_sampled() {
+                Some(router.metrics.clock.now_nanos())
+            } else {
+                None
+            }
+        };
         let (done_tx, done_rx) = channel::bounded(1);
         self.shared.rows_submitted.fetch_add(n, Ordering::Relaxed);
         self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         if let Err(channel::SendError(job)) = self.submit_tx.send(Job::Ingest {
             rows,
+            ctx,
+            submitted_at,
             done: done_tx,
         }) {
             // Coordinator is gone: resolve the ticket immediately with the
@@ -756,9 +784,7 @@ impl ConcurrentEngine {
         if self
             .submit_tx
             .send(Job::MergeFrom {
-                shards,
-                dead: router.dead,
-                metrics: router.metrics,
+                state: Box::new((shards, router.dead, router.metrics)),
                 done: done_tx,
             })
             .is_err()
@@ -1137,9 +1163,23 @@ impl Coordinator {
                 return;
             };
             match job {
-                Job::Ingest { rows, done } => {
+                Job::Ingest {
+                    rows,
+                    ctx,
+                    submitted_at,
+                    done,
+                } => {
                     let n = rows.len() as u64;
-                    let result = self.handle_ingest(rows);
+                    if let Some(submitted_at) = submitted_at {
+                        let dequeued = self.router_metrics.clock.now_nanos();
+                        if self.router_metrics.enabled {
+                            self.router_metrics
+                                .stage_queue_wait
+                                .record_nanos(dequeued.saturating_sub(submitted_at));
+                        }
+                        ctx.child(Stage::QueueWait, submitted_at, dequeued);
+                    }
+                    let result = self.handle_ingest(rows, &ctx);
                     self.publish_router();
                     self.shared.rows_resolved.fetch_add(n, Ordering::Relaxed);
                     self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
@@ -1152,12 +1192,8 @@ impl Coordinator {
                     self.publish_router();
                     let _ = done.send(result);
                 }
-                Job::MergeFrom {
-                    shards,
-                    dead,
-                    metrics,
-                    done,
-                } => {
+                Job::MergeFrom { state, done } => {
+                    let (shards, dead, metrics) = *state;
                     let result = self.handle_merge(shards, &dead, &metrics);
                     self.publish_router();
                     let _ = done.send(result);
@@ -1202,6 +1238,10 @@ impl Coordinator {
                         clock: clock.clone(),
                         ack,
                     });
+                    // Publish so the submit path (which reads the
+                    // published router's clock for queue-wait stamps)
+                    // sees the new clock immediately.
+                    self.publish_router();
                     let _ = done.send(());
                 }
                 Job::Crash => {
@@ -1246,7 +1286,11 @@ impl Coordinator {
         ok
     }
 
-    fn handle_ingest(&mut self, rows: Vec<Row>) -> Result<BatchSummary, BatchError> {
+    fn handle_ingest(
+        &mut self,
+        rows: Vec<Row>,
+        ctx: &TraceContext,
+    ) -> Result<BatchSummary, BatchError> {
         let num = self.worker_txs.len();
         let max_field = self.spec.max_field();
         if matches!(self.fault_policy, FaultPolicy::FailBatch) {
@@ -1267,6 +1311,15 @@ impl Coordinator {
             }
         }
         let start = self.router_metrics.start_batch();
+        // Stage clocking is needed when either consumer is live: the
+        // aggregate stage histograms (metrics enabled) or this request's
+        // trace (sampled).
+        let timed = self.router_metrics.enabled || ctx.is_sampled();
+        let apply_start = if timed {
+            self.router_metrics.clock.now_nanos()
+        } else {
+            0
+        };
         let rows = Arc::new(rows);
         let (outcome_tx, outcome_rx) = channel::bounded(num);
         let mut index_txs = Vec::with_capacity(num);
@@ -1350,11 +1403,42 @@ impl Coordinator {
                 }
             }
         }
+        if timed {
+            let apply_end = self.router_metrics.clock.now_nanos();
+            if self.router_metrics.enabled {
+                self.router_metrics
+                    .stage_engine_apply
+                    .record_nanos(apply_end.saturating_sub(apply_start));
+            }
+            ctx.child_with(
+                Stage::EngineApply,
+                apply_start,
+                apply_end,
+                vec![
+                    ("rows".to_string(), rows.len().to_string()),
+                    ("shards".to_string(), num.to_string()),
+                ],
+            );
+        }
 
         let result = if failures.is_empty() {
+            let publish_start = if timed {
+                self.router_metrics.clock.now_nanos()
+            } else {
+                0
+            };
             if !self.broadcast_ack(|ack| Cmd::Commit { ack }) {
                 self.router_metrics.finish_batch(start);
                 return Err(poisoned_batch_error());
+            }
+            if timed {
+                let publish_end = self.router_metrics.clock.now_nanos();
+                if self.router_metrics.enabled {
+                    self.router_metrics
+                        .stage_publish
+                        .record_nanos(publish_end.saturating_sub(publish_start));
+                }
+                ctx.child(Stage::Publish, publish_start, publish_end);
             }
             if self.router_metrics.enabled {
                 self.router_metrics.batches_committed.inc();

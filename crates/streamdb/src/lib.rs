@@ -73,7 +73,10 @@ pub use fault::{
 pub use metrics::EngineMetrics;
 pub use query::{Aggregate, AggregateResult, QuerySpec};
 pub use sharded::ShardedEngine;
-pub use sketches_obs::{Clock, ManualClock, MetricsSnapshot, MonotonicClock};
+pub use sketches_obs::{
+    Clock, IdGen, ManualClock, MetricsSnapshot, MonotonicClock, Sampling, Stage, Trace,
+    TraceContext, TraceSink,
+};
 pub use snapshot::{Snapshot, SnapshotKind};
 pub use stream_engine::StreamEngine;
 pub use value::{Row, Value};

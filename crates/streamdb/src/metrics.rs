@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use sketches_obs::{Clock, Counter, LatencyHistogram, MetricsSnapshot, MonotonicClock};
+use sketches_obs::{Clock, Counter, LatencyHistogram, MetricsSnapshot, MonotonicClock, Stage};
 
 /// Metric-name constants shared by engines, tools, and tests, following
 /// the Prometheus conventions: `_total` suffix on counters, `_seconds`
@@ -118,6 +118,16 @@ pub mod names {
     pub fn checkpoints_total(cause: &str) -> String {
         format!("checkpoints_total{{cause=\"{cause}\"}}")
     }
+
+    /// The per-stage latency histogram name,
+    /// `stage_latency_seconds{stage="queue_wait"|"engine_apply"|...}`.
+    /// The stage vocabulary is [`sketches_obs::Stage`], shared with the
+    /// per-request trace spans so the aggregate view (these histograms)
+    /// and the exemplar view (traces) always agree on stage names.
+    #[must_use]
+    pub fn stage_latency(stage: sketches_obs::Stage) -> String {
+        format!("stage_latency_seconds{{stage=\"{}\"}}", stage.label())
+    }
 }
 
 /// The hot-path metric block one engine (or the sharded router) owns.
@@ -137,6 +147,13 @@ pub struct EngineMetrics {
     pub(crate) panics_contained: Counter,
     pub(crate) injected_faults: Counter,
     pub(crate) batch_latency: LatencyHistogram,
+    /// Submit-to-dequeue wait in the concurrent engine's job queue
+    /// (stays empty on engines with no submit queue).
+    pub(crate) stage_queue_wait: LatencyHistogram,
+    /// Shard-worker apply time (route + ingest + collect).
+    pub(crate) stage_engine_apply: LatencyHistogram,
+    /// Commit broadcast + epoch snapshot publish time.
+    pub(crate) stage_publish: LatencyHistogram,
 }
 
 impl Default for EngineMetrics {
@@ -159,6 +176,9 @@ impl EngineMetrics {
             panics_contained: Counter::new(),
             injected_faults: Counter::new(),
             batch_latency: LatencyHistogram::new(),
+            stage_queue_wait: LatencyHistogram::new(),
+            stage_engine_apply: LatencyHistogram::new(),
+            stage_publish: LatencyHistogram::new(),
         }
     }
 
@@ -186,6 +206,9 @@ impl EngineMetrics {
         self.panics_contained.add(other.panics_contained.get());
         self.injected_faults.add(other.injected_faults.get());
         self.batch_latency.merge(&other.batch_latency);
+        self.stage_queue_wait.merge(&other.stage_queue_wait);
+        self.stage_engine_apply.merge(&other.stage_engine_apply);
+        self.stage_publish.merge(&other.stage_publish);
     }
 
     /// Cuts a snapshot. Every counter key is always emitted — zeros
@@ -201,6 +224,18 @@ impl EngineMetrics {
         snap.add_counter(names::PANICS_CONTAINED, self.panics_contained.get());
         snap.add_counter(names::INJECTED_FAULTS, self.injected_faults.get());
         snap.put_histogram(names::BATCH_LATENCY, self.batch_latency.snapshot());
+        snap.put_histogram(
+            &names::stage_latency(Stage::QueueWait),
+            self.stage_queue_wait.snapshot(),
+        );
+        snap.put_histogram(
+            &names::stage_latency(Stage::EngineApply),
+            self.stage_engine_apply.snapshot(),
+        );
+        snap.put_histogram(
+            &names::stage_latency(Stage::Publish),
+            self.stage_publish.snapshot(),
+        );
         snap
     }
 }
@@ -224,6 +259,24 @@ mod tests {
             assert_eq!(snap.counters.get(key), Some(&0), "missing {key}");
         }
         assert!(snap.histograms.contains_key(names::BATCH_LATENCY));
+        for stage in [Stage::QueueWait, Stage::EngineApply, Stage::Publish] {
+            assert!(
+                snap.histograms.contains_key(&names::stage_latency(stage)),
+                "missing stage histogram for {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_latency_names_share_the_trace_vocabulary() {
+        assert_eq!(
+            names::stage_latency(Stage::WalAppend),
+            "stage_latency_seconds{stage=\"wal_append\"}"
+        );
+        assert_eq!(
+            names::stage_latency(Stage::Fsync),
+            "stage_latency_seconds{stage=\"fsync\"}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! not re-export a drill harness as part of its persistence contract.
 
 use sketches_core::SketchResult;
-use sketches_obs::MetricsSnapshot;
+use sketches_obs::{MetricsSnapshot, TraceContext};
 
 use crate::concurrent::ConcurrentEngine;
 use crate::engine::SketchEngine;
@@ -60,6 +60,23 @@ pub trait StreamEngine: Sized {
     /// Returns a [`BatchError`] naming the failing row/shard/cause; the
     /// engine's observable state is unchanged.
     fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError>;
+
+    /// [`process_batch`](Self::process_batch) carrying a request's
+    /// [`TraceContext`]: engines that break a batch into internal stages
+    /// (queue wait, apply, publish, WAL append) close a child span per
+    /// stage. The default ignores the context — single-stage engines
+    /// have nothing finer than the batch itself to attribute.
+    ///
+    /// # Errors
+    /// Identical to [`process_batch`](Self::process_batch).
+    fn process_batch_traced(
+        &mut self,
+        rows: &[Row],
+        ctx: &TraceContext,
+    ) -> Result<BatchSummary, BatchError> {
+        let _ = ctx;
+        self.process_batch(rows)
+    }
 
     /// Reports the aggregates of one group (`None` if never seen).
     ///
@@ -280,6 +297,17 @@ impl StreamEngine for ConcurrentEngine {
     /// synchronous semantics as the other engines.
     fn process_batch(&mut self, rows: &[Row]) -> Result<BatchSummary, BatchError> {
         self.submit_batch(rows.to_vec()).wait()
+    }
+
+    /// The traced form threads the context into the submit queue, so the
+    /// coordinator and shard workers close queue-wait / apply / publish
+    /// child spans under the request's root.
+    fn process_batch_traced(
+        &mut self,
+        rows: &[Row],
+        ctx: &TraceContext,
+    ) -> Result<BatchSummary, BatchError> {
+        self.submit_batch_traced(rows.to_vec(), ctx.clone()).wait()
     }
 
     fn report(&self, key: &[Value]) -> SketchResult<Option<Vec<AggregateResult>>> {
